@@ -1,0 +1,135 @@
+//! Beta posterior used by the Thompson scheduler.
+
+use rand::Rng;
+use rand_distr::{Beta, Distribution};
+use serde::{Deserialize, Serialize};
+
+/// A `Beta(α, β)` posterior over an arm's selection propensity.
+///
+/// Follows the paper's update rule exactly: when the arm's training set is
+/// the one sampled in a round, `α ← α + 1`; otherwise `β ← β + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use anole_bandit::BetaPosterior;
+///
+/// let mut p = BetaPosterior::uniform();
+/// p.observe_selected();
+/// p.observe_passed_over();
+/// assert_eq!((p.alpha(), p.beta()), (2.0, 2.0));
+/// assert!((p.mean() - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaPosterior {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaPosterior {
+    /// The uninformative `Beta(1, 1)` prior.
+    pub fn uniform() -> Self {
+        Self { alpha: 1.0, beta: 1.0 }
+    }
+
+    /// Creates a posterior with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
+        Self { alpha, beta }
+    }
+
+    /// The α parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The β parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Posterior mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Records that this arm's training set was the one sampled this round.
+    pub fn observe_selected(&mut self) {
+        self.alpha += 1.0;
+    }
+
+    /// Records that another arm was sampled this round.
+    pub fn observe_passed_over(&mut self) {
+        self.beta += 1.0;
+    }
+
+    /// Draws a Thompson sample from the posterior.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Beta::new(self.alpha, self.beta)
+            .expect("parameters are validated positive")
+            .sample(rng)
+    }
+}
+
+impl Default for BetaPosterior {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_tensor::{rng_from_seed, Seed};
+
+    #[test]
+    fn updates_follow_paper_rule() {
+        let mut p = BetaPosterior::uniform();
+        for _ in 0..3 {
+            p.observe_selected();
+        }
+        for _ in 0..5 {
+            p.observe_passed_over();
+        }
+        assert_eq!(p.alpha(), 4.0);
+        assert_eq!(p.beta(), 6.0);
+        assert!((p.mean() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_unit_interval() {
+        let p = BetaPosterior::new(2.5, 7.5);
+        let mut rng = rng_from_seed(Seed(1));
+        for _ in 0..1000 {
+            let x = p.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_mean_approaches_posterior_mean() {
+        let p = BetaPosterior::new(8.0, 2.0);
+        let mut rng = rng_from_seed(Seed(2));
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| p.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - p.mean()).abs() < 0.02, "{mean} vs {}", p.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = BetaPosterior::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn skewed_posterior_samples_high() {
+        let p = BetaPosterior::new(100.0, 1.0);
+        let mut rng = rng_from_seed(Seed(3));
+        assert!(p.sample(&mut rng) > 0.9);
+    }
+}

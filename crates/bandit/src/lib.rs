@@ -1,0 +1,36 @@
+//! Adaptive scene sampling (paper §IV-B): Thompson sampling over Beta
+//! posteriors, the coupon-collector well-sampledness criterion, and the
+//! random-sampling baseline of Figure 3.
+//!
+//! The offline profiler must build, for every compressed model `Mᵢ`, a
+//! balanced subset `Ψᵢ^sub` of samples that the model predicts well. Testing
+//! every model on every sample is too expensive, and sampling the pooled
+//! dataset uniformly yields sets whose sizes mirror dataset bias (Fig. 3a).
+//! The paper instead treats each model's training set `Γᵢ` as a bandit arm:
+//! a Beta posterior per arm, pick the not-yet-well-sampled arm with the
+//! highest Thompson draw, sample from that `Γᵢ`, then reward the chosen arm
+//! (α+1) and penalize the rest (β+1).
+//!
+//! # Examples
+//!
+//! ```
+//! use anole_bandit::{SamplingStrategy, ThompsonSampler};
+//! use anole_tensor::{rng_from_seed, Seed};
+//!
+//! let mut sampler = ThompsonSampler::new(&[100, 1000, 10_000], 0.9);
+//! let mut rng = rng_from_seed(Seed(1));
+//! while let Some(arm) = sampler.select(&mut rng) {
+//!     sampler.record_sampled(arm);
+//!     if sampler.total_samples() >= 200 { break; }
+//! }
+//! assert!(sampler.counts().iter().all(|&c| c > 0));
+//! ```
+
+mod beta;
+mod sampler;
+
+pub use beta::BetaPosterior;
+pub use sampler::{
+    balance_coefficient, well_sampled_threshold, RandomSampler, SamplingStrategy,
+    ThompsonSampler,
+};

@@ -1,0 +1,96 @@
+//! Property-based tests of the Thompson scheduler and the well-sampledness
+//! criterion.
+
+use anole_bandit::{
+    balance_coefficient, well_sampled_threshold, BetaPosterior, RandomSampler, SamplingStrategy,
+    ThompsonSampler,
+};
+use anole_tensor::{rng_from_seed, Seed};
+use proptest::prelude::*;
+
+proptest! {
+    /// The coupon-collector threshold is monotone in both arguments and
+    /// at least the set size (every element needs at least one draw).
+    #[test]
+    fn threshold_monotone_and_lower_bounded(n in 2usize..5000, theta in 0.05f64..0.95) {
+        let t = well_sampled_threshold(n, theta);
+        prop_assert!(t >= n as f64, "threshold {t} below set size {n}");
+        prop_assert!(well_sampled_threshold(n + 1, theta) > t * 0.999);
+        prop_assert!(well_sampled_threshold(n, (theta + 1.0) / 2.0) > t);
+    }
+
+    /// Beta posterior mean moves in the right direction under updates.
+    #[test]
+    fn posterior_mean_moves_correctly(selected in 0u32..50, passed in 0u32..50) {
+        let mut p = BetaPosterior::uniform();
+        for _ in 0..selected {
+            p.observe_selected();
+        }
+        for _ in 0..passed {
+            p.observe_passed_over();
+        }
+        let expected = (1.0 + selected as f64) / (2.0 + selected as f64 + passed as f64);
+        prop_assert!((p.mean() - expected).abs() < 1e-9);
+    }
+
+    /// Thompson draws are valid probabilities and respect exhaustion.
+    #[test]
+    fn scheduler_respects_exhaustion(sizes in proptest::collection::vec(1usize..100, 2..10), seed in 0u64..100) {
+        let mut scheduler = ThompsonSampler::new(&sizes, 0.9);
+        // Exhaust every arm but the last.
+        for i in 0..sizes.len() - 1 {
+            scheduler.set_exhausted(i);
+        }
+        let mut rng = rng_from_seed(Seed(seed));
+        for _ in 0..20 {
+            match scheduler.select(&mut rng) {
+                Some(arm) => prop_assert_eq!(arm, sizes.len() - 1),
+                None => break,
+            }
+            scheduler.record_sampled(sizes.len() - 1);
+        }
+    }
+
+    /// The scheduler terminates: every arm eventually meets its threshold,
+    /// and total draws stay within a small factor of the threshold sum.
+    #[test]
+    fn scheduler_terminates_within_budget(arms in 2usize..6, size in 2usize..30, seed in 0u64..50) {
+        let sizes = vec![size; arms];
+        let mut scheduler = ThompsonSampler::new(&sizes, 0.5);
+        let mut rng = rng_from_seed(Seed(seed));
+        let per_arm = well_sampled_threshold(size, 0.5).ceil() as usize + 1;
+        let budget = 4 * arms * per_arm + 64;
+        let mut draws = 0usize;
+        while let Some(arm) = scheduler.select(&mut rng) {
+            scheduler.record_sampled(arm);
+            draws += 1;
+            prop_assert!(draws <= budget, "no termination after {draws} draws");
+        }
+        for i in 0..arms {
+            prop_assert!(scheduler.is_well_sampled(i));
+        }
+        // Every arm stopped right after crossing its threshold.
+        for &c in scheduler.counts() {
+            prop_assert!(c <= per_arm + 1);
+        }
+        prop_assert!(balance_coefficient(scheduler.counts()) > 0.9);
+    }
+
+    /// The prevalence-weighted baseline only returns valid arms, with
+    /// empirical frequency roughly proportional to size.
+    #[test]
+    fn random_sampler_is_size_proportional(weight in 2usize..40, seed in 0u64..50) {
+        let sizes = vec![100, 100 * weight];
+        let mut sampler = RandomSampler::new(&sizes);
+        let mut rng = rng_from_seed(Seed(seed));
+        let n = 4000;
+        for _ in 0..n {
+            let arm = sampler.select(&mut rng).unwrap();
+            prop_assert!(arm < 2);
+            sampler.record_sampled(arm);
+        }
+        let expected = weight as f64 / (1.0 + weight as f64);
+        let measured = sampler.counts()[1] as f64 / n as f64;
+        prop_assert!((measured - expected).abs() < 0.08, "{measured} vs {expected}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the model cache (Fig. 7b / §V-B) under a Zipf-like
+//! request trace — the shape of the model-utility distribution in Fig. 4b.
+
+use anole_cache::{EvictionPolicy, SlotCache};
+use anole_tensor::{rng_from_seed, Seed};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+/// Zipf-ish trace over 19 models, matching the long-tailed utility of
+/// Fig. 4b.
+fn zipf_trace(len: usize, models: usize, seed: Seed) -> Vec<usize> {
+    let mut rng = rng_from_seed(seed);
+    let weights: Vec<f64> = (0..models).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..len)
+        .map(|_| {
+            let mut target = rng.gen_range(0.0..total);
+            for (i, &w) in weights.iter().enumerate() {
+                if target < w {
+                    return i;
+                }
+                target -= w;
+            }
+            models - 1
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = zipf_trace(10_000, 19, Seed(4));
+    let mut group = c.benchmark_group("cache_trace_10k_zipf19");
+    for policy in [EvictionPolicy::Lfu, EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut cache: SlotCache<usize> = SlotCache::new(5, policy);
+                for &model in &trace {
+                    if !cache.touch(&model) {
+                        cache.insert(model);
+                    }
+                }
+                black_box(cache.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    c.bench_function("cache_touch_hit", |b| {
+        let mut cache: SlotCache<usize> = SlotCache::new(5, EvictionPolicy::Lfu);
+        for i in 0..5 {
+            cache.insert(i);
+        }
+        b.iter(|| black_box(cache.touch(&3)))
+    });
+    c.bench_function("cache_insert_evict", |b| {
+        let mut cache: SlotCache<usize> = SlotCache::new(5, EvictionPolicy::Lfu);
+        let mut next = 0usize;
+        b.iter(|| {
+            next = (next + 1) % 1000;
+            black_box(cache.insert(next))
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_single_ops);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the device simulator (Tables I/IV, Figs. 4a/11):
+//! latency sampling, power evaluation, and the unstable uplink.
+
+use anole_device::{
+    DeviceKind, LatencyModel, PowerMode, PowerModel, UnstableLink, UnstableLinkConfig,
+};
+use anole_nn::ReferenceModel;
+use anole_tensor::{rng_from_seed, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_latency_sampling(c: &mut Criterion) {
+    let lm = LatencyModel::for_device(DeviceKind::JetsonTx2Nx);
+    let mut rng = rng_from_seed(Seed(5));
+    c.bench_function("latency_sample_tiny", |b| {
+        b.iter(|| black_box(lm.inference_ms(ReferenceModel::Yolov3Tiny, &mut rng)))
+    });
+    c.bench_function("latency_cold_start_trace_20", |b| {
+        b.iter(|| black_box(lm.cold_start_trace(ReferenceModel::Yolov3, 20, &mut rng)))
+    });
+}
+
+fn bench_power_evaluation(c: &mut Criterion) {
+    let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+    let pipeline = [
+        ReferenceModel::Resnet18,
+        ReferenceModel::DecisionMlp,
+        ReferenceModel::Yolov3Tiny,
+    ];
+    let modes = PowerMode::tx2_modes();
+    c.bench_function("power_evaluate_anole_all_modes", |b| {
+        b.iter(|| {
+            for &mode in &modes {
+                black_box(pm.evaluate(&pipeline, mode));
+            }
+        })
+    });
+}
+
+fn bench_unstable_link(c: &mut Criterion) {
+    c.bench_function("unstable_link_round_trip", |b| {
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(6));
+        b.iter(|| black_box(link.round_trip_ms(200_000, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_latency_sampling, bench_power_evaluation, bench_unstable_link);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Macro-benchmarks of the pipelines: a full online-inference step, clip
+//! generation, clustering, and (small-scale) offline profiling.
+
+use anole_bench::{Context, Scale};
+use anole_cluster::KMeans;
+use anole_core::{AnoleConfig, AnoleSystem};
+use anole_data::{ClipId, DatasetConfig, DatasetSource, DrivingDataset, SceneAttributes};
+use anole_device::DeviceKind;
+use anole_tensor::{Matrix, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_online_step(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Small, Seed(8)).expect("training");
+    let split = ctx.dataset.split();
+    let frames: Vec<Vec<f32>> = split
+        .test
+        .iter()
+        .take(64)
+        .map(|&r| ctx.dataset.frame(r).features.clone())
+        .collect();
+    c.bench_function("online_engine_step", |b| {
+        let mut engine = ctx.system.online_engine(DeviceKind::JetsonTx2Nx, Seed(9));
+        engine.warm(&(0..ctx.system.repository().len()).collect::<Vec<_>>());
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = engine.step(black_box(&frames[i % frames.len()])).unwrap();
+            i += 1;
+            black_box(out)
+        })
+    });
+}
+
+fn bench_clip_generation(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Small, Seed(10)).expect("training");
+    let attrs = SceneAttributes::from_scene_index(0);
+    c.bench_function("generate_clip_100_frames", |b| {
+        b.iter(|| {
+            black_box(ctx.dataset.world().generate_clip(
+                ClipId(0),
+                DatasetSource::Shd,
+                attrs,
+                100,
+                1.0,
+                Seed(11),
+            ))
+        })
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = anole_tensor::rng_from_seed(Seed(12));
+    let points = Matrix::random_normal(500, 32, 1.0, &mut rng);
+    c.bench_function("kmeans_k8_500x32", |b| {
+        b.iter(|| black_box(KMeans::new(8).fit(&points, Seed(13)).unwrap()))
+    });
+}
+
+fn bench_offline_profiling(c: &mut Criterion) {
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(14));
+    let mut group = c.benchmark_group("offline_profiling");
+    group.sample_size(10);
+    group.bench_function("train_small_system", |b| {
+        b.iter(|| black_box(AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(15)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_online_step,
+    bench_clip_generation,
+    bench_kmeans,
+    bench_offline_profiling
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the adaptive scene-sampling machinery (Fig. 3 /
+//! §IV-B): Thompson rounds, the random baseline, and the well-sampledness
+//! criterion.
+
+use anole_bandit::{well_sampled_threshold, RandomSampler, SamplingStrategy, ThompsonSampler};
+use anole_tensor::{rng_from_seed, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_thompson_round(c: &mut Criterion) {
+    let sizes: Vec<usize> = (0..19).map(|i| 200 + i * 10).collect();
+    c.bench_function("thompson_select_record_19_arms", |b| {
+        let mut sampler = ThompsonSampler::new(&sizes, 0.9);
+        let mut rng = rng_from_seed(Seed(1));
+        b.iter(|| {
+            if let Some(arm) = sampler.select(&mut rng) {
+                sampler.record_sampled(black_box(arm));
+            } else {
+                sampler = ThompsonSampler::new(&sizes, 0.9);
+            }
+        })
+    });
+}
+
+fn bench_random_round(c: &mut Criterion) {
+    let sizes: Vec<usize> = (0..19).map(|i| 200 + i * 10).collect();
+    c.bench_function("random_select_record_19_arms", |b| {
+        let mut sampler = RandomSampler::new(&sizes);
+        let mut rng = rng_from_seed(Seed(2));
+        b.iter(|| {
+            let arm = sampler.select(&mut rng).expect("non-empty");
+            sampler.record_sampled(black_box(arm));
+        })
+    });
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    c.bench_function("well_sampled_threshold", |b| {
+        b.iter(|| well_sampled_threshold(black_box(1000), black_box(0.9)))
+    });
+}
+
+fn bench_full_balancing_run(c: &mut Criterion) {
+    // A complete Fig. 3-style run: sample until every arm is well sampled.
+    let sizes = vec![60usize; 8];
+    c.bench_function("thompson_run_to_well_sampled_8x60", |b| {
+        b.iter(|| {
+            let mut sampler = ThompsonSampler::new(&sizes, 0.5);
+            let mut rng = rng_from_seed(Seed(3));
+            let mut draws = 0usize;
+            while let Some(arm) = sampler.select(&mut rng) {
+                sampler.record_sampled(arm);
+                draws += 1;
+            }
+            black_box(draws)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_thompson_round,
+    bench_random_round,
+    bench_threshold,
+    bench_full_balancing_run
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmarks of the model-selection stage (§V-A): scene embedding,
+//! suitability prediction, and ranking on a trained system.
+
+use anole_bench::{Context, Scale};
+use anole_tensor::{Matrix, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_selection(c: &mut Criterion) {
+    let ctx = Context::build(Scale::Small, Seed(7)).expect("training");
+    let split = ctx.dataset.split();
+    let frame = ctx.dataset.frame(split.test[0]).clone();
+    let batch = ctx.dataset.features_matrix(&split.test[..64.min(split.test.len())]);
+
+    c.bench_function("scene_embed_single_frame", |b| {
+        let row = Matrix::row_vector(&frame.features);
+        b.iter(|| black_box(ctx.system.scene_model().embed(&row).unwrap()))
+    });
+    c.bench_function("scene_embed_batch_64", |b| {
+        b.iter(|| black_box(ctx.system.scene_model().embed(&batch).unwrap()))
+    });
+    c.bench_function("decision_rank_single_frame", |b| {
+        b.iter(|| black_box(ctx.system.decision().rank(&frame.features).unwrap()))
+    });
+    c.bench_function("compressed_model_detect", |b| {
+        let model = ctx.system.repository().model(0);
+        b.iter(|| black_box(model.detect(&frame.features, 0.5).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

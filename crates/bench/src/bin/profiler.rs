@@ -1,0 +1,127 @@
+//! `profiler` — model cards for a trained repository.
+//!
+//! Prints, for every compressed model: its clustering provenance (which k,
+//! which semantic scenes), training-set size, validation F1, online utility
+//! (share of frames it served on the test streams), and the scenes where it
+//! is the best model. The output is the "who are my 19 specialists?"
+//! overview an operator wants before deploying a bundle.
+//!
+//! ```text
+//! cargo run --release -p anole-bench --bin profiler [-- --small] [--seed N]
+//! ```
+
+use std::collections::HashMap;
+
+use anole_bench::{render, Context, Scale};
+use anole_core::eval::evaluate_refs;
+use anole_data::SceneAttributes;
+use anole_device::DeviceKind;
+use anole_tensor::{split_seed, Seed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Seed)
+        .unwrap_or_default();
+
+    eprintln!("[profiler] training at {scale:?} scale, {seed} …");
+    let ctx = Context::build(scale, seed).expect("training");
+    let split = ctx.dataset.split();
+
+    // Online utility: share of test frames each model served.
+    let mut engine = ctx
+        .system
+        .online_engine(DeviceKind::JetsonTx2Nx, split_seed(seed, 1));
+    engine.warm(&(0..ctx.system.repository().len()).collect::<Vec<_>>());
+    evaluate_refs(&mut engine, &ctx.dataset, &split.test, 10).expect("test stream");
+    let mut usage: HashMap<usize, usize> = HashMap::new();
+    for &m in engine.usage_log() {
+        *usage.entry(m).or_insert(0) += 1;
+    }
+    let total = engine.usage_log().len().max(1);
+
+    // Best-model-per-scene map over validation.
+    let threshold = ctx.system.config().detector.threshold;
+    let mut best_for_scene: HashMap<usize, (usize, f32)> = HashMap::new();
+    for class in 0..ctx.system.scene_model().class_count() {
+        let scene = ctx.system.scene_model().semantic_scene_of(class);
+        let refs: Vec<_> = split
+            .val
+            .iter()
+            .copied()
+            .filter(|r| ctx.dataset.clips()[r.clip].attributes.scene_index() == scene)
+            .collect();
+        if refs.is_empty() {
+            continue;
+        }
+        for model in ctx.system.repository().models() {
+            let f1 = model
+                .evaluate_f1(&ctx.dataset, &refs, threshold)
+                .expect("evaluation");
+            let entry = best_for_scene.entry(scene).or_insert((model.id, f1));
+            if f1 > entry.1 {
+                *entry = (model.id, f1);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for model in ctx.system.repository().models() {
+        let scenes: Vec<String> = model
+            .origin
+            .scenes
+            .iter()
+            .take(3)
+            .map(|&s| SceneAttributes::from_scene_index(s).to_string())
+            .collect();
+        let more = model.origin.scenes.len().saturating_sub(3);
+        let scene_text = if more > 0 {
+            format!("{} (+{more} more)", scenes.join("; "))
+        } else {
+            scenes.join("; ")
+        };
+        let champion_of = best_for_scene
+            .iter()
+            .filter(|(_, &(id, _))| id == model.id)
+            .count();
+        rows.push(vec![
+            format!("M{:02}", model.id),
+            format!("k={}", model.origin.k),
+            format!("{}", model.training_set.len()),
+            render::f1(model.validation_f1),
+            format!(
+                "{:.1}%",
+                *usage.get(&model.id).unwrap_or(&0) as f32 / total as f32 * 100.0
+            ),
+            format!("{champion_of}"),
+            scene_text,
+        ]);
+    }
+
+    println!(
+        "Model cards: {} compressed models over {} scene classes\n{}",
+        ctx.system.repository().len(),
+        ctx.system.scene_model().class_count(),
+        render::table(
+            &[
+                "model",
+                "level",
+                "|Γ|",
+                "val F1",
+                "online use",
+                "best-for scenes",
+                "trained on (scene sample)"
+            ],
+            &rows
+        )
+    );
+}

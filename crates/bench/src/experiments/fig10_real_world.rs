@@ -1,0 +1,70 @@
+//! Figure 10: real-world (fresh-stream) per-scenario F1 and latency.
+
+use anole_core::eval::real_world_experiment;
+use anole_core::MethodKind;
+use anole_tensor::split_seed;
+
+use crate::{render, Context};
+
+const METHODS: [MethodKind; 5] = [
+    MethodKind::Anole,
+    MethodKind::Sdm,
+    MethodKind::Ssm,
+    MethodKind::Cdg,
+    MethodKind::Dmm,
+];
+
+/// Regenerates Fig. 10: F1 of every method on seven fresh Shanghai-style
+/// scenarios streamed through the TX2 simulator, plus Anole's per-frame
+/// latency.
+///
+/// # Panics
+///
+/// Panics if training or streaming fails (never for a built context).
+pub fn fig10(ctx: &Context) -> String {
+    let frames = ctx.dataset.config().frames_per_clip.min(200);
+    let report = real_world_experiment(&ctx.dataset, &ctx.system, frames, split_seed(ctx.seed, 1001))
+        .expect("real-world experiment");
+
+    let mut rows = Vec::new();
+    for (i, s) in report.scenarios.iter().enumerate() {
+        let mut cells = vec![format!("S{} {}", i + 1, s.attributes)];
+        for kind in METHODS {
+            cells.push(s.of(kind).map(render::f1).unwrap_or_default());
+        }
+        cells.push(format!("{:.1}", s.anole_latency_ms));
+        rows.push(cells);
+    }
+    let mut mean_cells = vec!["mean".to_string()];
+    for kind in METHODS {
+        mean_cells.push(report.mean_f1(kind).map(render::f1).unwrap_or_default());
+    }
+    mean_cells.push(String::new());
+    rows.push(mean_cells);
+
+    format!(
+        "Figure 10: real-world scenarios in Shanghai (fresh streams, TX2 NX); \
+         Anole wins {}/7 scenarios\n{}",
+        report.wins(MethodKind::Anole),
+        render::table(
+            &["scenario", "Anole", "SDM", "SSM", "CDG", "DMM", "Anole ms/frame"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn renders_seven_scenarios_plus_mean() {
+        let ctx = Context::build(Scale::Small, Seed(19)).unwrap();
+        let text = super::fig10(&ctx);
+        assert!(text.contains("S1"));
+        assert!(text.contains("S7"));
+        assert!(text.contains("mean"));
+        assert!(text.contains("ms/frame"));
+    }
+}

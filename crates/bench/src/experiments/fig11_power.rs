@@ -1,0 +1,62 @@
+//! Figure 11: power consumption and inference speed across TX2 power modes.
+
+use anole_device::{DeviceKind, PowerMode, PowerModel};
+use anole_nn::ReferenceModel;
+
+use crate::render;
+
+const PIPELINES: [(&str, &[ReferenceModel]); 3] = [
+    (
+        "Anole",
+        &[
+            ReferenceModel::Resnet18,
+            ReferenceModel::DecisionMlp,
+            ReferenceModel::Yolov3Tiny,
+        ],
+    ),
+    ("SDM", &[ReferenceModel::Yolov3]),
+    ("SSM", &[ReferenceModel::Yolov3Tiny]),
+];
+
+/// Regenerates Fig. 11: power draw and FPS of Anole, SDM, and SSM at each
+/// TX2 power mode.
+pub fn fig11() -> String {
+    let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+    let mut rows = Vec::new();
+    for mode in PowerMode::tx2_modes() {
+        for (name, pipeline) in PIPELINES {
+            let r = pm.evaluate(pipeline, mode);
+            rows.push(vec![
+                mode.label(),
+                name.to_string(),
+                format!("{:.1}", r.watts),
+                format!("{:.1}", r.fps),
+                format!("{:.3}", r.joules_per_frame),
+            ]);
+        }
+    }
+
+    let top = PowerMode::tx2_modes()[3];
+    let anole = pm.evaluate(PIPELINES[0].1, top);
+    let sdm = pm.evaluate(PIPELINES[1].1, top);
+    format!(
+        "Figure 11: power and inference speed per TX2 power mode \
+         (Anole vs SDM at 20W: {:.1}% less power, paper reports 45.1%)\n{}",
+        (1.0 - anole.watts / sdm.watts) * 100.0,
+        render::table(
+            &["mode", "method", "power (W)", "FPS", "J/frame"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers_all_modes_and_methods() {
+        let text = super::fig11();
+        for needle in ["7.5W", "20W", "Anole", "SDM", "SSM", "less power"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 5: dataset diversity CDFs (brightness, contrast, object count,
+//! object area).
+
+use anole_data::dataset_diversity;
+
+use crate::{render, Context};
+
+/// Regenerates Fig. 5 as quantile tables of the four per-frame statistics.
+pub fn fig5(ctx: &Context) -> String {
+    let report = dataset_diversity(&ctx.dataset, 100);
+    let mut out = format!(
+        "Figure 5: dataset diversity over {} frames in {} clips\n",
+        ctx.dataset.frame_count(),
+        ctx.dataset.clips().len()
+    );
+    for (name, cdf) in [
+        ("(a) image brightness", &report.brightness),
+        ("(b) image contrast", &report.contrast),
+        ("(c) number of objects", &report.object_count),
+        ("(d) object area ratio", &report.object_area),
+    ] {
+        out.push_str(&format!(
+            "{name}\n{}",
+            render::table(&["quantile", "value"], &render::cdf_rows(cdf))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn renders_all_four_panels() {
+        let ctx = Context::build(Scale::Small, Seed(13)).unwrap();
+        let text = super::fig5(&ctx);
+        for panel in ["brightness", "contrast", "number of objects", "object area"] {
+            assert!(text.contains(panel), "missing {panel}");
+        }
+        assert!(text.contains("p50"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 8: cross-scene F1 CDFs of all candidate methods per source
+//! dataset.
+
+use anole_core::eval::cross_scene_experiment;
+use anole_core::MethodKind;
+use anole_tensor::{empirical_cdf, split_seed};
+
+use crate::{render, Context};
+
+const METHODS: [MethodKind; 5] = [
+    MethodKind::Anole,
+    MethodKind::Sdm,
+    MethodKind::Ssm,
+    MethodKind::Cdg,
+    MethodKind::Dmm,
+];
+
+/// Regenerates Fig. 8: for each source dataset, the quantiles of the
+/// windowed-F1 distribution of every method (the paper plots these as
+/// CDFs), plus overall means.
+///
+/// # Panics
+///
+/// Panics if baseline training fails (never for a built context).
+pub fn fig8(ctx: &Context) -> String {
+    let report = cross_scene_experiment(&ctx.dataset, &ctx.system, 10, split_seed(ctx.seed, 801))
+        .expect("cross-scene experiment");
+
+    let mut out = String::from("Figure 8: cross-scene windowed F1 (every 10 frames), per source\n");
+    for source in &report.sources {
+        out.push_str(&format!("--- {} ---\n", source.source));
+        let mut rows = Vec::new();
+        for kind in METHODS {
+            let Some(result) = source.of(kind) else { continue };
+            let cdf = empirical_cdf(&result.windowed, 20);
+            let q = |target: f32| {
+                cdf.iter()
+                    .find(|p| p.fraction >= target)
+                    .map(|p| p.value)
+                    .unwrap_or(0.0)
+            };
+            rows.push(vec![
+                kind.name().to_string(),
+                render::f1(q(0.25)),
+                render::f1(q(0.5)),
+                render::f1(q(0.75)),
+                render::f1(result.overall_f1),
+            ]);
+        }
+        out.push_str(&render::table(
+            &["method", "F1 p25", "F1 p50", "F1 p75", "overall F1"],
+            &rows,
+        ));
+    }
+
+    out.push_str("Means across sources:\n");
+    let mean_rows: Vec<Vec<String>> = METHODS
+        .iter()
+        .filter_map(|&k| report.mean_f1(k).map(|f| vec![k.name().to_string(), render::f1(f)]))
+        .collect();
+    out.push_str(&render::table(&["method", "mean F1"], &mean_rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn renders_per_source_tables_and_means() {
+        let ctx = Context::build(Scale::Small, Seed(17)).unwrap();
+        let text = super::fig8(&ctx);
+        for s in ["KITTI", "BDD100k", "SHD"] {
+            assert!(text.contains(s), "missing {s}");
+        }
+        assert!(text.contains("Anole"));
+        assert!(text.contains("mean F1"));
+    }
+}

@@ -1,0 +1,36 @@
+//! One runner per table / figure of the paper's evaluation, plus the
+//! ablations listed in DESIGN.md §6.
+//!
+//! Every runner returns the regenerated artifact as plain text (and the
+//! `repro` binary can additionally dump machine-readable JSON).
+
+mod ablations;
+mod fig10_real_world;
+mod fig11_power;
+mod fig3_sampling;
+mod fig4_latency_utility;
+mod fig5_diversity;
+mod fig6_confusion;
+mod fig7_cache;
+mod fig8_cross_scene;
+mod tab1_devices;
+mod tab2_models;
+mod tab3_new_scene;
+mod tab4_latency_memory;
+
+pub use ablations::{
+    cache_policy_ablation, delta_sweep_ablation, fleet_lifecycle_week, latency_budget_sweep,
+    offload_ablation, realtime_streaming, repository_size_sweep, theta_sweep_ablation,
+};
+pub use fig10_real_world::fig10;
+pub use fig11_power::fig11;
+pub use fig3_sampling::fig3;
+pub use fig4_latency_utility::{fig4a, fig4b};
+pub use fig5_diversity::fig5;
+pub use fig6_confusion::fig6;
+pub use fig7_cache::{fig7a, fig7b};
+pub use fig8_cross_scene::fig8;
+pub use tab1_devices::tab1;
+pub use tab2_models::tab2;
+pub use tab3_new_scene::tab3;
+pub use tab4_latency_memory::tab4;

@@ -1,0 +1,42 @@
+//! Table I: hardware configurations of the deployment devices.
+
+use anole_device::{DeviceKind, DeviceSpec};
+
+use crate::render;
+
+/// Regenerates Table I.
+pub fn tab1() -> String {
+    let rows: Vec<Vec<String>> = DeviceKind::ALL
+        .iter()
+        .map(|&kind| {
+            let s = DeviceSpec::of(kind);
+            vec![
+                s.kind.name().to_string(),
+                s.cpu.to_string(),
+                s.gpu.to_string(),
+                format!("{} GB", s.gpu_memory_bytes / 1_000_000_000),
+                format!("{} GB", s.storage_bytes / 1_000_000_000),
+            ]
+        })
+        .collect();
+    format!(
+        "Table I: device hardware configurations\n{}",
+        render::table(
+            &["Platform", "CPU", "GPU", "GPU Memory", "Flash/Disk"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lists_all_three_devices() {
+        let text = super::tab1();
+        assert!(text.contains("Jetson Nano"));
+        assert!(text.contains("Jetson TX2 NX"));
+        assert!(text.contains("Laptop"));
+        assert!(text.contains("2 GB"));
+        assert!(text.contains("RTX 2070"));
+    }
+}

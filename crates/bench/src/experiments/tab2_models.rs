@@ -1,0 +1,78 @@
+//! Table II: deployed model classes, FLOPs, and weights — both the paper's
+//! reference scale and the simulated stand-in networks actually trained.
+
+use anole_nn::ReferenceModel;
+
+use crate::{render, Context};
+
+/// Regenerates Table II, annotated with the simulated networks' true costs.
+pub fn tab2(ctx: &Context) -> String {
+    let fmt_flops = |f: u64| {
+        if f >= 1_000_000_000 {
+            format!("{:.2} Bn", f as f64 / 1e9)
+        } else if f >= 1_000_000 {
+            format!("{:.1} M", f as f64 / 1e6)
+        } else {
+            format!("{:.1} k", f as f64 / 1e3)
+        }
+    };
+    let fmt_bytes = |b: u64| {
+        if b >= 1_000_000 {
+            format!("{:.0} MB", b as f64 / 1e6)
+        } else {
+            format!("{:.0} KB", b as f64 / 1e3)
+        }
+    };
+
+    let rows: Vec<Vec<String>> = ReferenceModel::ALL
+        .iter()
+        .map(|m| {
+            vec![
+                m.name().to_string(),
+                m.role().to_string(),
+                fmt_flops(m.flops()),
+                fmt_bytes(m.weight_bytes()),
+            ]
+        })
+        .collect();
+
+    let sim_rows: Vec<Vec<String>> = ctx
+        .system
+        .repository()
+        .models()
+        .iter()
+        .take(3)
+        .map(|m| {
+            vec![
+                format!("compressed M{}", m.id),
+                format!("scenes {:?}", m.origin.scenes),
+                fmt_flops(m.profile.simulated_flops),
+                fmt_bytes(m.profile.simulated_weight_bytes),
+            ]
+        })
+        .collect();
+
+    format!(
+        "Table II: deployed models (paper reference scale)\n{}\n\
+         Simulated stand-in networks (first 3 of {}):\n{}",
+        render::table(&["Model", "Role", "FLOPS", "Weights"], &rows),
+        ctx.system.repository().len(),
+        render::table(&["Simulated model", "Trained on", "FLOPS", "Weights"], &sim_rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn includes_reference_and_simulated_rows() {
+        let ctx = Context::build(Scale::Small, Seed(7)).unwrap();
+        let text = super::tab2(&ctx);
+        assert!(text.contains("YOLOv3-tiny"));
+        assert!(text.contains("65.86 Bn"));
+        assert!(text.contains("M_decision"));
+        assert!(text.contains("compressed M0"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Table III: inference accuracy on unseen scenes.
+
+use anole_core::eval::new_scene_experiment;
+use anole_core::MethodKind;
+use anole_tensor::split_seed;
+
+use crate::{render, Context};
+
+const METHODS: [MethodKind; 5] = [
+    MethodKind::Sdm,
+    MethodKind::Ssm,
+    MethodKind::Cdg,
+    MethodKind::Dmm,
+    MethodKind::Anole,
+];
+
+/// Regenerates Table III: per-unseen-clip F1 of every method plus the mean
+/// column, methods as rows like the paper.
+///
+/// # Panics
+///
+/// Panics if baseline training fails (never for a built context).
+pub fn tab3(ctx: &Context) -> String {
+    let report = new_scene_experiment(&ctx.dataset, &ctx.system, split_seed(ctx.seed, 301))
+        .expect("new-scene experiment");
+
+    let mut header: Vec<String> = vec!["Method".into()];
+    for row in &report.rows {
+        header.push(format!(
+            "{} {}",
+            row.source,
+            abbreviate(&row.attributes.to_string())
+        ));
+    }
+    header.push("Mean".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for kind in METHODS {
+        let mut cells = vec![kind.name().to_string()];
+        for row in &report.rows {
+            cells.push(row.of(kind).map(render::f1).unwrap_or_default());
+        }
+        cells.push(report.mean_f1(kind).map(render::f1).unwrap_or_default());
+        rows.push(cells);
+    }
+
+    format!(
+        "Table III: inference accuracy (F1) on unseen scenes; best mean: {}\n{}",
+        report
+            .best_method()
+            .map(|k| k.name().to_string())
+            .unwrap_or_default(),
+        render::table(&header_refs, &rows)
+    )
+}
+
+fn abbreviate(attrs: &str) -> String {
+    attrs
+        .split_whitespace()
+        .map(|w| {
+            let mut c = w.chars();
+            let head: String = c.by_ref().take(2).collect();
+            let _ = c;
+            format!("{}.", head)
+        })
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, Scale};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn table_has_method_rows_and_mean_column() {
+        let ctx = Context::build(Scale::Small, Seed(18)).unwrap();
+        let text = super::tab3(&ctx);
+        for m in ["SDM", "SSM", "CDG", "DMM", "Anole"] {
+            assert!(text.contains(m), "missing {m}");
+        }
+        assert!(text.contains("Mean"));
+        assert!(text.contains("best mean"));
+    }
+
+    #[test]
+    fn abbreviate_shortens_attribute_strings() {
+        assert_eq!(super::abbreviate("rainy highway at night"), "ra.hi.at.ni.");
+    }
+}

@@ -1,0 +1,77 @@
+//! Table IV: inference latency and memory consumption per device.
+
+use anole_device::{DeviceKind, GpuMemoryModel, LatencyModel};
+use anole_nn::ReferenceModel;
+
+use crate::render;
+
+/// Regenerates Table IV.
+pub fn tab4() -> String {
+    let latency: Vec<LatencyModel> = DeviceKind::ALL
+        .iter()
+        .map(|&k| LatencyModel::for_device(k))
+        .collect();
+    let mem = GpuMemoryModel::for_device(DeviceKind::JetsonTx2Nx);
+
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "M_scene + M_decision".to_string(),
+        format!("{:.1}", latency[0].mean_scene_decision_ms()),
+        format!("{:.1}", latency[1].mean_scene_decision_ms()),
+        format!("{:.1}", latency[2].mean_scene_decision_ms()),
+        format!("{} MB", ReferenceModel::Resnet18.weight_bytes() / 1_000_000),
+        format!("{} MB", mem.execution_bytes(ReferenceModel::Resnet18) / 1_000_000),
+    ]);
+    for model in [ReferenceModel::Yolov3, ReferenceModel::Yolov3Tiny] {
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{:.1}", latency[0].mean_inference_ms(model)),
+            format!("{:.1}", latency[1].mean_inference_ms(model)),
+            format!("{:.1}", latency[2].mean_inference_ms(model)),
+            format!("{} MB x n", model.weight_bytes() / 1_000_000),
+            format!("{} MB", mem.execution_bytes(model) / 1_000_000),
+        ]);
+    }
+
+    let cacheable: Vec<Vec<String>> = DeviceKind::ALL
+        .iter()
+        .map(|&k| {
+            let m = GpuMemoryModel::for_device(k);
+            vec![
+                k.name().to_string(),
+                format!("{}", m.max_cached_models()),
+                format!("{}", m.fits_deep_model()),
+            ]
+        })
+        .collect();
+
+    format!(
+        "Table IV: inference latency and memory consumption\n{}\n\
+         Derived cache capacity per device:\n{}",
+        render::table(
+            &[
+                "Model",
+                "Nano (ms)",
+                "TX2 NX (ms)",
+                "Laptop (ms)",
+                "Loading model",
+                "Execution"
+            ],
+            &rows
+        ),
+        render::table(&["Device", "max cached tiny models", "deep model fits"], &cacheable)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_headline_numbers() {
+        let text = super::tab4();
+        assert!(text.contains("313.8")); // YOLOv3 on Nano
+        assert!(text.contains("10.8")); // tiny on TX2
+        assert!(text.contains("3.1")); // scene+decision on TX2
+        assert!(text.contains("34 MB x n"));
+        assert!(text.contains("1730 MB"));
+    }
+}

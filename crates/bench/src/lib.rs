@@ -1,0 +1,12 @@
+//! Benchmark harness for the Anole reproduction.
+//!
+//! The [`experiments`] module regenerates every table and figure of the
+//! paper's evaluation (§VI); the `repro` binary drives them from the command
+//! line, and the criterion benches under `benches/` micro-benchmark the hot
+//! online-path components.
+
+pub mod context;
+pub mod experiments;
+pub mod render;
+
+pub use context::{Context, Scale};

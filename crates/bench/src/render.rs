@@ -1,0 +1,132 @@
+//! Plain-text rendering helpers for regenerated tables and figures.
+
+/// Renders an ASCII table with a header row.
+///
+/// Column widths adapt to the longest cell. Rows shorter than the header are
+/// right-padded with empty cells.
+#[allow(clippy::needless_range_loop)] // widths/cells are parallel arrays
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in header.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for i in 0..cols {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders a horizontal ASCII bar chart of labelled values in `[0, max]`.
+pub fn bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|&(_, v)| v).fold(f64::MIN_POSITIVE, f64::max);
+    let label_width = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let filled = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_width$} | {}{} {value:.3}\n",
+            "█".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Renders a CDF (or any x→fraction series) as quantile rows.
+pub fn cdf_rows(cdf: &[anole_tensor::CdfPoint]) -> Vec<Vec<String>> {
+    const FRACTIONS: [f32; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+    FRACTIONS
+        .iter()
+        .map(|&target| {
+            let point = cdf
+                .iter()
+                .find(|p| p.fraction >= target)
+                .or(cdf.last())
+                .copied()
+                .unwrap_or(anole_tensor::CdfPoint {
+                    value: 0.0,
+                    fraction: 0.0,
+                });
+            vec![format!("p{:.0}", target * 100.0), format!("{:.3}", point.value)]
+        })
+        .collect()
+}
+
+/// Formats a `f32` F1 score consistently.
+pub fn f1(value: f32) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let text = table(
+            &["method", "f1"],
+            &[
+                vec!["Anole".into(), "0.564".into()],
+                vec!["SDM".into(), "0.507".into()],
+            ],
+        );
+        assert!(text.contains("Anole"));
+        assert!(text.contains("0.507"));
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let text = table(&["a", "b", "c"], &[vec!["x".into()]]);
+        assert!(text.contains("| x |"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let text = bars(
+            &[("big".into(), 1.0), ("small".into(), 0.5)],
+            10,
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        let count = |l: &str| l.matches('█').count();
+        assert_eq!(count(lines[0]), 10);
+        assert_eq!(count(lines[1]), 5);
+    }
+
+    #[test]
+    fn cdf_rows_cover_standard_quantiles() {
+        let cdf = anole_tensor::empirical_cdf(&(0..100).map(|i| i as f32).collect::<Vec<_>>(), 100);
+        let rows = cdf_rows(&cdf);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2][0], "p50");
+    }
+
+    #[test]
+    fn f1_formatting() {
+        assert_eq!(f1(0.56423), "0.564");
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixed-capacity caches with pluggable eviction, backing Anole's
+//! cache-based model deployment (paper §V-B).
+//!
+//! The paper keeps a handful of compressed models resident in GPU memory and
+//! evicts with Least-Frequently-Used when the decision model requests a model
+//! that is not loaded. This crate provides the cache itself — LFU as in the
+//! paper, plus LRU and FIFO for the eviction-policy ablation — together with
+//! hit/miss accounting used by Fig. 7b.
+//!
+//! # Examples
+//!
+//! ```
+//! use anole_cache::{EvictionPolicy, SlotCache};
+//!
+//! let mut cache: SlotCache<&str> = SlotCache::new(2, EvictionPolicy::Lfu);
+//! cache.insert("a");
+//! cache.insert("b");
+//! cache.touch(&"a"); // "a" now more frequently used than "b"
+//! let evicted = cache.insert("c");
+//! assert_eq!(evicted, Some("b"));
+//! assert!(cache.contains(&"a"));
+//! ```
+
+mod slot_cache;
+mod stats;
+
+pub use slot_cache::{EvictionPolicy, SlotCache};
+pub use stats::CacheStats;

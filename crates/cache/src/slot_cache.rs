@@ -1,0 +1,339 @@
+//! A fixed-slot cache with pluggable eviction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CacheStats;
+
+/// Eviction policy of a [`SlotCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least frequently used, ties broken by least recently used — the
+    /// paper's choice (§V-B).
+    Lfu,
+    /// Least recently used.
+    Lru,
+    /// First in, first out.
+    Fifo,
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EvictionPolicy::Lfu => "LFU",
+            EvictionPolicy::Lru => "LRU",
+            EvictionPolicy::Fifo => "FIFO",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    frequency: u64,
+    last_used: u64,
+    inserted: u64,
+}
+
+/// A cache holding at most `capacity` keys, evicting per the configured
+/// policy. Values are not stored — in the reproduction the cached "payload"
+/// is a model kept resident in simulated GPU memory, and residency is what
+/// the deployment logic needs to know.
+///
+/// Frequency counters persist across evictions for LFU ("least frequently
+/// used over the run so far"), matching the OS-textbook LFU the paper cites.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct SlotCache<K> {
+    capacity: usize,
+    policy: EvictionPolicy,
+    entries: HashMap<K, EntryMeta>,
+    lifetime_frequency: HashMap<K, u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone> SlotCache<K> {
+    /// Creates a cache with the given slot count and policy.
+    ///
+    /// A zero-capacity cache is permitted (everything misses), matching the
+    /// "no cache" point of the Fig. 7b sweep.
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        Self {
+            capacity,
+            policy,
+            entries: HashMap::new(),
+            lifetime_frequency: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `key` is resident. Does not touch accounting.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Iterates over the resident keys in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Looks up `key`, recording a hit or miss and updating recency /
+    /// frequency on a hit. Returns whether the key was resident.
+    pub fn touch(&mut self, key: &K) -> bool {
+        self.clock += 1;
+        if let Some(meta) = self.entries.get_mut(key) {
+            meta.frequency += 1;
+            meta.last_used = self.clock;
+            *self.lifetime_frequency.entry(key.clone()).or_insert(0) += 1;
+            self.stats.record_hit();
+            true
+        } else {
+            self.stats.record_miss();
+            false
+        }
+    }
+
+    /// Inserts `key`, evicting if at capacity. Returns the evicted key, if
+    /// any. Inserting a resident key refreshes it and evicts nothing.
+    pub fn insert(&mut self, key: K) -> Option<K> {
+        self.clock += 1;
+        self.stats.insertions += 1;
+        let lifetime = *self
+            .lifetime_frequency
+            .entry(key.clone())
+            .and_modify(|f| *f += 1)
+            .or_insert(1);
+        if let Some(meta) = self.entries.get_mut(&key) {
+            meta.frequency += 1;
+            meta.last_used = self.clock;
+            return None;
+        }
+        let mut evicted = None;
+        if self.capacity == 0 {
+            return None;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self.pick_victim() {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+                evicted = Some(victim);
+            }
+        }
+        self.entries.insert(
+            key,
+            EntryMeta {
+                frequency: lifetime,
+                last_used: self.clock,
+                inserted: self.clock,
+            },
+        );
+        evicted
+    }
+
+    /// Bumps `key`'s frequency and recency without touching hit/miss
+    /// statistics. Returns whether the key was resident.
+    ///
+    /// Used when a lookup for one key is *served* by another resident entry
+    /// (Anole's best-cached fallback): the fallback's usage must count for
+    /// eviction purposes, but the lookup was already accounted against the
+    /// requested key.
+    pub fn refresh(&mut self, key: &K) -> bool {
+        self.clock += 1;
+        if let Some(meta) = self.entries.get_mut(key) {
+            meta.frequency += 1;
+            meta.last_used = self.clock;
+            *self.lifetime_frequency.entry(key.clone()).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `key` if resident, returning whether it was.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Removes every resident key (statistics are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn pick_victim(&self) -> Option<K> {
+        let best = self.entries.iter().min_by(|(_, a), (_, b)| match self.policy {
+            EvictionPolicy::Lfu => a
+                .frequency
+                .cmp(&b.frequency)
+                .then(a.last_used.cmp(&b.last_used)),
+            EvictionPolicy::Lru => a.last_used.cmp(&b.last_used),
+            EvictionPolicy::Fifo => a.inserted.cmp(&b.inserted),
+        });
+        best.map(|(k, _)| k.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Lfu);
+        c.insert("a");
+        c.insert("b");
+        c.touch(&"a");
+        c.touch(&"a");
+        c.touch(&"b");
+        assert_eq!(c.insert("c"), Some("b"));
+        assert!(c.contains(&"a") && c.contains(&"c"));
+    }
+
+    #[test]
+    fn lfu_ties_break_by_recency() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Lfu);
+        c.insert("a");
+        c.insert("b");
+        c.touch(&"a");
+        c.touch(&"b"); // equal frequency, b more recent
+        assert_eq!(c.insert("c"), Some("a"));
+    }
+
+    #[test]
+    fn lfu_frequency_survives_eviction() {
+        // "a" is popular, gets evicted, returns: its lifetime frequency
+        // should protect it from immediate re-eviction.
+        let mut c = SlotCache::new(2, EvictionPolicy::Lfu);
+        c.insert("a");
+        for _ in 0..10 {
+            c.touch(&"a");
+        }
+        c.insert("b");
+        c.remove(&"a");
+        c.insert("c");
+        c.insert("a"); // cache now {b or c, a}
+        assert!(c.contains(&"a"));
+        // Insert d: victim must not be "a" (lifetime frequency 12).
+        let evicted = c.insert("d").unwrap();
+        assert_ne!(evicted, "a");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Lru);
+        c.insert(1);
+        c.insert(2);
+        c.touch(&1);
+        assert_eq!(c.insert(3), Some(2));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Fifo);
+        c.insert(1);
+        c.insert(2);
+        c.touch(&1); // recency must not matter
+        assert_eq!(c.insert(3), Some(1));
+    }
+
+    #[test]
+    fn reinserting_resident_key_evicts_nothing() {
+        let mut c = SlotCache::new(1, EvictionPolicy::Lfu);
+        c.insert("a");
+        assert_eq!(c.insert("a"), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_holds_nothing() {
+        let mut c = SlotCache::new(0, EvictionPolicy::Lfu);
+        assert_eq!(c.insert("a"), None);
+        assert!(!c.contains(&"a"));
+        assert!(c.is_empty());
+        assert!(!c.touch(&"a"));
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut c = SlotCache::new(1, EvictionPolicy::Lru);
+        c.touch(&"a"); // miss
+        c.insert("a");
+        c.touch(&"a"); // hit
+        c.insert("b"); // evicts a
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.insertions, 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = SlotCache::new(3, EvictionPolicy::Lfu);
+        for i in 0..100 {
+            c.insert(i % 7);
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Lru);
+        c.insert(1);
+        assert!(c.remove(&1));
+        assert!(!c.remove(&1));
+        c.insert(2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn policies_differ_on_a_distinguishing_trace() {
+        // Trace: insert a, b; touch a 3x; insert c.
+        // LFU evicts b (freq 1 < a's 4); LRU evicts b (older); FIFO evicts a.
+        let run = |policy| {
+            let mut c = SlotCache::new(2, policy);
+            c.insert("a");
+            c.insert("b");
+            for _ in 0..3 {
+                c.touch(&"a");
+            }
+            c.insert("c").unwrap()
+        };
+        assert_eq!(run(EvictionPolicy::Lfu), "b");
+        assert_eq!(run(EvictionPolicy::Lru), "b");
+        assert_eq!(run(EvictionPolicy::Fifo), "a");
+    }
+}

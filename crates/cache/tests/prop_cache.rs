@@ -1,0 +1,110 @@
+//! Property-based tests of the slot cache: invariants that must hold for
+//! every policy under arbitrary traces.
+
+use anole_cache::{EvictionPolicy, SlotCache};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Touch(u8),
+    Insert(u8),
+    Remove(u8),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..20).prop_map(Op::Touch),
+            (0u8..20).prop_map(Op::Insert),
+            (0u8..20).prop_map(Op::Remove),
+        ],
+        1..200,
+    )
+}
+
+fn policies() -> [EvictionPolicy; 3] {
+    [EvictionPolicy::Lfu, EvictionPolicy::Lru, EvictionPolicy::Fifo]
+}
+
+proptest! {
+    /// Capacity is never exceeded, and stats stay consistent, for any trace
+    /// under any policy.
+    #[test]
+    fn capacity_and_stats_invariants(ops in ops_strategy(), capacity in 0usize..6) {
+        for policy in policies() {
+            let mut cache = SlotCache::new(capacity, policy);
+            let mut touches = 0u64;
+            let mut inserts = 0u64;
+            for op in &ops {
+                match op {
+                    Op::Touch(k) => {
+                        cache.touch(k);
+                        touches += 1;
+                    }
+                    Op::Insert(k) => {
+                        let evicted = cache.insert(*k);
+                        inserts += 1;
+                        if capacity == 0 {
+                            prop_assert!(evicted.is_none());
+                        }
+                    }
+                    Op::Remove(k) => {
+                        cache.remove(k);
+                    }
+                }
+                prop_assert!(cache.len() <= capacity);
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.lookups(), touches);
+            prop_assert_eq!(stats.insertions, inserts);
+            prop_assert!(stats.hit_rate() >= 0.0 && stats.hit_rate() <= 1.0);
+            prop_assert!((stats.hit_rate() + stats.miss_rate() - 1.0).abs() < 1e-9 || touches == 0);
+        }
+    }
+
+    /// A touch immediately after an insert always hits (capacity ≥ 1).
+    #[test]
+    fn insert_then_touch_hits(key in 0u8..50, capacity in 1usize..8) {
+        for policy in policies() {
+            let mut cache = SlotCache::new(capacity, policy);
+            cache.insert(key);
+            prop_assert!(cache.touch(&key), "{policy}");
+        }
+    }
+
+    /// Evicted keys are no longer resident, and the evicted key differs from
+    /// the inserted one.
+    #[test]
+    fn eviction_removes_exactly_one_other_key(keys in proptest::collection::vec(0u8..30, 1..60)) {
+        for policy in policies() {
+            let mut cache = SlotCache::new(3, policy);
+            for &k in &keys {
+                let was_resident = cache.contains(&k);
+                if let Some(evicted) = cache.insert(k) {
+                    prop_assert_ne!(evicted, k);
+                    prop_assert!(!was_resident);
+                    prop_assert!(!cache.contains(&evicted));
+                }
+                prop_assert!(cache.contains(&k) || cache.capacity() == 0);
+            }
+        }
+    }
+
+    /// LFU never evicts the strictly most-frequently-used resident key.
+    #[test]
+    fn lfu_protects_the_hottest_key(cold in proptest::collection::vec(1u8..30, 1..40)) {
+        let mut cache = SlotCache::new(2, EvictionPolicy::Lfu);
+        cache.insert(0);
+        for _ in 0..100 {
+            cache.touch(&0);
+        }
+        for &k in &cold {
+            if k == 0 {
+                continue;
+            }
+            let evicted = cache.insert(k);
+            prop_assert_ne!(evicted, Some(0));
+            prop_assert!(cache.contains(&0));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Deterministic k-means (k-means++ initialization, Lloyd iterations).
+
+use anole_tensor::{l2_distance, rng_from_seed, Matrix, Seed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Error returned by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `k` was zero.
+    ZeroClusters,
+    /// Fewer points than clusters were supplied.
+    TooFewPoints {
+        /// Number of points available.
+        points: usize,
+        /// Number of clusters requested.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ZeroClusters => write!(f, "k must be at least 1"),
+            ClusterError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// k-means configuration.
+///
+/// # Examples
+///
+/// ```
+/// use anole_cluster::KMeans;
+///
+/// let km = KMeans::new(3).with_max_iterations(50).with_tolerance(1e-5);
+/// assert_eq!(km.k(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    k: usize,
+    max_iterations: usize,
+    tolerance: f32,
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansFit {
+    /// Cluster centroids, one row per cluster.
+    pub centroids: Matrix,
+    /// Cluster index of each input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f32,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Creates a k-means configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-4,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sets the maximum number of Lloyd iterations (default 100).
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets the centroid-movement convergence tolerance (default 1e-4).
+    pub fn with_tolerance(mut self, tolerance: f32) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Clusters `points` (one row per point).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::ZeroClusters`] if `k == 0`.
+    /// * [`ClusterError::TooFewPoints`] if `points.rows() < k`.
+    #[allow(clippy::needless_range_loop)] // parallel-array indexing is clearest here
+    pub fn fit(&self, points: &Matrix, seed: Seed) -> Result<KMeansFit, ClusterError> {
+        if self.k == 0 {
+            return Err(ClusterError::ZeroClusters);
+        }
+        if points.rows() < self.k {
+            return Err(ClusterError::TooFewPoints {
+                points: points.rows(),
+                k: self.k,
+            });
+        }
+
+        let mut rng = rng_from_seed(seed);
+        let mut centroids = self.init_pp(points, &mut rng);
+        let mut assignments = vec![0usize; points.rows()];
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iterations {
+            iterations = iter + 1;
+            // Assignment step.
+            for i in 0..points.rows() {
+                assignments[i] = nearest_centroid(points.row(i), &centroids).0;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(self.k, points.cols());
+            let mut counts = vec![0usize; self.k];
+            for (i, &a) in assignments.iter().enumerate() {
+                counts[a] += 1;
+                for (s, &v) in sums.row_mut(a).iter_mut().zip(points.row(i).iter()) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0f32;
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // centroid, a standard empty-cluster repair.
+                    let far = farthest_point(points, &centroids, &assignments);
+                    sums.row_mut(c).copy_from_slice(points.row(far));
+                    counts[c] = 1;
+                }
+                let inv = 1.0 / counts[c] as f32;
+                let new_row: Vec<f32> = sums.row(c).iter().map(|v| v * inv).collect();
+                movement = movement.max(l2_distance(centroids.row(c), &new_row));
+                centroids.row_mut(c).copy_from_slice(&new_row);
+            }
+            if movement < self.tolerance {
+                break;
+            }
+        }
+
+        // Final assignment + inertia.
+        let mut inertia = 0.0;
+        for i in 0..points.rows() {
+            let (a, d) = nearest_centroid(points.row(i), &centroids);
+            assignments[i] = a;
+            inertia += d * d;
+        }
+
+        Ok(KMeansFit {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// k-means++ initialization: first centroid uniform, the rest sampled
+    /// proportionally to squared distance from the nearest chosen centroid.
+    #[allow(clippy::needless_range_loop)]
+    fn init_pp<R: Rng + ?Sized>(&self, points: &Matrix, rng: &mut R) -> Matrix {
+        let n = points.rows();
+        let mut centroids = Matrix::zeros(self.k, points.cols());
+        let first = rng.gen_range(0..n);
+        centroids.row_mut(0).copy_from_slice(points.row(first));
+
+        let mut d2 = vec![0.0f32; n];
+        for c in 1..self.k {
+            let mut total = 0.0;
+            for i in 0..n {
+                let mut best = f32::INFINITY;
+                for existing in 0..c {
+                    let d = l2_distance(points.row(i), centroids.row(existing));
+                    best = best.min(d * d);
+                }
+                d2[i] = best;
+                total += best;
+            }
+            let idx = if total <= f32::EPSILON {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if target < w {
+                        chosen = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                chosen
+            };
+            centroids.row_mut(c).copy_from_slice(points.row(idx));
+        }
+        centroids
+    }
+}
+
+impl KMeansFit {
+    /// Assigns a new point to its nearest centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` does not match the centroid dimensionality.
+    pub fn predict(&self, point: &[f32]) -> usize {
+        nearest_centroid(point, &self.centroids).0
+    }
+
+    /// Number of clusters in the fit.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Number of points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Indices of the points assigned to cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.k()`.
+    pub fn members_of(&self, c: usize) -> Vec<usize> {
+        assert!(c < self.k(), "cluster index out of range");
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Returns `(index, distance)` of the centroid nearest to `point`.
+///
+/// # Panics
+///
+/// Panics if `centroids` has no rows.
+pub(crate) fn nearest_centroid(point: &[f32], centroids: &Matrix) -> (usize, f32) {
+    assert!(centroids.rows() > 0, "no centroids");
+    let mut best = (0usize, f32::INFINITY);
+    for c in 0..centroids.rows() {
+        let d = l2_distance(point, centroids.row(c));
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn farthest_point(points: &Matrix, centroids: &Matrix, assignments: &[usize]) -> usize {
+    let mut best = (0usize, -1.0f32);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..points.rows() {
+        let d = l2_distance(points.row(i), centroids.row(assignments[i]));
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+///
+/// Larger is better; ~0 indicates overlapping clusters. Points in singleton
+/// clusters contribute 0, following the usual convention.
+///
+/// # Panics
+///
+/// Panics if `assignments.len() != points.rows()`.
+pub fn silhouette_score(points: &Matrix, assignments: &[usize], k: usize) -> f32 {
+    assert_eq!(points.rows(), assignments.len(), "assignment count mismatch");
+    let n = points.rows();
+    if n == 0 || k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut dist_sum = vec![0.0f32; k];
+        let mut count = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sum[assignments[j]] += l2_distance(points.row(i), points.row(j));
+            count[assignments[j]] += 1;
+        }
+        let own = assignments[i];
+        if count[own] == 0 {
+            continue; // singleton cluster contributes 0
+        }
+        let a = dist_sum[own] / count[own] as f32;
+        let mut b = f32::INFINITY;
+        for c in 0..k {
+            if c != own && count[c] > 0 {
+                b = b.min(dist_sum[c] / count[c] as f32);
+            }
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f32, f32)], per: usize, spread: f32, seed: Seed) -> Matrix {
+        let mut rng = rng_from_seed(seed);
+        let mut rows = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                let jitter = Matrix::random_normal(1, 2, spread, &mut rng);
+                rows.push(vec![cx + jitter.get(0, 0), cy + jitter.get(0, 1)]);
+            }
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let pts = blobs(&[(0.0, 0.0), (20.0, 20.0), (-20.0, 20.0)], 30, 0.5, Seed(1));
+        let fit = KMeans::new(3).fit(&pts, Seed(2)).unwrap();
+        // Every blob must map to a single cluster.
+        for blob in 0..3 {
+            let first = fit.assignments[blob * 30];
+            for i in 0..30 {
+                assert_eq!(fit.assignments[blob * 30 + i], first, "blob {blob}");
+            }
+        }
+        // And the three blobs to three different clusters.
+        let mut seen: Vec<usize> = (0..3).map(|b| fit.assignments[b * 30]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = blobs(&[(0.0, 0.0), (8.0, 8.0), (16.0, 0.0), (0.0, 16.0)], 25, 1.0, Seed(3));
+        let mut last = f32::INFINITY;
+        for k in 1..=4 {
+            let fit = KMeans::new(k).fit(&pts, Seed(4)).unwrap();
+            assert!(fit.inertia <= last + 1e-3, "k={k}: {} > {last}", fit.inertia);
+            last = fit.inertia;
+        }
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_inertia() {
+        let pts = blobs(&[(0.0, 0.0), (5.0, 5.0)], 2, 0.3, Seed(5));
+        let fit = KMeans::new(4).fit(&pts, Seed(6)).unwrap();
+        assert!(fit.inertia < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let pts = Matrix::zeros(3, 2);
+        assert_eq!(KMeans::new(0).fit(&pts, Seed(0)).unwrap_err(), ClusterError::ZeroClusters);
+        assert_eq!(
+            KMeans::new(5).fit(&pts, Seed(0)).unwrap_err(),
+            ClusterError::TooFewPoints { points: 3, k: 5 }
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 0.0)], 20, 1.0, Seed(7));
+        let a = KMeans::new(2).fit(&pts, Seed(8)).unwrap();
+        let b = KMeans::new(2).fit(&pts, Seed(8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroids() {
+        let pts = blobs(&[(0.0, 0.0), (10.0, 10.0)], 15, 2.0, Seed(9));
+        let fit = KMeans::new(2).fit(&pts, Seed(10)).unwrap();
+        for i in 0..pts.rows() {
+            let (nearest, _) = nearest_centroid(pts.row(i), &fit.centroids);
+            assert_eq!(fit.assignments[i], nearest);
+        }
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_merged() {
+        let pts = blobs(&[(0.0, 0.0), (30.0, 30.0)], 20, 0.5, Seed(11));
+        let fit = KMeans::new(2).fit(&pts, Seed(12)).unwrap();
+        let good = silhouette_score(&pts, &fit.assignments, 2);
+        assert!(good > 0.8, "good {good}");
+
+        let one_blob = blobs(&[(0.0, 0.0)], 40, 1.0, Seed(13));
+        let fit2 = KMeans::new(2).fit(&one_blob, Seed(14)).unwrap();
+        let bad = silhouette_score(&one_blob, &fit2.assignments, 2);
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        assert_eq!(silhouette_score(&Matrix::zeros(0, 2), &[], 2), 0.0);
+        let pts = Matrix::zeros(3, 2);
+        assert_eq!(silhouette_score(&pts, &[0, 0, 0], 1), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of k-means and the multi-level sweep.
+
+use anole_cluster::{silhouette_score, KMeans, MultiLevelClustering};
+use anole_tensor::{Matrix, Seed};
+use proptest::prelude::*;
+
+fn points_strategy(min: usize, max: usize, dim: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(
+        proptest::collection::vec(-50.0f32..50.0, dim),
+        min..max,
+    )
+    .prop_map(|rows| {
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).expect("uniform rows")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Assignments form a partition: every point gets a cluster in range and
+    /// every cluster is non-empty after repair.
+    #[test]
+    fn fit_is_a_partition(points in points_strategy(5, 40, 3), k in 1usize..5, seed in 0u64..100) {
+        prop_assume!(points.rows() >= k);
+        let fit = KMeans::new(k).fit(&points, Seed(seed)).unwrap();
+        prop_assert_eq!(fit.assignments.len(), points.rows());
+        prop_assert!(fit.assignments.iter().all(|&a| a < k));
+        prop_assert!(fit.cluster_sizes().iter().all(|&s| s > 0));
+        prop_assert!(fit.inertia >= 0.0);
+    }
+
+    /// Inertia equals the sum of squared point-to-centroid distances.
+    #[test]
+    fn inertia_matches_definition(points in points_strategy(4, 25, 2), seed in 0u64..100) {
+        let k = 2;
+        prop_assume!(points.rows() >= k);
+        let fit = KMeans::new(k).fit(&points, Seed(seed)).unwrap();
+        let mut manual = 0.0f32;
+        for i in 0..points.rows() {
+            let d = anole_tensor::l2_distance(points.row(i), fit.centroids.row(fit.assignments[i]));
+            manual += d * d;
+        }
+        prop_assert!((manual - fit.inertia).abs() < manual.max(1.0) * 1e-3);
+    }
+
+    /// Translating all points translates the centroids but preserves
+    /// assignments and inertia.
+    #[test]
+    fn translation_invariance(points in points_strategy(6, 20, 2), dx in -20.0f32..20.0, seed in 0u64..50) {
+        let k = 2;
+        prop_assume!(points.rows() >= k);
+        let fit = KMeans::new(k).fit(&points, Seed(seed)).unwrap();
+        let shifted = points.map(|v| v + dx);
+        let fit2 = KMeans::new(k).fit(&shifted, Seed(seed)).unwrap();
+        prop_assert_eq!(&fit.assignments, &fit2.assignments);
+        prop_assert!((fit.inertia - fit2.inertia).abs() < fit.inertia.max(1.0) * 0.05);
+    }
+
+    /// Silhouette stays within [-1, 1] for any clustering.
+    #[test]
+    fn silhouette_is_bounded(points in points_strategy(4, 25, 2), seed in 0u64..50) {
+        let k = 2;
+        prop_assume!(points.rows() >= k);
+        let fit = KMeans::new(k).fit(&points, Seed(seed)).unwrap();
+        let s = silhouette_score(&points, &fit.assignments, k);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    /// The multi-level sweep produces one valid level per k and is
+    /// reproducible per level.
+    #[test]
+    fn sweep_levels_valid(points in points_strategy(4, 12, 2), seed in 0u64..50) {
+        let levels: Vec<_> = MultiLevelClustering::new(&points, Seed(seed))
+            .map(|l| l.unwrap())
+            .collect();
+        prop_assert_eq!(levels.len(), points.rows().saturating_sub(1));
+        for (i, level) in levels.iter().enumerate() {
+            prop_assert_eq!(level.k, i + 2);
+            prop_assert_eq!(level.fit.assignments.len(), points.rows());
+        }
+    }
+}

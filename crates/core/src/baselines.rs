@@ -1,0 +1,443 @@
+//! The candidate methods of §VI-A3: SDM, SSM, CDG, and DMM, behind one
+//! [`InferenceMethod`] interface shared with Anole's online engine.
+
+use anole_cluster::{KMeans, KMeansFit};
+use anole_data::{DatasetSource, DrivingDataset, Frame, FrameRef};
+use anole_nn::{sigmoid, Activation, Mlp, ReferenceModel, Trainer};
+use anole_tensor::{split_seed, Matrix, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::omi::OnlineEngine;
+use crate::{AnoleConfig, AnoleError};
+
+/// Identifies a candidate method in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// The full Anole system.
+    Anole,
+    /// Single Deep Model: one YOLOv3-class model trained on everything.
+    Sdm,
+    /// Single Shallow Model: one YOLOv3-tiny-class model trained on
+    /// everything.
+    Ssm,
+    /// Clustering-based Domain Generalization: feature-space clusters, one
+    /// compressed model each, nearest-centroid selection.
+    Cdg,
+    /// Dataset-based Multiple Models: one compressed model per source
+    /// dataset, oracle source routing.
+    Dmm,
+}
+
+impl MethodKind {
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Anole => "Anole",
+            MethodKind::Sdm => "SDM",
+            MethodKind::Ssm => "SSM",
+            MethodKind::Cdg => "CDG",
+            MethodKind::Dmm => "DMM",
+        }
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A method that can predict per-cell detections for a frame.
+///
+/// `source` carries the frame's source dataset; only DMM (an oracle-routing
+/// baseline) consults it.
+pub trait InferenceMethod {
+    /// Which method this is.
+    fn kind(&self) -> MethodKind;
+
+    /// The paper-scale models executed per frame, for latency/power pricing.
+    fn pipeline(&self) -> Vec<ReferenceModel>;
+
+    /// Predicts cell detections for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the frame's feature width is wrong.
+    fn predict(&mut self, frame: &Frame, source: DatasetSource) -> Result<Vec<bool>, AnoleError>;
+}
+
+fn train_detector(
+    dataset: &DrivingDataset,
+    refs: &[FrameRef],
+    hidden: &[usize],
+    config: &AnoleConfig,
+    seed: Seed,
+) -> Result<Mlp, AnoleError> {
+    let x = dataset.features_matrix(refs);
+    let y = dataset.truth_matrix(refs);
+    let mut builder = Mlp::builder(dataset.config().world.feature_dim);
+    for &h in hidden {
+        builder = builder.hidden(h, Activation::Relu);
+    }
+    let mut net = builder
+        .output(dataset.config().world.grid.cells())
+        .build(split_seed(seed, 0));
+    let mut train_cfg = config.detector.train;
+    train_cfg.pos_weight = config.detector.pos_weight;
+    Trainer::new(train_cfg).fit_multilabel(&mut net, &x, &y, split_seed(seed, 1))?;
+    Ok(net)
+}
+
+fn detect(net: &Mlp, frame: &Frame, threshold: f32) -> Result<Vec<bool>, AnoleError> {
+    let probs = sigmoid(&net.forward(&Matrix::row_vector(&frame.features))?);
+    Ok(anole_detect::threshold_probs(probs.row(0), threshold))
+}
+
+/// Single Deep Model: the fully-fledged YOLOv3 stand-in trained on all
+/// training samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sdm {
+    net: Mlp,
+    threshold: f32,
+}
+
+impl Sdm {
+    /// Trains the deep baseline on the referenced frames.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces training errors.
+    pub fn train(
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let hidden = vec![config.detector.deep_hidden; config.detector.deep_layers];
+        let net = train_detector(dataset, refs, &hidden, config, seed)?;
+        Ok(Self {
+            net,
+            threshold: config.detector.threshold,
+        })
+    }
+
+    /// The deep network (for profiling).
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+}
+
+impl InferenceMethod for Sdm {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Sdm
+    }
+
+    fn pipeline(&self) -> Vec<ReferenceModel> {
+        vec![ReferenceModel::Yolov3]
+    }
+
+    fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
+        detect(&self.net, frame, self.threshold)
+    }
+}
+
+/// Single Shallow Model: one compressed model trained on everything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ssm {
+    net: Mlp,
+    threshold: f32,
+}
+
+impl Ssm {
+    /// Trains the shallow baseline on the referenced frames.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces training errors.
+    pub fn train(
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let net = train_detector(
+            dataset,
+            refs,
+            &[config.detector.compressed_hidden],
+            config,
+            seed,
+        )?;
+        Ok(Self {
+            net,
+            threshold: config.detector.threshold,
+        })
+    }
+}
+
+impl InferenceMethod for Ssm {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Ssm
+    }
+
+    fn pipeline(&self) -> Vec<ReferenceModel> {
+        vec![ReferenceModel::Yolov3Tiny]
+    }
+
+    fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
+        detect(&self.net, frame, self.threshold)
+    }
+}
+
+/// Clustering-based Domain Generalization: k-means in raw feature space,
+/// one compressed model per cluster, nearest-centroid selection online.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdg {
+    clustering: KMeansFit,
+    models: Vec<Mlp>,
+    threshold: f32,
+}
+
+impl Cdg {
+    /// Trains the CDG baseline with `k` feature-space domains.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces clustering and training errors.
+    pub fn train(
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        k: usize,
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let x = dataset.features_matrix(refs);
+        let clustering = KMeans::new(k).fit(&x, split_seed(seed, 0))?;
+        let mut models = Vec::with_capacity(k);
+        for cluster in 0..k {
+            let members: Vec<FrameRef> = clustering
+                .members_of(cluster)
+                .into_iter()
+                .map(|i| refs[i])
+                .collect();
+            let net = train_detector(
+                dataset,
+                &members,
+                &[config.detector.compressed_hidden],
+                config,
+                split_seed(seed, 1 + cluster as u64),
+            )?;
+            models.push(net);
+        }
+        Ok(Self {
+            clustering,
+            models,
+            threshold: config.detector.threshold,
+        })
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.models.len()
+    }
+}
+
+impl InferenceMethod for Cdg {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Cdg
+    }
+
+    fn pipeline(&self) -> Vec<ReferenceModel> {
+        vec![ReferenceModel::Yolov3Tiny]
+    }
+
+    fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
+        let cluster = self.clustering.predict(&frame.features);
+        detect(&self.models[cluster], frame, self.threshold)
+    }
+}
+
+/// Dataset-based Multiple Models: one compressed model per source dataset,
+/// routed by the (oracle) source label of the test sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dmm {
+    models: Vec<(DatasetSource, Mlp)>,
+    threshold: f32,
+}
+
+impl Dmm {
+    /// Trains one compressed model per source present in `refs`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces training errors.
+    pub fn train(
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let mut models = Vec::new();
+        for (i, source) in DatasetSource::ALL.iter().enumerate() {
+            let subset: Vec<FrameRef> = refs
+                .iter()
+                .copied()
+                .filter(|r| dataset.clips()[r.clip].source == *source)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let net = train_detector(
+                dataset,
+                &subset,
+                &[config.detector.compressed_hidden],
+                config,
+                split_seed(seed, i as u64),
+            )?;
+            models.push((*source, net));
+        }
+        Ok(Self {
+            models,
+            threshold: config.detector.threshold,
+        })
+    }
+}
+
+impl InferenceMethod for Dmm {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Dmm
+    }
+
+    fn pipeline(&self) -> Vec<ReferenceModel> {
+        vec![ReferenceModel::Yolov3Tiny]
+    }
+
+    fn predict(&mut self, frame: &Frame, source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
+        let net = self
+            .models
+            .iter()
+            .find(|(s, _)| *s == source)
+            .or_else(|| self.models.first())
+            .map(|(_, net)| net)
+            .expect("DMM trained with at least one source");
+        detect(net, frame, self.threshold)
+    }
+}
+
+/// Anole's online engine viewed as a candidate method: the decision model
+/// selects a compressed model per frame through the LFU cache.
+impl InferenceMethod for OnlineEngine<'_> {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Anole
+    }
+
+    fn pipeline(&self) -> Vec<ReferenceModel> {
+        vec![
+            ReferenceModel::Resnet18,
+            ReferenceModel::DecisionMlp,
+            ReferenceModel::Yolov3Tiny,
+        ]
+    }
+
+    fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
+        Ok(self.step(&frame.features)?.detections)
+    }
+}
+
+/// Convenience: trains every baseline on the same split.
+///
+/// Returns `(sdm, ssm, cdg, dmm)`; `cdg_k` domains for CDG.
+///
+/// # Errors
+///
+/// Surfaces the first failing baseline's error.
+pub fn train_baselines(
+    dataset: &DrivingDataset,
+    refs: &[FrameRef],
+    cdg_k: usize,
+    config: &AnoleConfig,
+    seed: Seed,
+) -> Result<(Sdm, Ssm, Cdg, Dmm), AnoleError> {
+    Ok((
+        Sdm::train(dataset, refs, config, split_seed(seed, 10))?,
+        Ssm::train(dataset, refs, config, split_seed(seed, 11))?,
+        Cdg::train(dataset, refs, cdg_k, config, split_seed(seed, 12))?,
+        Dmm::train(dataset, refs, config, split_seed(seed, 13))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_data::DatasetConfig;
+
+    fn setup() -> (DrivingDataset, AnoleConfig, Vec<FrameRef>) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(91));
+        let config = AnoleConfig::fast();
+        let split = dataset.split();
+        (dataset, config, split.train)
+    }
+
+    #[test]
+    fn sdm_and_ssm_learn_something() {
+        let (dataset, config, train) = setup();
+        let split = dataset.split();
+        let mut sdm = Sdm::train(&dataset, &train, &config, Seed(92)).unwrap();
+        let mut ssm = Ssm::train(&dataset, &train, &config, Seed(93)).unwrap();
+        let mut sdm_counts = anole_detect::DetectionCounts::default();
+        let mut ssm_counts = anole_detect::DetectionCounts::default();
+        for r in split.val.iter().take(100) {
+            let frame = dataset.frame(*r);
+            let source = dataset.clips()[r.clip].source;
+            sdm_counts.accumulate(&sdm.predict(frame, source).unwrap(), &frame.truth);
+            ssm_counts.accumulate(&ssm.predict(frame, source).unwrap(), &frame.truth);
+        }
+        assert!(sdm_counts.f1() > 0.2, "SDM f1 {}", sdm_counts.f1());
+        assert!(ssm_counts.f1() > 0.1, "SSM f1 {}", ssm_counts.f1());
+    }
+
+    #[test]
+    fn cdg_routes_to_nearest_cluster() {
+        let (dataset, config, train) = setup();
+        let cdg = Cdg::train(&dataset, &train, 3, &config, Seed(94)).unwrap();
+        assert_eq!(cdg.domains(), 3);
+        let split = dataset.split();
+        let frame = dataset.frame(split.val[0]);
+        let cluster = cdg.clustering.predict(&frame.features);
+        assert!(cluster < 3);
+    }
+
+    #[test]
+    fn dmm_has_one_model_per_source() {
+        let (dataset, config, train) = setup();
+        let mut dmm = Dmm::train(&dataset, &train, &config, Seed(95)).unwrap();
+        assert_eq!(dmm.models.len(), 3);
+        let split = dataset.split();
+        let frame = dataset.frame(split.val[0]);
+        // Routing by any source works.
+        for source in DatasetSource::ALL {
+            let det = dmm.predict(frame, source).unwrap();
+            assert_eq!(det.len(), dataset.config().world.grid.cells());
+        }
+    }
+
+    #[test]
+    fn pipelines_match_paper_model_classes() {
+        let (dataset, config, train) = setup();
+        let sdm = Sdm::train(&dataset, &train, &config, Seed(96)).unwrap();
+        assert_eq!(sdm.pipeline(), vec![ReferenceModel::Yolov3]);
+        let ssm = Ssm::train(&dataset, &train, &config, Seed(97)).unwrap();
+        assert_eq!(ssm.pipeline(), vec![ReferenceModel::Yolov3Tiny]);
+        assert_eq!(sdm.kind().name(), "SDM");
+        assert_eq!(MethodKind::Anole.to_string(), "Anole");
+    }
+
+    #[test]
+    fn train_baselines_builds_all_four() {
+        let (dataset, config, train) = setup();
+        let (sdm, ssm, cdg, dmm) = train_baselines(&dataset, &train, 3, &config, Seed(98)).unwrap();
+        assert_eq!(sdm.kind(), MethodKind::Sdm);
+        assert_eq!(ssm.kind(), MethodKind::Ssm);
+        assert_eq!(cdg.kind(), MethodKind::Cdg);
+        assert_eq!(dmm.kind(), MethodKind::Dmm);
+    }
+}

@@ -1,0 +1,232 @@
+//! Configuration of the full Anole pipeline.
+
+use anole_cache::EvictionPolicy;
+use anole_nn::{OptimizerKind, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Scene-encoder (`M_scene`) hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneModelConfig {
+    /// Width of the first hidden layer.
+    pub hidden: usize,
+    /// Width of the embedding layer (the representation Algorithm 1
+    /// clusters).
+    pub embedding: usize,
+    /// Training schedule.
+    pub train: TrainConfig,
+}
+
+impl Default for SceneModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 64,
+            embedding: 32,
+            train: TrainConfig {
+                epochs: 40,
+                batch_size: 64,
+                optimizer: OptimizerKind::Adam { lr: 5e-3 },
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// Compressed-detector hyper-parameters (the YOLOv3-tiny stand-ins).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Hidden width of a compressed detector.
+    pub compressed_hidden: usize,
+    /// Hidden width of the deep (SDM) detector.
+    pub deep_hidden: usize,
+    /// Number of hidden layers of the deep detector.
+    pub deep_layers: usize,
+    /// Positive-cell weight in the BCE loss.
+    pub pos_weight: f32,
+    /// Detection probability threshold.
+    pub threshold: f32,
+    /// Training schedule for compressed detectors.
+    pub train: TrainConfig,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            compressed_hidden: 48,
+            deep_hidden: 96,
+            deep_layers: 2,
+            pos_weight: 2.0,
+            threshold: 0.5,
+            train: TrainConfig {
+                epochs: 30,
+                batch_size: 64,
+                optimizer: OptimizerKind::Adam { lr: 5e-3 },
+                pos_weight: 2.0,
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// Algorithm 1 (model repository) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepositoryConfig {
+    /// Target number of compressed models `n` (paper: 19).
+    pub target_models: usize,
+    /// Validation-F1 acceptance threshold δ.
+    pub delta: f32,
+    /// Cap on the clustering sweep's k (0 = number of scenes).
+    pub max_k: usize,
+}
+
+impl Default for RepositoryConfig {
+    fn default() -> Self {
+        Self {
+            target_models: 19,
+            delta: 0.30,
+            max_k: 0,
+        }
+    }
+}
+
+/// Adaptive scene sampling (§IV-B) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Well-sampledness confidence θ.
+    pub theta: f64,
+    /// Total sample budget κ.
+    pub kappa: usize,
+    /// Per-frame F1 above which a model "predicts the sample well".
+    pub accept_f1: f32,
+    /// Per-arm draw cap: an arm also leaves the selection pool after this
+    /// many draws, keeping the finite κ budget from being monopolized by
+    /// one arm before its coupon-collector threshold is met.
+    pub max_draws_per_arm: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self {
+            theta: 0.9,
+            kappa: 12000,
+            accept_f1: 0.5,
+            max_draws_per_arm: 600,
+        }
+    }
+}
+
+/// Decision-model (§IV-C) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionConfig {
+    /// Hidden width of the decision head (paper: a 2-layer MLP).
+    pub head_hidden: usize,
+    /// Standard deviation of Gaussian feature jitter used to augment the
+    /// decision training set (doubles it); `0.0` disables augmentation.
+    pub augment_noise_std: f32,
+    /// When the top-1 suitability probability falls below this confidence,
+    /// the engine hedges by fusing the detection maps of the top
+    /// [`DecisionConfig::hedge_top_k`] cached models (§II case 3: low
+    /// confidence signals that no single well-fitting model exists).
+    /// `0.0` disables hedging.
+    pub confidence_threshold: f32,
+    /// Number of cached models fused on low-confidence frames.
+    pub hedge_top_k: usize,
+    /// Exponential smoothing of the online suitability vector across
+    /// frames, in `[0, 1)`: `v ← α·v_prev + (1−α)·v_frame`. Scenes persist
+    /// across consecutive frames, so smoothing suppresses per-frame routing
+    /// noise; `0.0` recovers the paper's literal per-sample selection.
+    pub suitability_smoothing: f32,
+    /// Training schedule.
+    pub train: TrainConfig,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        Self {
+            head_hidden: 64,
+            augment_noise_std: 0.0,
+            confidence_threshold: 0.45,
+            hedge_top_k: 2,
+            suitability_smoothing: 0.0,
+            train: TrainConfig {
+                epochs: 40,
+                batch_size: 64,
+                optimizer: OptimizerKind::Adam { lr: 5e-3 },
+                ..TrainConfig::default()
+            },
+        }
+    }
+}
+
+/// Model-cache (§V-B) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of compressed models kept in GPU memory.
+    pub capacity: usize,
+    /// Eviction policy (paper: LFU).
+    pub policy: EvictionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 5,
+            policy: EvictionPolicy::Lfu,
+        }
+    }
+}
+
+/// Configuration of the full Anole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct AnoleConfig {
+    /// Scene-encoder parameters.
+    pub scene: SceneModelConfig,
+    /// Compressed-detector parameters.
+    pub detector: DetectorConfig,
+    /// Algorithm 1 parameters.
+    pub repository: RepositoryConfig,
+    /// Adaptive-sampling parameters.
+    pub sampling: SamplingConfig,
+    /// Decision-model parameters.
+    pub decision: DecisionConfig,
+    /// Model-cache parameters.
+    pub cache: CacheConfig,
+}
+
+
+impl AnoleConfig {
+    /// A cheap configuration for unit tests: fewer models, fewer epochs.
+    pub fn fast() -> Self {
+        let mut cfg = Self::default();
+        cfg.scene.train.epochs = 10;
+        cfg.detector.train.epochs = 8;
+        cfg.decision.train.epochs = 10;
+        cfg.repository.target_models = 6;
+        cfg.repository.delta = 0.15;
+        cfg.sampling.kappa = 800;
+        cfg.sampling.max_draws_per_arm = 100;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let cfg = AnoleConfig::default();
+        assert_eq!(cfg.repository.target_models, 19);
+        assert_eq!(cfg.cache.capacity, 5);
+        assert_eq!(cfg.cache.policy, EvictionPolicy::Lfu);
+        assert!((cfg.sampling.theta - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_config_is_cheaper() {
+        let fast = AnoleConfig::fast();
+        let full = AnoleConfig::default();
+        assert!(fast.scene.train.epochs < full.scene.train.epochs);
+        assert!(fast.repository.target_models < full.repository.target_models);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deployment bundles: the offline→online hand-off of Fig. 2.
+//!
+//! The paper's mobile devices "communicate with a cloud server via an
+//! unstable wireless network connection for offline model training and
+//! downloading" (§II-A). This module packages a trained [`AnoleSystem`]
+//! into a directory bundle — a manifest plus one JSON artifact per model —
+//! with checksums verified on load, and prices the download of such a
+//! bundle over the [`UnstableLink`] simulator.
+
+use std::path::{Path, PathBuf};
+
+use anole_device::UnstableLink;
+use anole_nn::ReferenceModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AnoleError, AnoleSystem};
+
+/// One artifact in a deployment bundle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// File name within the bundle directory.
+    pub file: String,
+    /// Human-readable role ("scene model", "compressed model 3", …).
+    pub role: String,
+    /// Serialized size in bytes (what the device actually stores).
+    pub serialized_bytes: u64,
+    /// Paper-scale transfer size in bytes (what the download simulator
+    /// prices — e.g. 34 MB per compressed model, Table II).
+    pub transfer_bytes: u64,
+    /// FNV-1a checksum of the serialized artifact.
+    pub checksum: u64,
+}
+
+/// The bundle manifest: what a device must download before going online.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Bundle format version.
+    pub version: u32,
+    /// Number of compressed models in the repository.
+    pub model_count: usize,
+    /// Every artifact, in download order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Total paper-scale bytes a device must transfer.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.transfer_bytes).sum()
+    }
+}
+
+/// Report of a simulated bundle download over an unstable uplink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DownloadReport {
+    /// Wall-clock milliseconds including retries and back-off.
+    pub total_ms: f64,
+    /// Chunks that timed out and were retried.
+    pub retries: usize,
+    /// Chunks transferred successfully.
+    pub chunks: usize,
+}
+
+/// FNV-1a over a byte string — a dependency-free integrity check.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn deploy_err(detail: impl std::fmt::Display) -> AnoleError {
+    AnoleError::Deploy {
+        detail: detail.to_string(),
+    }
+}
+
+/// Writes a trained system as a deployment bundle under `dir`.
+///
+/// Layout: `manifest.json`, `scene_model.json`, `decision.json`,
+/// `model_000.json` … Returns the manifest.
+///
+/// # Errors
+///
+/// Surfaces filesystem and serialization failures as
+/// [`AnoleError::Deploy`].
+pub fn save_bundle(system: &AnoleSystem, dir: &Path) -> Result<Manifest, AnoleError> {
+    std::fs::create_dir_all(dir).map_err(deploy_err)?;
+    let mut entries = Vec::new();
+
+    let mut write = |file: String, role: String, transfer: u64, json: String| -> Result<(), AnoleError> {
+        let bytes = json.as_bytes();
+        entries.push(ManifestEntry {
+            file: file.clone(),
+            role,
+            serialized_bytes: bytes.len() as u64,
+            transfer_bytes: transfer,
+            checksum: fnv1a(bytes),
+        });
+        std::fs::write(dir.join(&file), bytes).map_err(deploy_err)
+    };
+
+    let scene_json = serde_json::to_string(system.scene_model()).map_err(deploy_err)?;
+    write(
+        "scene_model.json".into(),
+        "scene model".into(),
+        ReferenceModel::Resnet18.weight_bytes(),
+        scene_json,
+    )?;
+    let decision_json = serde_json::to_string(system.decision()).map_err(deploy_err)?;
+    write(
+        "decision.json".into(),
+        "decision model".into(),
+        ReferenceModel::DecisionMlp.weight_bytes(),
+        decision_json,
+    )?;
+    for model in system.repository().models() {
+        let json = serde_json::to_string(model).map_err(deploy_err)?;
+        write(
+            format!("model_{:03}.json", model.id),
+            format!("compressed model {}", model.id),
+            ReferenceModel::Yolov3Tiny.weight_bytes(),
+            json,
+        )?;
+    }
+    // The full system (config + suitability sets) for cloud-side resume.
+    let system_json = serde_json::to_string(system).map_err(deploy_err)?;
+    write("system.json".into(), "full system".into(), 0, system_json)?;
+
+    let manifest = Manifest {
+        version: 1,
+        model_count: system.repository().len(),
+        entries,
+    };
+    let manifest_json = serde_json::to_string_pretty(&manifest).map_err(deploy_err)?;
+    std::fs::write(dir.join("manifest.json"), manifest_json).map_err(deploy_err)?;
+    Ok(manifest)
+}
+
+/// Reads the manifest of a bundle directory.
+///
+/// # Errors
+///
+/// Fails when the manifest is missing or malformed.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, AnoleError> {
+    let json = std::fs::read_to_string(dir.join("manifest.json")).map_err(deploy_err)?;
+    serde_json::from_str(&json).map_err(deploy_err)
+}
+
+/// Loads a bundle back into a full system, verifying every checksum.
+///
+/// # Errors
+///
+/// Fails when the manifest or any artifact is missing, corrupt (checksum
+/// mismatch), or malformed.
+pub fn load_bundle(dir: &Path) -> Result<AnoleSystem, AnoleError> {
+    let manifest = read_manifest(dir)?;
+    for entry in &manifest.entries {
+        let bytes = std::fs::read(dir.join(&entry.file)).map_err(deploy_err)?;
+        if fnv1a(&bytes) != entry.checksum {
+            return Err(deploy_err(format!("checksum mismatch in {}", entry.file)));
+        }
+    }
+    let system_path: PathBuf = dir.join("system.json");
+    let json = std::fs::read_to_string(system_path).map_err(deploy_err)?;
+    let system: AnoleSystem = serde_json::from_str(&json).map_err(deploy_err)?;
+    if system.repository().len() != manifest.model_count {
+        return Err(deploy_err(format!(
+            "manifest lists {} models, bundle holds {}",
+            manifest.model_count,
+            system.repository().len()
+        )));
+    }
+    Ok(system)
+}
+
+/// Simulates downloading a bundle over an unstable uplink in 256 KiB chunks
+/// with retry-on-timeout, returning the wall-clock cost. This is the offline
+/// phase, so tail latency is tolerable — the point is that it happens
+/// *before* inference, not during (§II-A).
+pub fn simulate_download<R: Rng + ?Sized>(
+    manifest: &Manifest,
+    link: &mut UnstableLink,
+    rng: &mut R,
+) -> DownloadReport {
+    const CHUNK: u64 = 256 * 1024;
+    let mut total_ms = 0.0f64;
+    let mut retries = 0usize;
+    let mut chunks = 0usize;
+    for entry in &manifest.entries {
+        let mut remaining = entry.transfer_bytes;
+        while remaining > 0 {
+            let size = remaining.min(CHUNK);
+            match link.round_trip_ms(size, rng) {
+                Ok(ms) => {
+                    total_ms += ms as f64;
+                    remaining -= size;
+                    chunks += 1;
+                }
+                Err(timeout) => {
+                    total_ms += timeout as f64;
+                    retries += 1;
+                }
+            }
+        }
+    }
+    DownloadReport {
+        total_ms,
+        retries,
+        chunks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnoleConfig;
+    use anole_data::{DatasetConfig, DrivingDataset};
+    use anole_device::UnstableLinkConfig;
+    use anole_tensor::{rng_from_seed, Seed};
+
+    fn system() -> AnoleSystem {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(131));
+        AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(132)).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("anole-bundle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn bundle_round_trips() {
+        let system = system();
+        let dir = temp_dir("roundtrip");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        assert_eq!(manifest.model_count, system.repository().len());
+        // scene + decision + models + system.json
+        assert_eq!(manifest.entries.len(), system.repository().len() + 3);
+        let loaded = load_bundle(&dir).unwrap();
+        assert_eq!(&loaded, &system);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let system = system();
+        let dir = temp_dir("corrupt");
+        save_bundle(&system, &dir).unwrap();
+        let victim = dir.join("model_000.json");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&victim, bytes).unwrap();
+        let err = load_bundle(&dir).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_fails_cleanly() {
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_bundle(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transfer_size_matches_paper_scale() {
+        let system = system();
+        let dir = temp_dir("sizes");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let n = system.repository().len() as u64;
+        let expected = ReferenceModel::Resnet18.weight_bytes()
+            + ReferenceModel::DecisionMlp.weight_bytes()
+            + n * ReferenceModel::Yolov3Tiny.weight_bytes();
+        assert_eq!(manifest.total_transfer_bytes(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn download_simulation_completes_despite_outages() {
+        let system = system();
+        let dir = temp_dir("download");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(133));
+        let report = simulate_download(&manifest, &mut link, &mut rng);
+        assert!(report.total_ms > 0.0);
+        let expected_chunks =
+            manifest.entries.iter().map(|e| e.transfer_bytes.div_ceil(256 * 1024)).sum::<u64>();
+        assert_eq!(report.chunks as u64, expected_chunks);
+        // An unstable link makes retries overwhelmingly likely at this size.
+        assert!(report.retries > 0, "no retries over {} chunks", report.chunks);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"anole"), fnv1a(b"anolf"));
+        assert_eq!(fnv1a(b"anole"), fnv1a(b"anole"));
+    }
+}

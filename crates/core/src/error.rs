@@ -1,0 +1,90 @@
+//! Error type of the core crate.
+
+use anole_cluster::ClusterError;
+use anole_nn::NnError;
+
+/// Error returned by Anole training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnoleError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A clustering operation failed.
+    Cluster(ClusterError),
+    /// The training split has too little data for the requested setup.
+    InsufficientData {
+        /// What was being trained.
+        stage: &'static str,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// Algorithm 1 could not produce any accepted model (δ too strict).
+    EmptyRepository,
+    /// A deployment-bundle operation failed (I/O, serialization, or
+    /// integrity check).
+    Deploy {
+        /// Diagnostic detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AnoleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnoleError::Nn(e) => write!(f, "network error: {e}"),
+            AnoleError::Cluster(e) => write!(f, "clustering error: {e}"),
+            AnoleError::InsufficientData { stage, detail } => {
+                write!(f, "insufficient data for {stage}: {detail}")
+            }
+            AnoleError::EmptyRepository => {
+                write!(f, "algorithm 1 accepted no model; lower the δ threshold")
+            }
+            AnoleError::Deploy { detail } => write!(f, "deployment bundle error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AnoleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnoleError::Nn(e) => Some(e),
+            AnoleError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AnoleError {
+    fn from(e: NnError) -> Self {
+        AnoleError::Nn(e)
+    }
+}
+
+impl From<ClusterError> for AnoleError {
+    fn from(e: ClusterError) -> Self {
+        AnoleError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: AnoleError = NnError::EmptyDataset.into();
+        assert!(e.to_string().contains("network error"));
+        assert!(e.source().is_some());
+        let e: AnoleError = ClusterError::ZeroClusters.into();
+        assert!(e.to_string().contains("clustering"));
+        assert!(AnoleError::EmptyRepository.to_string().contains("δ"));
+        let e = AnoleError::InsufficientData {
+            stage: "scene model",
+            detail: "only 1 scene".into(),
+        };
+        assert!(e.to_string().contains("scene model"));
+        assert!(e.source().is_none());
+        let e = AnoleError::Deploy { detail: "bad checksum".into() };
+        assert!(e.to_string().contains("deployment bundle error"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The cross-scene experiment (§VI-D, Fig. 8): seen but fast-changing
+//! scenes, windowed F1 per source dataset for every candidate method.
+
+use anole_data::{DatasetSource, DrivingDataset, FrameRef};
+use anole_device::DeviceKind;
+use anole_tensor::{split_seed, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::eval::{evaluate_refs, StreamResult};
+use crate::{train_baselines, AnoleError, AnoleSystem, MethodKind};
+
+/// Per-method results on one source dataset's test stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceResult {
+    /// The source dataset.
+    pub source: DatasetSource,
+    /// `(method, stream result)` pairs, Anole first.
+    pub methods: Vec<(MethodKind, StreamResult)>,
+}
+
+impl SourceResult {
+    /// The result of one method, if present.
+    pub fn of(&self, kind: MethodKind) -> Option<&StreamResult> {
+        self.methods.iter().find(|(k, _)| *k == kind).map(|(_, r)| r)
+    }
+}
+
+/// The full cross-scene report (one [`SourceResult`] per source).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossSceneReport {
+    /// Results per source dataset.
+    pub sources: Vec<SourceResult>,
+    /// F1 window size used.
+    pub window: usize,
+}
+
+impl CrossSceneReport {
+    /// Mean overall F1 of a method across sources; `None` if absent.
+    pub fn mean_f1(&self, kind: MethodKind) -> Option<f32> {
+        let scores: Vec<f32> = self
+            .sources
+            .iter()
+            .filter_map(|s| s.of(kind).map(|r| r.overall_f1))
+            .collect();
+        if scores.is_empty() {
+            None
+        } else {
+            Some(scores.iter().sum::<f32>() / scores.len() as f32)
+        }
+    }
+}
+
+/// Runs the cross-scene experiment: trains the four baselines on the same
+/// training split as `system`, then evaluates everything on each source's
+/// test stream (frames in clip order, F1 every `window` frames).
+///
+/// # Errors
+///
+/// Surfaces training and prediction errors.
+pub fn cross_scene_experiment(
+    dataset: &DrivingDataset,
+    system: &AnoleSystem,
+    window: usize,
+    seed: Seed,
+) -> Result<CrossSceneReport, AnoleError> {
+    let split = dataset.split();
+    let cdg_k = system.repository().len().clamp(2, 8);
+    let (mut sdm, mut ssm, mut cdg, mut dmm) = train_baselines(
+        dataset,
+        &split.train,
+        cdg_k,
+        system.config(),
+        split_seed(seed, 0),
+    )?;
+
+    let mut sources = Vec::new();
+    for source in DatasetSource::ALL {
+        let stream: Vec<FrameRef> = split
+            .test
+            .iter()
+            .copied()
+            .filter(|r| dataset.clips()[r.clip].source == source)
+            .collect();
+        if stream.is_empty() {
+            continue;
+        }
+
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, split_seed(seed, 1));
+        engine.warm(&warm_set(system));
+
+        let methods: Vec<(MethodKind, StreamResult)> = vec![
+            (
+                MethodKind::Anole,
+                evaluate_refs(&mut engine, dataset, &stream, window)?,
+            ),
+            (
+                MethodKind::Sdm,
+                evaluate_refs(&mut sdm, dataset, &stream, window)?,
+            ),
+            (
+                MethodKind::Ssm,
+                evaluate_refs(&mut ssm, dataset, &stream, window)?,
+            ),
+            (
+                MethodKind::Cdg,
+                evaluate_refs(&mut cdg, dataset, &stream, window)?,
+            ),
+            (
+                MethodKind::Dmm,
+                evaluate_refs(&mut dmm, dataset, &stream, window)?,
+            ),
+        ];
+        sources.push(SourceResult { source, methods });
+    }
+
+    Ok(CrossSceneReport { sources, window })
+}
+
+/// The models to pre-load: the first `cache.capacity` repository models.
+pub(crate) fn warm_set(system: &AnoleSystem) -> Vec<usize> {
+    (0..system
+        .repository()
+        .len()
+        .min(system.config().cache.capacity))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnoleConfig;
+    use anole_data::DatasetConfig;
+
+    #[test]
+    fn report_covers_all_sources_and_methods() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(101));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(102)).unwrap();
+        let report = cross_scene_experiment(&dataset, &system, 10, Seed(103)).unwrap();
+        assert_eq!(report.sources.len(), 3);
+        for s in &report.sources {
+            assert_eq!(s.methods.len(), 5);
+            for (_, r) in &s.methods {
+                assert!((0.0..=1.0).contains(&r.overall_f1));
+                assert!(!r.windowed.is_empty());
+            }
+            assert!(s.of(MethodKind::Anole).is_some());
+        }
+        for kind in [
+            MethodKind::Anole,
+            MethodKind::Sdm,
+            MethodKind::Ssm,
+            MethodKind::Cdg,
+            MethodKind::Dmm,
+        ] {
+            assert!(report.mean_f1(kind).is_some());
+        }
+    }
+}

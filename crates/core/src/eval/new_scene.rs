@@ -1,0 +1,149 @@
+//! The new-scene experiment (§VI-E, Table III): inference accuracy on the
+//! held-out unseen clips.
+
+use anole_data::{DatasetSource, DrivingDataset, SceneAttributes};
+use anole_device::DeviceKind;
+use anole_tensor::{split_seed, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::eval::cross_scene::warm_set;
+use crate::eval::evaluate_refs;
+use crate::{train_baselines, AnoleError, AnoleSystem, MethodKind};
+
+/// One row of Table III: one unseen clip, one F1 per method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewSceneRow {
+    /// Index of the unseen clip in the dataset.
+    pub clip: usize,
+    /// Source dataset of the clip.
+    pub source: DatasetSource,
+    /// Semantic attributes of the clip.
+    pub attributes: SceneAttributes,
+    /// `(method, overall F1)` pairs.
+    pub f1: Vec<(MethodKind, f32)>,
+}
+
+impl NewSceneRow {
+    /// F1 of one method, if present.
+    pub fn of(&self, kind: MethodKind) -> Option<f32> {
+        self.f1.iter().find(|(k, _)| *k == kind).map(|&(_, v)| v)
+    }
+}
+
+/// The Table III report: per-clip rows plus per-method means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewSceneReport {
+    /// One row per unseen clip.
+    pub rows: Vec<NewSceneRow>,
+}
+
+impl NewSceneReport {
+    /// Mean F1 of a method across the unseen clips (the "Mean" column).
+    pub fn mean_f1(&self, kind: MethodKind) -> Option<f32> {
+        let scores: Vec<f32> = self.rows.iter().filter_map(|r| r.of(kind)).collect();
+        if scores.is_empty() {
+            None
+        } else {
+            Some(scores.iter().sum::<f32>() / scores.len() as f32)
+        }
+    }
+
+    /// The method with the best mean F1.
+    pub fn best_method(&self) -> Option<MethodKind> {
+        [
+            MethodKind::Anole,
+            MethodKind::Sdm,
+            MethodKind::Ssm,
+            MethodKind::Cdg,
+            MethodKind::Dmm,
+        ]
+        .into_iter()
+        .filter_map(|k| self.mean_f1(k).map(|f| (k, f)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(k, _)| k)
+    }
+}
+
+/// Runs the new-scene experiment on every unseen clip.
+///
+/// # Errors
+///
+/// Surfaces training and prediction errors.
+pub fn new_scene_experiment(
+    dataset: &DrivingDataset,
+    system: &AnoleSystem,
+    seed: Seed,
+) -> Result<NewSceneReport, AnoleError> {
+    let split = dataset.split();
+    let cdg_k = system.repository().len().clamp(2, 8);
+    let (mut sdm, mut ssm, mut cdg, mut dmm) = train_baselines(
+        dataset,
+        &split.train,
+        cdg_k,
+        system.config(),
+        split_seed(seed, 0),
+    )?;
+
+    let mut rows = Vec::new();
+    for &clip in &split.unseen_clips {
+        let stream = dataset.clip_frames(clip);
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, split_seed(seed, 1));
+        engine.warm(&warm_set(system));
+
+        let f1 = vec![
+            (
+                MethodKind::Anole,
+                evaluate_refs(&mut engine, dataset, &stream, stream.len())?.overall_f1,
+            ),
+            (
+                MethodKind::Sdm,
+                evaluate_refs(&mut sdm, dataset, &stream, stream.len())?.overall_f1,
+            ),
+            (
+                MethodKind::Ssm,
+                evaluate_refs(&mut ssm, dataset, &stream, stream.len())?.overall_f1,
+            ),
+            (
+                MethodKind::Cdg,
+                evaluate_refs(&mut cdg, dataset, &stream, stream.len())?.overall_f1,
+            ),
+            (
+                MethodKind::Dmm,
+                evaluate_refs(&mut dmm, dataset, &stream, stream.len())?.overall_f1,
+            ),
+        ];
+        rows.push(NewSceneRow {
+            clip,
+            source: dataset.clips()[clip].source,
+            attributes: dataset.clips()[clip].attributes,
+            f1,
+        });
+    }
+
+    Ok(NewSceneReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnoleConfig;
+    use anole_data::DatasetConfig;
+
+    #[test]
+    fn report_has_one_row_per_unseen_clip() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(111));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(112)).unwrap();
+        let report = new_scene_experiment(&dataset, &system, Seed(113)).unwrap();
+        let split = dataset.split();
+        assert_eq!(report.rows.len(), split.unseen_clips.len());
+        for row in &report.rows {
+            assert!(!dataset.clips()[row.clip].seen);
+            assert_eq!(row.f1.len(), 5);
+            for &(_, f1) in &row.f1 {
+                assert!((0.0..=1.0).contains(&f1));
+            }
+        }
+        assert!(report.mean_f1(MethodKind::Anole).is_some());
+        assert!(report.best_method().is_some());
+    }
+}

@@ -1,0 +1,427 @@
+//! Cache-based model deployment and per-frame inference (§V-B, §V-C).
+
+use anole_cache::{CacheStats, SlotCache};
+use anole_device::{DeviceKind, LatencyModel};
+use anole_nn::ReferenceModel;
+use anole_tensor::{rng_from_seed, Seed};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AnoleError, AnoleSystem};
+
+/// What happened on one online-inference step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// The model `M_decision` ranked first.
+    pub requested: usize,
+    /// The model actually used (best-ranked *cached* model on a miss).
+    pub used: usize,
+    /// Whether the requested model was already resident.
+    pub cache_hit: bool,
+    /// Thresholded cell detections of the used model (or the fused top-k
+    /// maps on a low-confidence, hedged frame).
+    pub detections: Vec<bool>,
+    /// Number of compressed models executed this frame (>1 when hedged).
+    pub models_executed: usize,
+    /// End-to-end frame latency in milliseconds (decision + detection, plus
+    /// a synchronous load when nothing usable was cached).
+    pub latency_ms: f32,
+    /// Suitability probability of the requested model.
+    pub suitability: f32,
+}
+
+/// The on-device Anole engine: MSS (rank models per frame), CMD (LFU cache
+/// with best-cached fallback), and MI (run the chosen compressed model).
+///
+/// Model loads on a miss happen in the background (the frame is served by
+/// the best cached model); their cost is tracked in
+/// [`OnlineEngine::background_load_ms`]. Only when the cache is completely
+/// empty does a synchronous load stall the frame.
+#[derive(Debug)]
+pub struct OnlineEngine<'a> {
+    system: &'a AnoleSystem,
+    cache: SlotCache<usize>,
+    latency: LatencyModel,
+    rng: StdRng,
+    usage_log: Vec<usize>,
+    background_load_ms: f32,
+    smoothed_suitability: Option<Vec<f32>>,
+    total_latency_ms: f64,
+    hedged_frames: usize,
+    latency_budget_ms: Option<f32>,
+}
+
+impl<'a> OnlineEngine<'a> {
+    /// Creates an engine with an empty cache on the given device.
+    pub fn new(system: &'a AnoleSystem, device: DeviceKind, seed: Seed) -> Self {
+        let cache_cfg = system.config().cache;
+        Self {
+            system,
+            cache: SlotCache::new(cache_cfg.capacity, cache_cfg.policy),
+            latency: LatencyModel::for_device(device),
+            rng: rng_from_seed(seed),
+            usage_log: Vec::new(),
+            background_load_ms: 0.0,
+            smoothed_suitability: None,
+            total_latency_ms: 0.0,
+            hedged_frames: 0,
+            latency_budget_ms: None,
+        }
+    }
+
+    /// Constrains the engine to a per-frame latency budget (§II: "achieve
+    /// the best-effort inference accuracy within a specific latency
+    /// budget"). The number of compressed models fused per frame is derived
+    /// from the budget: as many as fit after the decision stage, at least
+    /// one, at most 4 and never more than the configured `hedge_top_k`
+    /// permits accuracy-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_ms` is not strictly positive.
+    pub fn with_latency_budget(mut self, budget_ms: f32) -> Self {
+        assert!(budget_ms > 0.0, "latency budget must be positive");
+        self.latency_budget_ms = Some(budget_ms);
+        self
+    }
+
+    /// The per-frame model-count limit implied by the latency budget (the
+    /// configured `hedge_top_k` when no budget is set).
+    pub fn models_per_frame_limit(&self) -> usize {
+        match self.latency_budget_ms {
+            None => self.system.config().decision.hedge_top_k.max(1),
+            Some(budget) => {
+                let decision = self.latency.mean_scene_decision_ms();
+                let tiny = self.latency.mean_inference_ms(ReferenceModel::Yolov3Tiny);
+                (((budget - decision) / tiny).floor() as isize).clamp(1, 4) as usize
+            }
+        }
+    }
+
+    /// Mean end-to-end frame latency so far (0.0 before any step).
+    pub fn mean_latency_ms(&self) -> f32 {
+        if self.usage_log.is_empty() {
+            0.0
+        } else {
+            (self.total_latency_ms / self.usage_log.len() as f64) as f32
+        }
+    }
+
+    /// Fraction of frames that took the low-confidence hedged path.
+    pub fn hedge_rate(&self) -> f32 {
+        if self.usage_log.is_empty() {
+            0.0
+        } else {
+            self.hedged_frames as f32 / self.usage_log.len() as f32
+        }
+    }
+
+    /// Pre-loads the given models (the paper downloads and pre-loads as many
+    /// models as memory allows before going online).
+    pub fn warm(&mut self, model_ids: &[usize]) {
+        for &id in model_ids {
+            self.cache.insert(id);
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The model used on each past step, in order (for Fig. 4b/7a).
+    pub fn usage_log(&self) -> &[usize] {
+        &self.usage_log
+    }
+
+    /// Total background model-load time incurred by misses.
+    pub fn background_load_ms(&self) -> f32 {
+        self.background_load_ms
+    }
+
+    /// The engine's latency model (device).
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Runs one frame through the full Anole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `features` has the wrong dimension.
+    pub fn step(&mut self, features: &[f32]) -> Result<StepOutcome, AnoleError> {
+        // MSS: rank models by (temporally smoothed) suitability.
+        let probs = self
+            .system
+            .decision()
+            .suitability(&anole_tensor::Matrix::row_vector(features))?;
+        let alpha = self
+            .system
+            .config()
+            .decision
+            .suitability_smoothing
+            .clamp(0.0, 0.999);
+        let current = probs.row(0);
+        let smoothed = match self.smoothed_suitability.take() {
+            Some(mut prev) if prev.len() == current.len() && alpha > 0.0 => {
+                for (p, &c) in prev.iter_mut().zip(current.iter()) {
+                    *p = alpha * *p + (1.0 - alpha) * c;
+                }
+                prev
+            }
+            _ => current.to_vec(),
+        };
+        let mut ranking: Vec<usize> = (0..smoothed.len()).collect();
+        ranking.sort_by(|&a, &b| {
+            smoothed[b]
+                .partial_cmp(&smoothed[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let requested = ranking[0];
+        let suitability = smoothed[requested];
+        self.smoothed_suitability = Some(smoothed);
+
+        // CMD: serve from cache, LFU-update on miss.
+        let cache_hit = self.cache.touch(&requested);
+        let mut sync_load_ms = 0.0;
+        let used = if cache_hit {
+            requested
+        } else {
+            let fallback = ranking.iter().copied().find(|id| self.cache.contains(id));
+            // Background-load the requested model for future frames.
+            self.cache.insert(requested);
+            self.background_load_ms += self.latency.load_ms(ReferenceModel::Yolov3Tiny);
+            match fallback {
+                Some(id) => {
+                    self.cache.refresh(&id);
+                    id
+                }
+                None => {
+                    // Nothing resident at all: stall on the load.
+                    sync_load_ms = self.latency.load_ms(ReferenceModel::Yolov3Tiny);
+                    requested
+                }
+            }
+        };
+
+        // MI: run the chosen compressed model — or, on a low-confidence
+        // frame, hedge across the top-k cached models (a low top-1
+        // suitability signals that no single well-fitting model exists,
+        // §II case 3).
+        let threshold = self.system.config().detector.threshold;
+        let decision_cfg = self.system.config().decision;
+        let smoothed = self.smoothed_suitability.as_ref().expect("set above");
+        let mut executed = vec![used];
+        let fuse_limit = self.models_per_frame_limit();
+        if fuse_limit > 1 && suitability < decision_cfg.confidence_threshold {
+            for &id in &ranking {
+                if executed.len() >= fuse_limit {
+                    break;
+                }
+                if id != used && self.cache.contains(&id) {
+                    executed.push(id);
+                }
+            }
+        }
+        let detections = if executed.len() == 1 {
+            self.system.repository().model(used).detect(features, threshold)?
+        } else {
+            let row = anole_tensor::Matrix::row_vector(features);
+            let mut fused: Vec<f32> = Vec::new();
+            let mut weight_sum = 0.0f32;
+            for &id in &executed {
+                let probs = self.system.repository().model(id).detect_probs(&row)?;
+                let w = smoothed[id].max(1e-6);
+                if fused.is_empty() {
+                    fused = vec![0.0; probs.cols()];
+                }
+                for (f, &p) in fused.iter_mut().zip(probs.row(0).iter()) {
+                    *f += w * p;
+                }
+                weight_sum += w;
+            }
+            fused.iter_mut().for_each(|f| *f /= weight_sum.max(1e-6));
+            // Averaging dilutes the confident model's positives; compensate
+            // with a slightly lower detection threshold on fused maps.
+            anole_detect::threshold_probs(&fused, threshold * 0.85)
+        };
+
+        let mut latency_ms = self.latency.scene_decision_ms(&mut self.rng) + sync_load_ms;
+        for _ in &executed {
+            latency_ms += self.latency.inference_ms(ReferenceModel::Yolov3Tiny, &mut self.rng);
+        }
+        for &id in &executed[1..] {
+            self.cache.refresh(&id);
+        }
+
+        self.usage_log.push(used);
+        self.total_latency_ms += latency_ms as f64;
+        if executed.len() > 1 {
+            self.hedged_frames += 1;
+        }
+        Ok(StepOutcome {
+            requested,
+            used,
+            cache_hit,
+            detections,
+            models_executed: executed.len(),
+            latency_ms,
+            suitability,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnoleConfig;
+    use anole_data::{DatasetConfig, DrivingDataset};
+
+    fn system() -> (DrivingDataset, AnoleSystem) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(71));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(72)).unwrap();
+        (dataset, system)
+    }
+
+    #[test]
+    fn step_produces_consistent_outcome() {
+        let (dataset, system) = system();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(73));
+        let split = dataset.split();
+        let frame = dataset.frame(split.test[0]);
+        let out = engine.step(&frame.features).unwrap();
+        assert!(out.requested < system.repository().len());
+        assert!(out.used < system.repository().len());
+        assert_eq!(out.detections.len(), dataset.config().world.grid.cells());
+        assert!(out.latency_ms > 0.0);
+        assert!(out.suitability > 0.0 && out.suitability <= 1.0);
+        assert_eq!(engine.usage_log().len(), 1);
+    }
+
+    #[test]
+    fn first_step_on_cold_cache_is_a_synchronous_load() {
+        let (dataset, system) = system();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonNano, Seed(74));
+        let split = dataset.split();
+        let frame = dataset.frame(split.test[0]);
+        let out = engine.step(&frame.features).unwrap();
+        assert!(!out.cache_hit);
+        assert_eq!(out.used, out.requested);
+        // Nano loads 34 MB at 80 MB/s → ~425 ms stall.
+        assert!(out.latency_ms > 300.0, "latency {}", out.latency_ms);
+    }
+
+    #[test]
+    fn warm_cache_avoids_the_stall() {
+        let (dataset, system) = system();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(75));
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        let split = dataset.split();
+        let frame = dataset.frame(split.test[0]);
+        let out = engine.step(&frame.features).unwrap();
+        assert!(out.cache_hit || out.used != out.requested || out.latency_ms < 100.0);
+        // Paper: ~13.9 ms on TX2 (3.1 decision + 10.8 tiny); with the
+        // default top-2 hedge a frame costs at most 3.1 + 2 x 10.8 ms.
+        assert!(out.latency_ms < 40.0, "latency {}", out.latency_ms);
+    }
+
+    #[test]
+    fn misses_fall_back_to_best_cached_model() {
+        let (dataset, system) = system();
+        if system.repository().len() < 2 {
+            return; // cannot exercise fallback with a single model
+        }
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(76));
+        let split = dataset.split();
+        // Run the whole test stream with a tiny cache; any miss after the
+        // first frame must be served by a resident model.
+        let mut engine_cache_one = {
+            let mut sys_cfg = *system.config();
+            sys_cfg.cache.capacity = 1;
+            engine.cache = SlotCache::new(1, sys_cfg.cache.policy);
+            engine
+        };
+        let mut fallbacks = 0;
+        for r in split.test.iter().take(60) {
+            let out = engine_cache_one.step(&dataset.frame(*r).features).unwrap();
+            if !out.cache_hit && out.used != out.requested {
+                fallbacks += 1;
+            }
+        }
+        let stats = engine_cache_one.cache_stats();
+        assert_eq!(stats.lookups(), 60);
+        if stats.misses > 1 {
+            assert!(fallbacks > 0, "fallback path never exercised: {stats}");
+            assert!(engine_cache_one.background_load_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_budget_bounds_models_per_frame() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+
+        // A budget below one tiny inference still runs one model.
+        let mut tight = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(80))
+            .with_latency_budget(8.0);
+        assert_eq!(tight.models_per_frame_limit(), 1);
+        tight.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        for r in split.test.iter().take(40) {
+            let out = tight.step(&dataset.frame(*r).features).unwrap();
+            assert_eq!(out.models_executed, 1);
+        }
+        // Mean within ~budget plus the decision stage floor.
+        assert!(tight.mean_latency_ms() < 16.0, "{}", tight.mean_latency_ms());
+
+        // A generous budget allows up to the clamp of 4.
+        let roomy = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(81))
+            .with_latency_budget(50.0);
+        assert_eq!(roomy.models_per_frame_limit(), 4);
+
+        // No budget: the configured hedge_top_k applies.
+        let default = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(82));
+        assert_eq!(
+            default.models_per_frame_limit(),
+            system.config().decision.hedge_top_k
+        );
+    }
+
+    #[test]
+    fn budgeted_engine_stays_under_budget_on_average() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+        for budget in [15.0f32, 26.0, 40.0] {
+            let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(83))
+                .with_latency_budget(budget);
+            engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+            for r in split.test.iter().take(60) {
+                engine.step(&dataset.frame(*r).features).unwrap();
+            }
+            assert!(
+                engine.mean_latency_ms() <= budget * 1.1,
+                "budget {budget}: mean {}",
+                engine.mean_latency_ms()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "latency budget must be positive")]
+    fn zero_budget_is_rejected() {
+        let (_, system) = system();
+        let _ = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(84))
+            .with_latency_budget(0.0);
+    }
+
+    #[test]
+    fn usage_log_tracks_every_step() {
+        let (dataset, system) = system();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::Laptop, Seed(77));
+        let split = dataset.split();
+        for r in split.test.iter().take(20) {
+            engine.step(&dataset.frame(*r).features).unwrap();
+        }
+        assert_eq!(engine.usage_log().len(), 20);
+        assert!(engine.usage_log().iter().all(|&id| id < system.repository().len()));
+    }
+}

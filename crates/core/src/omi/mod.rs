@@ -1,0 +1,13 @@
+//! Online Model Inference (paper §V): what runs on the mobile device.
+
+mod deployment;
+mod drift;
+mod realtime;
+mod switching;
+mod telemetry;
+
+pub use deployment::{OnlineEngine, StepOutcome};
+pub use drift::{DriftDetector, DriftState, SceneDistanceScorer};
+pub use realtime::{run_realtime, FrameProcessor, RealTimeReport, TimedMethod};
+pub use switching::{scene_durations, SwitchStats};
+pub use telemetry::{Telemetry, TelemetryRecord};

@@ -1,0 +1,308 @@
+//! Real-time streaming: what happens when inference is slower than the
+//! camera.
+//!
+//! The paper argues Anole's compressed path is what makes ≥30 FPS possible
+//! on embedded devices (§VI-H). This module makes that argument concrete: a
+//! camera emits frames at a fixed rate, the processor holds at most the
+//! latest pending frame (stale frames are dropped, the standard regime for
+//! live vision), and we account drops, staleness, and accuracy **over the
+//! whole stream** — a dropped frame scores zero detections against its
+//! ground truth, because the vehicle never saw its objects.
+
+use anole_data::{DatasetSource, Frame};
+use anole_detect::DetectionCounts;
+use anole_device::{DeviceKind, LatencyModel};
+use anole_nn::ReferenceModel;
+use anole_tensor::{rng_from_seed, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::omi::OnlineEngine;
+use crate::{AnoleError, InferenceMethod};
+
+/// Processes one frame, returning detections and the time it took.
+///
+/// Implemented by the Anole [`OnlineEngine`] (which prices its own
+/// decision/detection/hedging path) and by [`TimedMethod`], which prices
+/// any baseline's pipeline on a device's latency model.
+pub trait FrameProcessor {
+    /// Runs one frame, returning `(detections, latency in ms)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the frame's feature width is wrong.
+    fn process(
+        &mut self,
+        frame: &Frame,
+        source: DatasetSource,
+    ) -> Result<(Vec<bool>, f32), AnoleError>;
+}
+
+impl FrameProcessor for OnlineEngine<'_> {
+    fn process(
+        &mut self,
+        frame: &Frame,
+        _source: DatasetSource,
+    ) -> Result<(Vec<bool>, f32), AnoleError> {
+        let outcome = self.step(&frame.features)?;
+        Ok((outcome.detections, outcome.latency_ms))
+    }
+}
+
+/// Wraps any [`InferenceMethod`] with a device latency model that prices its
+/// per-frame pipeline (e.g. one YOLOv3 pass for SDM).
+#[derive(Debug)]
+pub struct TimedMethod<M> {
+    method: M,
+    latency: LatencyModel,
+    pipeline: Vec<ReferenceModel>,
+    rng: rand::rngs::StdRng,
+}
+
+impl<M: InferenceMethod> TimedMethod<M> {
+    /// Prices `method` on `device`.
+    pub fn new(method: M, device: DeviceKind, seed: Seed) -> Self {
+        let pipeline = method.pipeline();
+        Self {
+            method,
+            latency: LatencyModel::for_device(device),
+            pipeline,
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner method.
+    pub fn into_inner(self) -> M {
+        self.method
+    }
+}
+
+impl<M: InferenceMethod> FrameProcessor for TimedMethod<M> {
+    fn process(
+        &mut self,
+        frame: &Frame,
+        source: DatasetSource,
+    ) -> Result<(Vec<bool>, f32), AnoleError> {
+        let detections = self.method.predict(frame, source)?;
+        let ms: f32 = self
+            .pipeline
+            .iter()
+            .map(|&m| self.latency.inference_ms(m, &mut self.rng))
+            .sum();
+        Ok((detections, ms))
+    }
+}
+
+/// Outcome of streaming a clip through a processor at camera rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealTimeReport {
+    /// Frames the camera produced.
+    pub frames_offered: usize,
+    /// Frames actually processed.
+    pub frames_processed: usize,
+    /// Frames dropped because a newer frame replaced them in the mailbox.
+    pub frames_dropped: usize,
+    /// Achieved processing rate in frames per second.
+    pub achieved_fps: f32,
+    /// Mean queueing delay of processed frames (arrival → processing start).
+    pub mean_staleness_ms: f32,
+    /// F1 over the *whole stream*: dropped frames contribute their ground
+    /// truth with no detections (missed objects).
+    pub stream_f1: f32,
+    /// F1 over processed frames only.
+    pub processed_f1: f32,
+}
+
+/// Streams `frames` through `processor` with a `camera_fps` camera and a
+/// one-slot latest-frame mailbox.
+///
+/// # Errors
+///
+/// Surfaces processing errors.
+///
+/// # Panics
+///
+/// Panics if `camera_fps` is not strictly positive.
+pub fn run_realtime(
+    processor: &mut dyn FrameProcessor,
+    frames: &[Frame],
+    source: DatasetSource,
+    camera_fps: f32,
+) -> Result<RealTimeReport, AnoleError> {
+    assert!(camera_fps > 0.0, "camera fps must be positive");
+    let interval = 1000.0 / camera_fps;
+
+    #[derive(Default)]
+    struct SimState {
+        stream_counts: DetectionCounts,
+        processed_counts: DetectionCounts,
+        processed: usize,
+        staleness_sum: f32,
+        busy_until: f32,
+    }
+
+    fn deliver(
+        frames: &[Frame],
+        idx: usize,
+        arrival: f32,
+        source: DatasetSource,
+        processor: &mut dyn FrameProcessor,
+        st: &mut SimState,
+    ) -> Result<(), AnoleError> {
+        let start = arrival.max(st.busy_until);
+        let (detections, ms) = processor.process(&frames[idx], source)?;
+        st.busy_until = start + ms;
+        st.staleness_sum += start - arrival;
+        st.processed += 1;
+        st.stream_counts.accumulate(&detections, &frames[idx].truth);
+        st.processed_counts.accumulate(&detections, &frames[idx].truth);
+        Ok(())
+    }
+
+    let mut st = SimState::default();
+    let mut dropped = 0usize;
+    // The mailbox holds (frame index, arrival time).
+    let mut pending: Option<(usize, f32)> = None;
+    let mut last_finish = 0.0f32;
+
+    for idx in 0..frames.len() {
+        let arrival = idx as f32 * interval;
+        // Serve any pending frame that could start before this arrival.
+        if let Some((p_idx, p_arrival)) = pending {
+            if st.busy_until <= arrival {
+                deliver(frames, p_idx, p_arrival, source, processor, &mut st)?;
+                pending = None;
+            }
+        }
+        if st.busy_until <= arrival && pending.is_none() {
+            deliver(frames, idx, arrival, source, processor, &mut st)?;
+        } else {
+            // Processor busy: the mailbox keeps only the newest frame.
+            if let Some((old_idx, _)) = pending.replace((idx, arrival)) {
+                dropped += 1;
+                let empty = vec![false; frames[old_idx].truth.len()];
+                st.stream_counts.accumulate(&empty, &frames[old_idx].truth);
+            }
+        }
+        last_finish = st.busy_until.max(arrival);
+    }
+    if let Some((p_idx, p_arrival)) = pending.take() {
+        deliver(frames, p_idx, p_arrival, source, processor, &mut st)?;
+        last_finish = st.busy_until;
+    }
+
+    let duration_ms = last_finish.max(frames.len() as f32 * interval);
+    Ok(RealTimeReport {
+        frames_offered: frames.len(),
+        frames_processed: st.processed,
+        frames_dropped: dropped,
+        achieved_fps: if duration_ms > 0.0 {
+            st.processed as f32 * 1000.0 / duration_ms
+        } else {
+            0.0
+        },
+        mean_staleness_ms: if st.processed > 0 {
+            st.staleness_sum / st.processed as f32
+        } else {
+            0.0
+        },
+        stream_f1: st.stream_counts.f1(),
+        processed_f1: st.processed_counts.f1(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnoleConfig, AnoleSystem, Sdm, Ssm};
+    use anole_data::{DatasetConfig, DrivingDataset};
+
+    fn world() -> (DrivingDataset, AnoleSystem) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(141));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(142)).unwrap();
+        (dataset, system)
+    }
+
+    fn test_frames(dataset: &DrivingDataset, n: usize) -> Vec<Frame> {
+        dataset
+            .split()
+            .test
+            .iter()
+            .take(n)
+            .map(|&r| dataset.frame(r).clone())
+            .collect()
+    }
+
+    #[test]
+    fn fast_processor_drops_nothing() {
+        let (dataset, system) = world();
+        let frames = test_frames(&dataset, 60);
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(143));
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        // 24.7 ms/frame < 100 ms interval at 10 fps.
+        let report = run_realtime(&mut engine, &frames, DatasetSource::Shd, 10.0).unwrap();
+        assert_eq!(report.frames_dropped, 0);
+        assert_eq!(report.frames_processed, 60);
+        assert!(report.mean_staleness_ms < 1.0);
+        assert_eq!(report.stream_f1, report.processed_f1);
+    }
+
+    #[test]
+    fn slow_deep_model_drops_most_frames_on_nano() {
+        let (dataset, system) = world();
+        let split = dataset.split();
+        let frames = test_frames(&dataset, 90);
+        let sdm = Sdm::train(&dataset, &split.train, system.config(), Seed(144)).unwrap();
+        // 313.8 ms per frame vs 33 ms camera interval → ~90% drops.
+        let mut timed = TimedMethod::new(sdm, DeviceKind::JetsonNano, Seed(145));
+        let report = run_realtime(&mut timed, &frames, DatasetSource::Shd, 30.0).unwrap();
+        assert!(
+            report.frames_dropped as f32 / report.frames_offered as f32 > 0.7,
+            "drop rate {}",
+            report.frames_dropped as f32 / report.frames_offered as f32
+        );
+        assert!(report.achieved_fps < 5.0, "fps {}", report.achieved_fps);
+        // Missing most frames must crater stream-level recall.
+        assert!(report.stream_f1 < report.processed_f1 * 0.6);
+    }
+
+    #[test]
+    fn anole_beats_sdm_on_stream_f1_at_camera_rate() {
+        let (dataset, system) = world();
+        let split = dataset.split();
+        let frames = test_frames(&dataset, 120);
+
+        let mut engine = system.online_engine(DeviceKind::JetsonNano, Seed(146));
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        let anole = run_realtime(&mut engine, &frames, DatasetSource::Shd, 30.0).unwrap();
+
+        let sdm = Sdm::train(&dataset, &split.train, system.config(), Seed(147)).unwrap();
+        let mut timed = TimedMethod::new(sdm, DeviceKind::JetsonNano, Seed(148));
+        let sdm_report = run_realtime(&mut timed, &frames, DatasetSource::Shd, 30.0).unwrap();
+
+        assert!(
+            anole.stream_f1 > sdm_report.stream_f1,
+            "anole {} vs sdm {}",
+            anole.stream_f1,
+            sdm_report.stream_f1
+        );
+        assert!(anole.frames_dropped < sdm_report.frames_dropped);
+    }
+
+    #[test]
+    fn ssm_timed_method_round_trips_inner() {
+        let (dataset, system) = world();
+        let split = dataset.split();
+        let ssm = Ssm::train(&dataset, &split.train, system.config(), Seed(149)).unwrap();
+        let timed = TimedMethod::new(ssm, DeviceKind::Laptop, Seed(150));
+        let _inner: Ssm = timed.into_inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "camera fps must be positive")]
+    fn zero_fps_is_rejected() {
+        let (dataset, system) = world();
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(151));
+        let frames = test_frames(&dataset, 2);
+        let _ = run_realtime(&mut engine, &frames, DatasetSource::Shd, 0.0);
+    }
+}

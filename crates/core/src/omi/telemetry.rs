@@ -1,0 +1,190 @@
+//! Structured per-frame telemetry for online runs.
+//!
+//! Operators debugging a deployment need the per-frame record — which model
+//! the router asked for, which one served, whether the cache hit, how
+//! confident the decision was, what it cost — not just aggregate F1.
+//! [`Telemetry`] collects [`StepOutcome`]s (plus the ground-truth F1 when
+//! available) and renders them as CSV for offline analysis.
+
+use anole_detect::DetectionCounts;
+use serde::{Deserialize, Serialize};
+
+use crate::omi::StepOutcome;
+
+/// One telemetry record: a [`StepOutcome`] plus optional ground-truth score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Frame index within the run.
+    pub frame: usize,
+    /// Model the decision model ranked first.
+    pub requested: usize,
+    /// Model that actually served the frame.
+    pub used: usize,
+    /// Whether the requested model was cache-resident.
+    pub cache_hit: bool,
+    /// Compressed models executed (>1 on hedged frames).
+    pub models_executed: usize,
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f32,
+    /// Top-1 suitability probability.
+    pub suitability: f32,
+    /// Per-frame F1 against ground truth, when truth was supplied.
+    pub f1: Option<f32>,
+}
+
+/// A per-frame telemetry log.
+///
+/// # Examples
+///
+/// ```
+/// use anole_core::omi::Telemetry;
+///
+/// let telemetry = Telemetry::new();
+/// assert!(telemetry.is_empty());
+/// assert!(telemetry.to_csv().starts_with("frame,requested,used"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    records: Vec<TelemetryRecord>,
+}
+
+impl Telemetry {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrows the records.
+    pub fn records(&self) -> &[TelemetryRecord] {
+        &self.records
+    }
+
+    /// Appends an outcome, scoring it against `truth` when provided.
+    pub fn record(&mut self, outcome: &StepOutcome, truth: Option<&[bool]>) {
+        let f1 = truth.map(|t| {
+            let mut counts = DetectionCounts::default();
+            counts.accumulate(&outcome.detections, t);
+            counts.f1()
+        });
+        self.records.push(TelemetryRecord {
+            frame: self.records.len(),
+            requested: outcome.requested,
+            used: outcome.used,
+            cache_hit: outcome.cache_hit,
+            models_executed: outcome.models_executed,
+            latency_ms: outcome.latency_ms,
+            suitability: outcome.suitability,
+            f1,
+        });
+    }
+
+    /// Renders the log as CSV (header + one row per frame).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("frame,requested,used,cache_hit,models_executed,latency_ms,suitability,f1\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.3},{:.4},{}\n",
+                r.frame,
+                r.requested,
+                r.used,
+                r.cache_hit,
+                r.models_executed,
+                r.latency_ms,
+                r.suitability,
+                r.f1.map(|v| format!("{v:.4}")).unwrap_or_default()
+            ));
+        }
+        out
+    }
+
+    /// Aggregate summary over the log: `(mean latency, hit rate, mean F1)`.
+    /// All zeros for an empty log; mean F1 covers only scored frames.
+    pub fn summary(&self) -> (f32, f32, f32) {
+        if self.records.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.records.len() as f32;
+        let latency = self.records.iter().map(|r| r.latency_ms).sum::<f32>() / n;
+        let hits = self.records.iter().filter(|r| r.cache_hit).count() as f32 / n;
+        let scored: Vec<f32> = self.records.iter().filter_map(|r| r.f1).collect();
+        let f1 = if scored.is_empty() {
+            0.0
+        } else {
+            scored.iter().sum::<f32>() / scored.len() as f32
+        };
+        (latency, hits, f1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnoleConfig, AnoleSystem};
+    use anole_data::{DatasetConfig, DrivingDataset};
+    use anole_device::DeviceKind;
+    use anole_tensor::Seed;
+
+    #[test]
+    fn records_and_renders_a_live_run() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(191));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(192)).unwrap();
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(193));
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+
+        let split = dataset.split();
+        let mut telemetry = Telemetry::new();
+        for &r in split.test.iter().take(25) {
+            let frame = dataset.frame(r);
+            let out = engine.step(&frame.features).unwrap();
+            telemetry.record(&out, Some(&frame.truth));
+        }
+        assert_eq!(telemetry.len(), 25);
+        let csv = telemetry.to_csv();
+        assert_eq!(csv.lines().count(), 26);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 8);
+
+        let (latency, hit_rate, f1) = telemetry.summary();
+        assert!(latency > 0.0);
+        assert!((0.0..=1.0).contains(&hit_rate));
+        assert!((0.0..=1.0).contains(&f1));
+        // Frame indices are sequential.
+        for (i, r) in telemetry.records().iter().enumerate() {
+            assert_eq!(r.frame, i);
+        }
+    }
+
+    #[test]
+    fn unscored_frames_leave_f1_empty() {
+        let outcome = StepOutcome {
+            requested: 1,
+            used: 2,
+            cache_hit: false,
+            detections: vec![true, false],
+            models_executed: 1,
+            latency_ms: 10.0,
+            suitability: 0.4,
+        };
+        let mut t = Telemetry::new();
+        t.record(&outcome, None);
+        assert_eq!(t.records()[0].f1, None);
+        assert!(t.to_csv().lines().nth(1).unwrap().ends_with(','));
+        let (_, _, f1) = t.summary();
+        assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    fn empty_log_summary_is_zero() {
+        assert_eq!(Telemetry::new().summary(), (0.0, 0.0, 0.0));
+    }
+}

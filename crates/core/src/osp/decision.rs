@@ -1,0 +1,343 @@
+//! The decision model `M_decision` (§IV-C): a frozen scene backbone plus a
+//! small MLP head predicting per-model suitability.
+
+use anole_data::{DrivingDataset, FrameRef};
+use anole_detect::{ConfusionMatrix, DetectionCounts};
+use anole_nn::{softmax, Activation, Dense, Mlp, ModelProfile, ReferenceModel, Trainer};
+use anole_tensor::{argmax, split_seed, Matrix, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::osp::{ModelRepository, SceneModel, SuitabilitySets};
+use crate::{AnoleError, DecisionConfig};
+
+/// The trained decision model.
+///
+/// Layout: the scene encoder's layers up to (and including) the embedding
+/// layer, frozen, followed by a trainable two-layer head producing one logit
+/// per compressed model. Softmax over the logits gives the model allocation
+/// vector `v^x` of §V-A.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionModel {
+    net: Mlp,
+    n_models: usize,
+}
+
+impl DecisionModel {
+    /// Trains the decision model on the sampled suitability sets.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnoleError::InsufficientData`] if the sets contain fewer than two
+    ///   distinct model labels (nothing to discriminate).
+    /// * Training errors from the network.
+    pub fn train(
+        dataset: &DrivingDataset,
+        scene_model: &SceneModel,
+        sets: &SuitabilitySets,
+        n_models: usize,
+        config: &DecisionConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let mut distinct: Vec<usize> = sets.samples.iter().map(|&(_, id)| id).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return Err(AnoleError::InsufficientData {
+                stage: "decision model",
+                detail: format!("{} distinct model labels", distinct.len()),
+            });
+        }
+
+        let refs: Vec<FrameRef> = sets.samples.iter().map(|&(r, _)| r).collect();
+        let x = dataset.features_matrix(&refs);
+        // The paper's targets: the (normalized) model-allocation vector v^x.
+        // Suitability sets lacking membership vectors fall back to one-hot
+        // targets on the arm the sample was drawn for.
+        let mut targets = Matrix::zeros(refs.len(), n_models);
+        for i in 0..refs.len() {
+            let v = sets.memberships.get(i);
+            let mass: f32 = v.map(|v| v.iter().sum()).unwrap_or(0.0);
+            if let (Some(v), true) = (v, mass > 0.0) {
+                for (j, &m) in v.iter().enumerate().take(n_models) {
+                    targets.set(i, j, m / mass);
+                }
+            } else {
+                targets.set(i, sets.samples[i].1, 1.0);
+            }
+        }
+
+        Self::train_from_features(scene_model, &x, &targets, config, seed)
+    }
+
+    /// Trains a decision model directly from a feature matrix and soft
+    /// per-model target distributions (one row each, rows summing to 1).
+    ///
+    /// This is the workhorse behind [`DecisionModel::train`]; it is public
+    /// so that repository expansion can retrain the head with an extended
+    /// target width after a new specialist is added online.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces training errors from the network.
+    pub fn train_from_features(
+        scene_model: &SceneModel,
+        x: &Matrix,
+        targets: &Matrix,
+        config: &DecisionConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let n_models = targets.cols();
+        // Backbone: every scene-model layer except its classification head.
+        let backbone: Vec<Dense> = scene_model.network().layers()
+            [..scene_model.network().layers().len() - 1]
+            .to_vec();
+        let frozen = backbone.len();
+        let emb_dim = scene_model.embedding_dim();
+
+        let head = Mlp::builder(emb_dim)
+            .hidden(config.head_hidden, Activation::Relu)
+            .output(n_models)
+            .build(split_seed(seed, 0));
+        let mut layers = backbone;
+        layers.extend(head.layers().iter().cloned());
+        let mut net = Mlp::from_layers(layers);
+        net.set_frozen_prefix(frozen);
+
+        let (x, targets) = if config.augment_noise_std > 0.0 {
+            // Feature-space jitter: unseen scenes land between the seen
+            // ones in embedding space, so training the head on perturbed
+            // inputs smooths its decision boundaries toward interpolation.
+            let mut rng = anole_tensor::rng_from_seed(split_seed(seed, 7));
+            let noise = Matrix::random_normal(x.rows(), x.cols(), config.augment_noise_std, &mut rng);
+            let jittered = x + &noise;
+            (
+                Matrix::vstack(&[x, &jittered]).expect("same widths"),
+                tile_rows(targets, 2),
+            )
+        } else {
+            (x.clone(), targets.clone())
+        };
+
+        Trainer::new(config.train).fit_soft_classifier(&mut net, &x, &targets, split_seed(seed, 1))?;
+        Ok(Self { net, n_models })
+    }
+
+    /// Number of compressed models this decision model ranks.
+    pub fn model_count(&self) -> usize {
+        self.n_models
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Cost profile of the decision *head* (the backbone is priced as
+    /// `M_scene`): the paper's 2-layer MLP (Table II).
+    pub fn head_profile(&self) -> ModelProfile {
+        ModelProfile::of_mlp(ReferenceModel::DecisionMlp, &self.net)
+    }
+
+    /// The model allocation vector `v^x` for a batch: suitability
+    /// probabilities per compressed model (softmax over the head logits).
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn suitability(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
+        Ok(softmax(&self.net.forward(x)?))
+    }
+
+    /// Model ids of one frame ranked by decreasing suitability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the feature width is wrong.
+    pub fn rank(&self, features: &[f32]) -> Result<Vec<usize>, AnoleError> {
+        let probs = self.suitability(&Matrix::row_vector(features))?;
+        let row = probs.row(0);
+        let mut ids: Vec<usize> = (0..row.len()).collect();
+        ids.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(ids)
+    }
+
+    /// The top-1 model and its suitability probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the feature width is wrong.
+    pub fn best_model(&self, features: &[f32]) -> Result<(usize, f32), AnoleError> {
+        let probs = self.suitability(&Matrix::row_vector(features))?;
+        let row = probs.row(0);
+        let best = argmax(row).expect("non-empty suitability row");
+        Ok((best, row[best]))
+    }
+
+    /// Fig. 6b: confusion of predicted-best vs true-best model on a
+    /// labelled set. The true best is the repository model with the highest
+    /// per-frame F1 (ties → lowest id); frames where no model scores above
+    /// zero are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the dataset's feature width is wrong.
+    pub fn confusion(
+        &self,
+        dataset: &DrivingDataset,
+        repository: &ModelRepository,
+        refs: &[FrameRef],
+        threshold: f32,
+    ) -> Result<ConfusionMatrix, AnoleError> {
+        let mut cm = ConfusionMatrix::new(self.n_models);
+        for &r in refs {
+            let frame = dataset.frame(r);
+            let mut best = (0usize, 0.0f32);
+            for model in repository.models() {
+                let pred = model.detect(&frame.features, threshold)?;
+                let mut counts = DetectionCounts::default();
+                counts.accumulate(&pred, &frame.truth);
+                let f1 = counts.f1();
+                if f1 > best.1 {
+                    best = (model.id, f1);
+                }
+            }
+            if best.1 <= 0.0 {
+                continue;
+            }
+            let (predicted, _) = self.best_model(&frame.features)?;
+            cm.record(best.0, predicted);
+        }
+        Ok(cm)
+    }
+}
+
+/// Repeats the rows of `m` `times` times (vertically).
+fn tile_rows(m: &Matrix, times: usize) -> Matrix {
+    if times <= 1 {
+        return m.clone();
+    }
+    let parts: Vec<&Matrix> = std::iter::repeat_n(m, times).collect();
+    Matrix::vstack(&parts).expect("identical widths")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osp::AdaptiveSampler;
+    use crate::{AnoleConfig, SceneModelConfig};
+    use anole_data::DatasetConfig;
+
+    fn setup() -> (DrivingDataset, ModelRepository, DecisionModel, AnoleConfig) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(61));
+        let split = dataset.split();
+        let config = AnoleConfig::fast();
+        let mut scfg = SceneModelConfig::default();
+        scfg.train.epochs = 10;
+        let scene = SceneModel::train(&dataset, &split.train, &scfg, Seed(62)).unwrap();
+        let repo = ModelRepository::train(
+            &dataset,
+            &scene,
+            &split.train,
+            &split.val,
+            &config,
+            Seed(63),
+        )
+        .unwrap();
+        let sampler = AdaptiveSampler::new(config.sampling, config.detector.threshold);
+        let sets = sampler.collect(&dataset, &repo, Seed(64)).unwrap();
+        let decision = DecisionModel::train(
+            &dataset,
+            &scene,
+            &sets,
+            repo.len(),
+            &config.decision,
+            Seed(65),
+        )
+        .unwrap();
+        (dataset, repo, decision, config)
+    }
+
+    #[test]
+    fn suitability_rows_are_distributions() {
+        let (dataset, _, decision, _) = setup();
+        let split = dataset.split();
+        let x = dataset.features_matrix(&split.val[..8.min(split.val.len())]);
+        let probs = decision.suitability(&x).unwrap();
+        assert_eq!(probs.cols(), decision.model_count());
+        for i in 0..probs.rows() {
+            let sum: f32 = probs.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_suitability() {
+        let (dataset, _, decision, _) = setup();
+        let split = dataset.split();
+        let frame = dataset.frame(split.val[0]);
+        let ranking = decision.rank(&frame.features).unwrap();
+        assert_eq!(ranking.len(), decision.model_count());
+        let probs = decision
+            .suitability(&Matrix::row_vector(&frame.features))
+            .unwrap();
+        for w in ranking.windows(2) {
+            assert!(probs.get(0, w[0]) >= probs.get(0, w[1]));
+        }
+        let (best, p) = decision.best_model(&frame.features).unwrap();
+        assert_eq!(best, ranking[0]);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn decision_beats_uniform_routing_on_validation() {
+        let (dataset, repo, decision, config) = setup();
+        let split = dataset.split();
+        let cm = decision
+            .confusion(&dataset, &repo, &split.val, config.detector.threshold)
+            .unwrap();
+        let uniform = 1.0 / repo.len() as f32;
+        assert!(
+            cm.accuracy() > uniform,
+            "top-1 routing accuracy {:.3} vs uniform {:.3}",
+            cm.accuracy(),
+            uniform
+        );
+    }
+
+    #[test]
+    fn backbone_is_frozen_scene_prefix() {
+        let (dataset, _, decision, _) = setup();
+        let _ = dataset;
+        assert!(decision.network().frozen_prefix() >= 1);
+        assert_eq!(
+            decision.head_profile().reference,
+            ReferenceModel::DecisionMlp
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_label_sets() {
+        let (dataset, repo, _, config) = setup();
+        let split = dataset.split();
+        let mut scfg = SceneModelConfig::default();
+        scfg.train.epochs = 3;
+        let scene = SceneModel::train(&dataset, &split.train, &scfg, Seed(66)).unwrap();
+        let degenerate = SuitabilitySets {
+            samples: vec![(split.train[0], 0); 10],
+            memberships: vec![vec![1.0]; 10],
+            accepted_counts: vec![10],
+            draw_counts: vec![10],
+            rejected: 0,
+        };
+        let err = DecisionModel::train(
+            &dataset,
+            &scene,
+            &degenerate,
+            repo.len(),
+            &config.decision,
+            Seed(67),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnoleError::InsufficientData { .. }));
+    }
+}

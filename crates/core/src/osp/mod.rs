@@ -1,0 +1,12 @@
+//! Offline Scene Profiling (paper §IV): everything that runs on the cloud
+//! server before deployment.
+
+mod decision;
+mod repository;
+mod sampling;
+mod scene_model;
+
+pub use decision::DecisionModel;
+pub use repository::{ClusterOrigin, CompressedModel, ModelRepository};
+pub use sampling::{frame_f1_of, AdaptiveSampler, SuitabilitySets};
+pub use scene_model::SceneModel;

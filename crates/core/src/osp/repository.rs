@@ -1,0 +1,461 @@
+//! Algorithm 1: compressed-model training with multi-level clustering.
+//!
+//! Scene embeddings (one mean embedding per semantic scene present in the
+//! training data) are clustered with k = 2, 3, …; each cluster defines a
+//! candidate scene group, a compressed detector is trained on the group's
+//! frames, and the detector is accepted into the repository when its
+//! validation F1 exceeds δ — until `n` models exist.
+
+use std::collections::HashSet;
+
+use anole_cluster::MultiLevelClustering;
+use anole_data::{DrivingDataset, FrameRef};
+use anole_detect::{threshold_probs, DetectionCounts};
+use anole_nn::{sigmoid, Activation, Mlp, ModelProfile, ReferenceModel, Trainer};
+use anole_tensor::{split_seed, Matrix, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::osp::SceneModel;
+use crate::{AnoleConfig, AnoleError};
+
+/// Where in the multi-level sweep a model came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterOrigin {
+    /// The k of the clustering level.
+    pub k: usize,
+    /// The cluster index within that level.
+    pub cluster: usize,
+    /// The semantic scenes (indices) grouped into this cluster.
+    pub scenes: Vec<usize>,
+}
+
+/// One compressed scene-specific detector `Mᵢ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressedModel {
+    /// Repository index.
+    pub id: usize,
+    /// The detector network.
+    pub net: Mlp,
+    /// Cost profile (YOLOv3-tiny reference scale).
+    pub profile: ModelProfile,
+    /// Validation F1 at acceptance time.
+    pub validation_f1: f32,
+    /// Provenance in the clustering sweep.
+    pub origin: ClusterOrigin,
+    /// The training set Γᵢ (frame references).
+    pub training_set: Vec<FrameRef>,
+}
+
+impl CompressedModel {
+    /// Per-cell detection probabilities for a batch of frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn detect_probs(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
+        Ok(sigmoid(&self.net.forward(x)?))
+    }
+
+    /// Thresholded detections for one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the feature width is wrong.
+    pub fn detect(&self, features: &[f32], threshold: f32) -> Result<Vec<bool>, AnoleError> {
+        let probs = self.detect_probs(&Matrix::row_vector(features))?;
+        Ok(threshold_probs(probs.row(0), threshold))
+    }
+
+    /// Frame-averaged F1 of this model on the referenced frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if the dataset's feature width is wrong.
+    pub fn evaluate_f1(
+        &self,
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        threshold: f32,
+    ) -> Result<f32, AnoleError> {
+        if refs.is_empty() {
+            return Ok(0.0);
+        }
+        let probs = self.detect_probs(&dataset.features_matrix(refs))?;
+        let mut counts = DetectionCounts::default();
+        for (i, r) in refs.iter().enumerate() {
+            let pred = threshold_probs(probs.row(i), threshold);
+            counts.accumulate(&pred, &dataset.frame(*r).truth);
+        }
+        Ok(counts.f1())
+    }
+}
+
+/// The repository of compressed models produced by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRepository {
+    models: Vec<CompressedModel>,
+    /// Levels of the sweep that were examined (diagnostics).
+    pub levels_examined: usize,
+}
+
+impl ModelRepository {
+    /// Runs Algorithm 1.
+    ///
+    /// `train` and `val` are the 6:2:2 train/validation splits; `scene_model`
+    /// must already be trained on `train`.
+    ///
+    /// Clusters that repeat an already-accepted scene grouping at a later k
+    /// are skipped (they would duplicate a model); the paper's procedure
+    /// implicitly avoids this by construction of its scene set.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnoleError::EmptyRepository`] if no cluster validates above δ.
+    /// * Training/clustering errors from the substrates.
+    pub fn train(
+        dataset: &DrivingDataset,
+        scene_model: &SceneModel,
+        train: &[FrameRef],
+        val: &[FrameRef],
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        // Mean embedding per semantic scene class: the H_i of Algorithm 1.
+        let class_count = scene_model.class_count();
+        let x_train = dataset.features_matrix(train);
+        let emb = scene_model.embed(&x_train)?;
+        let train_scenes = dataset.scene_indices(train);
+        let mut sums = Matrix::zeros(class_count, emb.cols());
+        let mut counts = vec![0usize; class_count];
+        for (i, scene) in train_scenes.iter().enumerate() {
+            if let Some(class) = scene_model.class_of_semantic(*scene) {
+                counts[class] += 1;
+                for (s, &v) in sums.row_mut(class).iter_mut().zip(emb.row(i).iter()) {
+                    *s += v;
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for class in 0..class_count {
+            if counts[class] > 0 {
+                let inv = 1.0 / counts[class] as f32;
+                sums.row_mut(class).iter_mut().for_each(|v| *v *= inv);
+            }
+        }
+
+        // Pre-index train/val frames per scene class.
+        let frames_per_class = |refs: &[FrameRef]| -> Vec<Vec<FrameRef>> {
+            let mut per = vec![Vec::new(); class_count];
+            for r in refs {
+                let scene = dataset.clips()[r.clip].attributes.scene_index();
+                if let Some(class) = scene_model.class_of_semantic(scene) {
+                    per[class].push(*r);
+                }
+            }
+            per
+        };
+        let train_per_class = frames_per_class(train);
+        let val_per_class = frames_per_class(val);
+
+        let max_k = if config.repository.max_k == 0 {
+            class_count
+        } else {
+            config.repository.max_k.min(class_count)
+        };
+
+        let mut models = Vec::new();
+        let mut accepted_groups: HashSet<Vec<usize>> = HashSet::new();
+        let mut levels_examined = 0;
+
+        let sweep = MultiLevelClustering::new(&sums, split_seed(seed, 0)).with_max_k(max_k);
+        for level in sweep {
+            if models.len() >= config.repository.target_models {
+                break;
+            }
+            let level = level?;
+            levels_examined += 1;
+
+            // Describe this level's candidate clusters (dedup against groups
+            // accepted at earlier levels; within one level groups are
+            // necessarily distinct).
+            struct Candidate {
+                cluster: usize,
+                scenes: Vec<usize>,
+                train: Vec<FrameRef>,
+                val: Vec<FrameRef>,
+            }
+            let mut candidates = Vec::new();
+            for cluster in 0..level.k {
+                let classes = level.fit.members_of(cluster);
+                let mut scenes: Vec<usize> = classes
+                    .iter()
+                    .map(|&c| scene_model.semantic_scene_of(c))
+                    .collect();
+                scenes.sort_unstable();
+                if accepted_groups.contains(&scenes) {
+                    continue;
+                }
+                let train: Vec<FrameRef> = classes
+                    .iter()
+                    .flat_map(|&c| train_per_class[c].iter().copied())
+                    .collect();
+                let val: Vec<FrameRef> = classes
+                    .iter()
+                    .flat_map(|&c| val_per_class[c].iter().copied())
+                    .collect();
+                if train.len() < 8 || val.is_empty() {
+                    continue;
+                }
+                candidates.push(Candidate {
+                    cluster,
+                    scenes,
+                    train,
+                    val,
+                });
+            }
+
+            // Train the level's candidates in parallel: seeds are keyed by
+            // (k, cluster), not acceptance order, so the result is identical
+            // to a sequential run.
+            let threshold = config.detector.threshold;
+            let trained: Vec<Result<(CompressedModel, f32), AnoleError>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = candidates
+                        .iter()
+                        .map(|c| {
+                            let model_seed =
+                                split_seed(seed, 100 + level.k as u64 * 131 + c.cluster as u64);
+                            scope.spawn(move |_| {
+                                let candidate = train_compressed(
+                                    dataset,
+                                    &c.train,
+                                    config,
+                                    0, // ids are assigned at acceptance time
+                                    ClusterOrigin {
+                                        k: level.k,
+                                        cluster: c.cluster,
+                                        scenes: c.scenes.clone(),
+                                    },
+                                    model_seed,
+                                )?;
+                                let f1 = candidate.evaluate_f1(dataset, &c.val, threshold)?;
+                                Ok((candidate, f1))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("training thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+
+            // Accept sequentially, in cluster order, until the target.
+            for result in trained {
+                let (candidate, f1) = result?;
+                if models.len() >= config.repository.target_models {
+                    break;
+                }
+                if f1 > config.repository.delta {
+                    accepted_groups.insert(candidate.origin.scenes.clone());
+                    models.push(CompressedModel {
+                        id: models.len(),
+                        validation_f1: f1,
+                        ..candidate
+                    });
+                }
+            }
+        }
+
+        if models.is_empty() {
+            return Err(AnoleError::EmptyRepository);
+        }
+        Ok(Self {
+            models,
+            levels_examined,
+        })
+    }
+
+    /// The accepted models, in id order.
+    pub fn models(&self) -> &[CompressedModel] {
+        &self.models
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the repository is empty (never true for a trained one).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Borrows model `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn model(&self, id: usize) -> &CompressedModel {
+        &self.models[id]
+    }
+
+    /// Sizes of the training sets |Γᵢ|, used by adaptive sampling.
+    pub fn training_set_sizes(&self) -> Vec<usize> {
+        self.models.iter().map(|m| m.training_set.len()).collect()
+    }
+
+    /// Appends an externally trained specialist (online repository
+    /// expansion, the §II case-3 remedy), assigning it the next id, which
+    /// is returned.
+    pub fn push(&mut self, mut model: CompressedModel) -> usize {
+        let id = self.models.len();
+        model.id = id;
+        self.models.push(model);
+        id
+    }
+}
+
+fn train_compressed(
+    dataset: &DrivingDataset,
+    refs: &[FrameRef],
+    config: &AnoleConfig,
+    id: usize,
+    origin: ClusterOrigin,
+    seed: Seed,
+) -> Result<CompressedModel, AnoleError> {
+    let x = dataset.features_matrix(refs);
+    let y = dataset.truth_matrix(refs);
+    let mut net = Mlp::builder(dataset.config().world.feature_dim)
+        .hidden(config.detector.compressed_hidden, Activation::Relu)
+        .output(dataset.config().world.grid.cells())
+        .build(split_seed(seed, 0));
+    let mut train_cfg = config.detector.train;
+    train_cfg.pos_weight = config.detector.pos_weight;
+    Trainer::new(train_cfg).fit_multilabel(&mut net, &x, &y, split_seed(seed, 1))?;
+    let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
+    Ok(CompressedModel {
+        id,
+        net,
+        profile,
+        validation_f1: 0.0,
+        origin,
+        training_set: refs.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_data::DatasetConfig;
+    use crate::SceneModelConfig;
+
+    fn setup() -> (DrivingDataset, SceneModel, ModelRepository, AnoleConfig) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(41));
+        let split = dataset.split();
+        let config = AnoleConfig::fast();
+        let mut scfg = SceneModelConfig::default();
+        scfg.train.epochs = 10;
+        let scene = SceneModel::train(&dataset, &split.train, &scfg, Seed(42)).unwrap();
+        let repo = ModelRepository::train(
+            &dataset,
+            &scene,
+            &split.train,
+            &split.val,
+            &config,
+            Seed(43),
+        )
+        .unwrap();
+        (dataset, scene, repo, config)
+    }
+
+    #[test]
+    fn repository_is_populated_up_to_target() {
+        let (_, _, repo, config) = setup();
+        assert!(repo.len() >= 2, "only {} models", repo.len());
+        assert!(repo.len() <= config.repository.target_models);
+        assert!(repo.levels_examined >= 1);
+    }
+
+    #[test]
+    fn accepted_models_beat_delta_on_validation() {
+        let (_, _, repo, config) = setup();
+        for m in repo.models() {
+            assert!(
+                m.validation_f1 > config.repository.delta,
+                "model {} f1 {}",
+                m.id,
+                m.validation_f1
+            );
+        }
+    }
+
+    #[test]
+    fn scene_groups_are_unique() {
+        let (_, _, repo, _) = setup();
+        let mut seen = HashSet::new();
+        for m in repo.models() {
+            assert!(seen.insert(m.origin.scenes.clone()), "duplicate group");
+        }
+    }
+
+    #[test]
+    fn models_are_specialists_on_their_own_clusters() {
+        let (dataset, _, repo, config) = setup();
+        let split = dataset.split();
+        // A model should do at least as well on its own validation scenes as
+        // the weakest model does there, and meaningfully better than random.
+        for m in repo.models().iter().take(3) {
+            let own_val: Vec<FrameRef> = split
+                .val
+                .iter()
+                .copied()
+                .filter(|r| {
+                    m.origin
+                        .scenes
+                        .contains(&dataset.clips()[r.clip].attributes.scene_index())
+                })
+                .collect();
+            let f1 = m
+                .evaluate_f1(&dataset, &own_val, config.detector.threshold)
+                .unwrap();
+            assert!(f1 > 0.2, "model {} own-scene f1 {}", m.id, f1);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_training_sets_nonempty() {
+        let (_, _, repo, _) = setup();
+        for (i, m) in repo.models().iter().enumerate() {
+            assert_eq!(m.id, i);
+            assert!(!m.training_set.is_empty());
+            assert_eq!(
+                m.profile.reference,
+                ReferenceModel::Yolov3Tiny,
+                "compressed models carry the tiny reference profile"
+            );
+        }
+        assert_eq!(repo.training_set_sizes().len(), repo.len());
+    }
+
+    #[test]
+    fn impossible_delta_yields_empty_repository_error() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(44));
+        let split = dataset.split();
+        let mut config = AnoleConfig::fast();
+        config.repository.delta = 0.999;
+        let mut scfg = SceneModelConfig::default();
+        scfg.train.epochs = 5;
+        let scene = SceneModel::train(&dataset, &split.train, &scfg, Seed(45)).unwrap();
+        let err = ModelRepository::train(
+            &dataset,
+            &scene,
+            &split.train,
+            &split.val,
+            &config,
+            Seed(46),
+        )
+        .unwrap_err();
+        assert_eq!(err, AnoleError::EmptyRepository);
+    }
+}

@@ -1,0 +1,260 @@
+//! The weakly-supervised scene encoder `M_scene` (paper §IV-A).
+//!
+//! Semantic scenes (attribute combinations) provide the labels; the trained
+//! classifier's penultimate activations are the scene representation used
+//! for clustering (Algorithm 1) and as the decision model's backbone.
+
+use anole_data::{DrivingDataset, FrameRef};
+use anole_detect::ConfusionMatrix;
+use anole_nn::{Activation, Mlp, Trainer};
+use anole_tensor::{Matrix, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::{AnoleError, SceneModelConfig};
+
+/// The scene-representation model.
+///
+/// Wraps the classifier network together with the mapping from dense class
+/// indices to semantic scene indices (only scenes present in the training
+/// data get a class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneModel {
+    net: Mlp,
+    /// `class → semantic scene index`.
+    scene_of_class: Vec<usize>,
+}
+
+impl SceneModel {
+    /// Trains `M_scene` on the referenced frames, using each frame's
+    /// semantic scene as its label.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnoleError::InsufficientData`] if fewer than two distinct
+    ///   semantic scenes appear in `refs`.
+    /// * Training errors surfaced from the network.
+    pub fn train(
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        config: &SceneModelConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let semantic = dataset.scene_indices(refs);
+        let mut present: Vec<usize> = semantic.clone();
+        present.sort_unstable();
+        present.dedup();
+        if present.len() < 2 {
+            return Err(AnoleError::InsufficientData {
+                stage: "scene model",
+                detail: format!("{} distinct semantic scenes", present.len()),
+            });
+        }
+
+        let labels: Vec<usize> = semantic
+            .iter()
+            .map(|s| present.binary_search(s).expect("present scene"))
+            .collect();
+        let x = dataset.features_matrix(refs);
+
+        let mut net = Mlp::builder(dataset.config().world.feature_dim)
+            .hidden(config.hidden, Activation::Relu)
+            .hidden(config.embedding, Activation::Tanh)
+            .output(present.len())
+            .build(anole_tensor::split_seed(seed, 0));
+        Trainer::new(config.train).fit_classifier(
+            &mut net,
+            &x,
+            &labels,
+            anole_tensor::split_seed(seed, 1),
+        )?;
+
+        Ok(Self {
+            net,
+            scene_of_class: present,
+        })
+    }
+
+    /// Number of scene classes the encoder distinguishes.
+    pub fn class_count(&self) -> usize {
+        self.scene_of_class.len()
+    }
+
+    /// Semantic scene index of a dense class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn semantic_scene_of(&self, class: usize) -> usize {
+        self.scene_of_class[class]
+    }
+
+    /// Dense class of a semantic scene, if it was present at training time.
+    pub fn class_of_semantic(&self, scene: usize) -> Option<usize> {
+        self.scene_of_class.binary_search(&scene).ok()
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Width of the scene embedding.
+    pub fn embedding_dim(&self) -> usize {
+        self.net.embedding_dim()
+    }
+
+    /// Embeds samples into the scene-representation space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn embed(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
+        Ok(self.net.embed(x)?)
+    }
+
+    /// Predicts dense scene classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn classify(&self, x: &Matrix) -> Result<Vec<usize>, AnoleError> {
+        Ok(self.net.classify(x)?)
+    }
+
+    /// Scene-classification confusion matrix on a labelled set (Fig. 6a).
+    /// Frames whose semantic scene was absent at training time are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if features do not match the input dimension.
+    pub fn confusion(
+        &self,
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+    ) -> Result<ConfusionMatrix, AnoleError> {
+        let mut cm = ConfusionMatrix::new(self.class_count());
+        let kept: Vec<FrameRef> = refs
+            .iter()
+            .copied()
+            .filter(|r| {
+                self.class_of_semantic(dataset.clips()[r.clip].attributes.scene_index())
+                    .is_some()
+            })
+            .collect();
+        if kept.is_empty() {
+            return Ok(cm);
+        }
+        let x = dataset.features_matrix(&kept);
+        let pred = self.classify(&x)?;
+        for (r, p) in kept.iter().zip(pred) {
+            let truth = self
+                .class_of_semantic(dataset.clips()[r.clip].attributes.scene_index())
+                .expect("filtered to present scenes");
+            cm.record(truth, p);
+        }
+        Ok(cm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_data::DatasetConfig;
+
+    fn setup() -> (DrivingDataset, SceneModel) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(31));
+        let split = dataset.split();
+        let mut cfg = SceneModelConfig::default();
+        cfg.train.epochs = 15;
+        let model = SceneModel::train(&dataset, &split.train, &cfg, Seed(32)).unwrap();
+        (dataset, model)
+    }
+
+    #[test]
+    fn learns_to_separate_scenes() {
+        let (dataset, model) = setup();
+        let split = dataset.split();
+        let cm = model.confusion(&dataset, &split.val).unwrap();
+        assert!(
+            cm.accuracy() > 0.6,
+            "scene validation accuracy {:.3}",
+            cm.accuracy()
+        );
+    }
+
+    #[test]
+    fn class_mapping_is_consistent() {
+        let (_, model) = setup();
+        for class in 0..model.class_count() {
+            let scene = model.semantic_scene_of(class);
+            assert_eq!(model.class_of_semantic(scene), Some(class));
+        }
+    }
+
+    #[test]
+    fn embeddings_have_configured_width() {
+        let (dataset, model) = setup();
+        let split = dataset.split();
+        let x = dataset.features_matrix(&split.val[..4.min(split.val.len())]);
+        let emb = model.embed(&x).unwrap();
+        assert_eq!(emb.cols(), model.embedding_dim());
+        assert_eq!(emb.cols(), SceneModelConfig::default().embedding);
+    }
+
+    #[test]
+    fn same_scene_embeddings_are_closer_than_cross_scene() {
+        let (dataset, model) = setup();
+        // Mean within-clip vs cross-clip embedding distance over a few clips.
+        let clips: Vec<usize> = (0..dataset.clips().len().min(4)).collect();
+        let mut embeddings = Vec::new();
+        for &c in &clips {
+            let refs = dataset.clip_frames(c);
+            let x = dataset.features_matrix(&refs[..10]);
+            embeddings.push(model.embed(&x).unwrap());
+        }
+        let mut within = 0.0;
+        let mut cross = 0.0;
+        let mut wn = 0;
+        let mut cn = 0;
+        for (i, a) in embeddings.iter().enumerate() {
+            for r1 in 0..a.rows() {
+                for (j, b) in embeddings.iter().enumerate() {
+                    for r2 in 0..b.rows() {
+                        if i == j && r1 < r2 {
+                            within += anole_tensor::l2_distance(a.row(r1), b.row(r2));
+                            wn += 1;
+                        } else if i < j {
+                            let same_scene = dataset.clips()[clips[i]].attributes
+                                == dataset.clips()[clips[j]].attributes;
+                            if !same_scene {
+                                cross += anole_tensor::l2_distance(a.row(r1), b.row(r2));
+                                cn += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if wn > 0 && cn > 0 {
+            assert!(within / wn as f32 * 2.0 < cross / cn as f32);
+        }
+    }
+
+    #[test]
+    fn single_scene_dataset_is_rejected() {
+        let dataset = DrivingDataset::generate(
+            &DatasetConfig {
+                kitti_clips: 1,
+                bdd_clips: 0,
+                shd_clips: 0,
+                ..DatasetConfig::small()
+            },
+            Seed(35),
+        );
+        // One clip → unseen (hold-out) → no training frames at all, or a
+        // single scene; either way training must fail cleanly.
+        let split = dataset.split();
+        let err = SceneModel::train(&dataset, &split.train, &SceneModelConfig::default(), Seed(0));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! The assembled Anole system: one call trains the whole offline pipeline.
+
+use anole_data::DrivingDataset;
+use anole_device::DeviceKind;
+use anole_tensor::{split_seed, Seed};
+use serde::{Deserialize, Serialize};
+
+use crate::omi::OnlineEngine;
+use crate::osp::{AdaptiveSampler, DecisionModel, ModelRepository, SceneModel, SuitabilitySets};
+use crate::{AnoleConfig, AnoleError};
+
+/// A fully trained Anole system: scene encoder, compressed-model repository,
+/// and decision model, ready to be deployed to an [`OnlineEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnoleSystem {
+    config: AnoleConfig,
+    scene_model: SceneModel,
+    repository: ModelRepository,
+    decision: DecisionModel,
+    suitability_sets: SuitabilitySets,
+}
+
+impl AnoleSystem {
+    /// Runs the entire offline scene profiling of Fig. 2: trains `M_scene`,
+    /// runs Algorithm 1, collects balanced suitability sets with Thompson
+    /// sampling, and trains `M_decision`.
+    ///
+    /// # Errors
+    ///
+    /// Any stage's error is surfaced; see [`AnoleError`].
+    pub fn train(
+        dataset: &DrivingDataset,
+        config: &AnoleConfig,
+        seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        let split = dataset.split();
+        let scene_model =
+            SceneModel::train(dataset, &split.train, &config.scene, split_seed(seed, 0))?;
+        let repository = ModelRepository::train(
+            dataset,
+            &scene_model,
+            &split.train,
+            &split.val,
+            config,
+            split_seed(seed, 1),
+        )?;
+        let sampler = AdaptiveSampler::new(config.sampling, config.detector.threshold);
+        let suitability_sets = sampler.collect(dataset, &repository, split_seed(seed, 2))?;
+        let decision = DecisionModel::train(
+            dataset,
+            &scene_model,
+            &suitability_sets,
+            repository.len(),
+            &config.decision,
+            split_seed(seed, 3),
+        )?;
+        Ok(Self {
+            config: *config,
+            scene_model,
+            repository,
+            decision,
+            suitability_sets,
+        })
+    }
+
+    /// The configuration the system was trained with.
+    pub fn config(&self) -> &AnoleConfig {
+        &self.config
+    }
+
+    /// The scene encoder `M_scene`.
+    pub fn scene_model(&self) -> &SceneModel {
+        &self.scene_model
+    }
+
+    /// The compressed-model repository.
+    pub fn repository(&self) -> &ModelRepository {
+        &self.repository
+    }
+
+    /// The decision model `M_decision`.
+    pub fn decision(&self) -> &DecisionModel {
+        &self.decision
+    }
+
+    /// The suitability sets used to train the decision model (diagnostics).
+    pub fn suitability_sets(&self) -> &SuitabilitySets {
+        &self.suitability_sets
+    }
+
+    /// Deploys the system to a simulated device.
+    pub fn online_engine(&self, device: DeviceKind, seed: Seed) -> OnlineEngine<'_> {
+        OnlineEngine::new(self, device, seed)
+    }
+
+    /// Overrides the deployment cache configuration (capacity sweeps and
+    /// eviction-policy ablations re-deploy the same trained system with
+    /// different cache settings).
+    pub fn set_cache_config(&mut self, cache: crate::CacheConfig) {
+        self.config.cache = cache;
+    }
+
+    /// Online repository expansion — the paper's remedy for §II case 3
+    /// ("train new models to deal with x and the like in the future").
+    ///
+    /// Given freshly collected labelled frames from an uncovered scene,
+    /// trains a new compressed specialist on them, appends it to the
+    /// repository, and retrains the decision head (frozen scene backbone)
+    /// over the widened model set using the stored suitability samples plus
+    /// the new footage. Returns the new model's id.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnoleError::InsufficientData`] if fewer than 10 frames are
+    ///   supplied (too few to train and validate a specialist).
+    /// * Training errors from the substrates.
+    pub fn extend_with_frames(
+        &mut self,
+        dataset: &DrivingDataset,
+        frames: &[anole_data::Frame],
+        seed: Seed,
+    ) -> Result<usize, AnoleError> {
+        use anole_nn::{Activation, Mlp, ModelProfile, ReferenceModel, Trainer};
+        use anole_tensor::Matrix;
+
+        if frames.len() < 10 {
+            return Err(AnoleError::InsufficientData {
+                stage: "repository expansion",
+                detail: format!("{} frames (need at least 10)", frames.len()),
+            });
+        }
+        let feature_dim = dataset.config().world.feature_dim;
+        let cells = dataset.config().world.grid.cells();
+        let split_at = frames.len() * 4 / 5;
+        let (fit_frames, val_frames) = frames.split_at(split_at.max(1));
+
+        let stack = |frames: &[anole_data::Frame]| {
+            let mut x = Matrix::zeros(frames.len(), feature_dim);
+            let mut y = Matrix::zeros(frames.len(), cells);
+            for (i, f) in frames.iter().enumerate() {
+                x.row_mut(i).copy_from_slice(&f.features);
+                for (j, &t) in f.truth.iter().enumerate() {
+                    if t {
+                        y.set(i, j, 1.0);
+                    }
+                }
+            }
+            (x, y)
+        };
+        let (x_fit, y_fit) = stack(fit_frames);
+
+        // 1. Train the new specialist.
+        let mut net = Mlp::builder(feature_dim)
+            .hidden(self.config.detector.compressed_hidden, Activation::Relu)
+            .output(cells)
+            .build(split_seed(seed, 0));
+        let mut train_cfg = self.config.detector.train;
+        train_cfg.pos_weight = self.config.detector.pos_weight;
+        Trainer::new(train_cfg).fit_multilabel(&mut net, &x_fit, &y_fit, split_seed(seed, 1))?;
+
+        let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
+        let mut candidate = crate::osp::CompressedModel {
+            id: 0, // assigned by push
+            net,
+            profile,
+            validation_f1: 0.0,
+            origin: crate::osp::ClusterOrigin {
+                k: 0,
+                cluster: 0,
+                scenes: Vec::new(),
+            },
+            training_set: Vec::new(),
+        };
+        let threshold = self.config.detector.threshold;
+        let mut counts = anole_detect::DetectionCounts::default();
+        for frame in val_frames {
+            let pred = candidate.detect(&frame.features, threshold)?;
+            counts.accumulate(&pred, &frame.truth);
+        }
+        candidate.validation_f1 = counts.f1();
+        let new_id = self.repository.push(candidate);
+        let n_models = self.repository.len();
+
+        // 2. Rebuild the decision training material with the widened width:
+        //    stored suitability samples (membership rows extended with the
+        //    new model's score) plus the new footage (owner-boosted on the
+        //    new model).
+        let sampler = AdaptiveSampler::new(self.config.sampling, threshold);
+        let old_refs: Vec<anole_data::FrameRef> =
+            self.suitability_sets.samples.iter().map(|&(r, _)| r).collect();
+        let x_old = dataset.features_matrix(&old_refs);
+        let mut rows = x_old.rows() + frames.len();
+        let mut x = Matrix::zeros(rows, feature_dim);
+        let mut targets = Matrix::zeros(rows, n_models);
+        let new_model = self.repository.model(new_id);
+        for (i, &r) in old_refs.iter().enumerate() {
+            x.row_mut(i).copy_from_slice(x_old.row(i));
+            let mut v = self.suitability_sets.memberships[i].clone();
+            let new_f1 = sampler.frame_f1(new_model, dataset, r)?;
+            v.push(if new_f1 > self.config.sampling.accept_f1 {
+                new_f1 * new_f1
+            } else {
+                0.0
+            });
+            write_normalized(&mut targets, i, &v, self.suitability_sets.samples[i].1);
+        }
+        let mut row = x_old.rows();
+        for frame in frames {
+            let mut v = vec![0.0f32; n_models];
+            for model in self.repository.models() {
+                let f1 = crate::osp::frame_f1_of(model, frame, threshold)?;
+                if f1 > self.config.sampling.accept_f1 {
+                    v[model.id] = f1 * f1;
+                }
+            }
+            // Owner boost toward the new specialist, mirroring collection.
+            let peak = v.iter().cloned().fold(0.0f32, f32::max).max(1.0);
+            v[new_id] += 2.0 * peak;
+            x.row_mut(row).copy_from_slice(&frame.features);
+            write_normalized(&mut targets, row, &v, new_id);
+            row += 1;
+        }
+        rows = row;
+        debug_assert_eq!(rows, x.rows());
+
+        self.decision = DecisionModel::train_from_features(
+            &self.scene_model,
+            &x,
+            &targets,
+            &self.config.decision,
+            split_seed(seed, 2),
+        )?;
+        Ok(new_id)
+    }
+}
+
+/// Writes `v` into `targets` row `row`, normalized to sum 1; falls back to a
+/// one-hot on `fallback` when `v` is all-zero.
+fn write_normalized(targets: &mut anole_tensor::Matrix, row: usize, v: &[f32], fallback: usize) {
+    let mass: f32 = v.iter().sum();
+    if mass > 0.0 {
+        for (j, &m) in v.iter().enumerate() {
+            targets.set(row, j, m / mass);
+        }
+    } else {
+        targets.set(row, fallback, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_data::DatasetConfig;
+
+    #[test]
+    fn full_pipeline_trains_end_to_end() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(81));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(82)).unwrap();
+        assert!(system.repository().len() >= 2);
+        assert_eq!(system.decision().model_count(), system.repository().len());
+        assert!(!system.suitability_sets().is_empty());
+        assert!(system.scene_model().class_count() >= 2);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(83));
+        let a = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(84)).unwrap();
+        let b = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(84)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expansion_adds_a_working_specialist() {
+        use anole_data::{ClipId, DatasetSource, Location, SceneAttributes, TimeOfDay, Weather};
+
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(91));
+        let mut system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(92)).unwrap();
+        let before_count = system.repository().len();
+
+        // A scene combination the small dataset cannot contain (KITTI/BDD/SHD
+        // profiles never sample snowy toll booths at night).
+        let exotic = SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        assert!(dataset.clips().iter().all(|c| c.attributes != exotic));
+        let footage = dataset.world().generate_clip(
+            ClipId(7000),
+            DatasetSource::Shd,
+            exotic,
+            120,
+            1.0,
+            Seed(93),
+        );
+        let holdout = dataset.world().generate_clip(
+            ClipId(7001),
+            DatasetSource::Shd,
+            exotic,
+            60,
+            1.0,
+            Seed(94),
+        );
+        let threshold = system.config().detector.threshold;
+        let best_before: f32 = system
+            .repository()
+            .models()
+            .iter()
+            .map(|m| {
+                let mut counts = anole_detect::DetectionCounts::default();
+                for f in &holdout.frames {
+                    counts.accumulate(&m.detect(&f.features, threshold).unwrap(), &f.truth);
+                }
+                counts.f1()
+            })
+            .fold(0.0, f32::max);
+
+        let new_id = system
+            .extend_with_frames(&dataset, &footage.frames, Seed(95))
+            .unwrap();
+        assert_eq!(new_id, before_count);
+        assert_eq!(system.repository().len(), before_count + 1);
+        assert_eq!(system.decision().model_count(), before_count + 1);
+        assert!(system.repository().model(new_id).validation_f1 > 0.0);
+
+        // The new specialist must dominate the exotic scene.
+        let new_model = system.repository().model(new_id);
+        let mut counts = anole_detect::DetectionCounts::default();
+        for f in &holdout.frames {
+            counts.accumulate(&new_model.detect(&f.features, threshold).unwrap(), &f.truth);
+        }
+        assert!(
+            counts.f1() > best_before,
+            "new specialist {:.3} vs best previous {:.3}",
+            counts.f1(),
+            best_before
+        );
+
+        // And the retrained router must actually route exotic frames to it
+        // more often than chance.
+        let mut hits = 0;
+        for f in &holdout.frames {
+            if system.decision().rank(&f.features).unwrap()[0] == new_id {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * (before_count + 1) > holdout.frames.len(),
+            "router picked the new model only {hits}/{} times",
+            holdout.frames.len()
+        );
+    }
+
+    #[test]
+    fn expansion_rejects_too_little_footage() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(96));
+        let mut system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(97)).unwrap();
+        let frame = dataset.frame(dataset.split().test[0]).clone();
+        let err = system
+            .extend_with_frames(&dataset, &[frame], Seed(98))
+            .unwrap_err();
+        assert!(matches!(err, AnoleError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn engine_runs_a_stream() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(85));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(86)).unwrap();
+        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(87));
+        let split = dataset.split();
+        for r in split.test.iter().take(30) {
+            engine.step(&dataset.frame(*r).features).unwrap();
+        }
+        assert_eq!(engine.usage_log().len(), 30);
+    }
+}

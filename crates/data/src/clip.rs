@@ -1,0 +1,366 @@
+//! Video clips and frames: temporally correlated generation.
+
+use anole_tensor::{rng_from_seed, Matrix, Seed};
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+use crate::{DatasetSource, SceneAttributes, WorldModel};
+
+/// Identifier of a clip within a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClipId(pub usize);
+
+impl std::fmt::Display for ClipId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "clip#{}", self.0)
+    }
+}
+
+/// Reference to a single frame: `(clip index, frame index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameRef {
+    /// Index of the clip within the dataset.
+    pub clip: usize,
+    /// Index of the frame within the clip.
+    pub frame: usize,
+}
+
+/// Photometric and object statistics of a frame (the quantities whose CDFs
+/// the paper plots in Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameMeta {
+    /// Image brightness, in `[0, 1]`.
+    pub brightness: f32,
+    /// Image contrast, in `[0, 1]`.
+    pub contrast: f32,
+    /// Number of visible foreground objects.
+    pub object_count: usize,
+    /// Total fraction of the image covered by objects, in `[0, 1]`.
+    pub object_area: f32,
+}
+
+/// One generated frame: observed features, ground-truth occupancy, and
+/// metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Observed feature vector (what models consume).
+    pub features: Vec<f32>,
+    /// Ground-truth cell occupancy (what detectors must predict).
+    pub truth: Vec<bool>,
+    /// Photometric / object statistics.
+    pub meta: FrameMeta,
+}
+
+impl Frame {
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.truth.iter().filter(|&&t| t).count()
+    }
+}
+
+/// A generated video clip with fixed semantic attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoClip {
+    /// Clip identifier.
+    pub id: ClipId,
+    /// Source dataset this clip belongs to.
+    pub source: DatasetSource,
+    /// Semantic attributes (constant over the clip, as in BDD100k).
+    pub attributes: SceneAttributes,
+    /// The frames, in temporal order.
+    pub frames: Vec<Frame>,
+    /// Whether the clip is in the *seen* (training) partition.
+    pub seen: bool,
+}
+
+impl VideoClip {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the clip has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ObjectState {
+    cell: usize,
+    area: f32,
+}
+
+impl WorldModel {
+    /// Generates one clip of `length` frames in scene `attrs`.
+    ///
+    /// `density` scales the scene's expected object count (datasets differ in
+    /// how busy their footage is). Objects persist across frames with the
+    /// configured probability and the observation noise is AR(1), so
+    /// consecutive frames are correlated like real video.
+    pub fn generate_clip(
+        &self,
+        id: ClipId,
+        source: DatasetSource,
+        attrs: SceneAttributes,
+        length: usize,
+        density: f32,
+        seed: Seed,
+    ) -> VideoClip {
+        let cfg = *self.config();
+        let style = self.scene_style(&attrs);
+        let cells = cfg.grid.cells();
+        let mut rng = rng_from_seed(seed);
+
+        let clip_offset = Matrix::random_normal(1, cfg.feature_dim, cfg.clip_offset_std, &mut rng);
+        let rate = (style.object_rate * density).max(0.05);
+        let persistence = cfg.object_persistence;
+        // Birth rate keeping the population at `rate` in equilibrium.
+        let birth_rate = (rate * (1.0 - persistence)).max(1e-3);
+
+        let mut objects: Vec<ObjectState> = Vec::new();
+        // Start from the stationary distribution.
+        let initial = Poisson::new(rate as f64).expect("positive rate").sample(&mut rng) as usize;
+        for _ in 0..initial {
+            objects.push(spawn_object(&style.spatial_prior, attrs, &mut rng));
+        }
+
+        let mut noise = Matrix::zeros(1, cfg.feature_dim);
+        let mut photometric_jitter = 0.0f32;
+        let mut frames = Vec::with_capacity(length);
+
+        for _ in 0..length {
+            // Object dynamics.
+            objects.retain(|_| rng.gen::<f32>() < persistence);
+            let births = Poisson::new(birth_rate as f64)
+                .expect("positive rate")
+                .sample(&mut rng) as usize;
+            for _ in 0..births {
+                objects.push(spawn_object(&style.spatial_prior, attrs, &mut rng));
+            }
+
+            // Photometrics with slow AR(1) jitter.
+            photometric_jitter = 0.9 * photometric_jitter + 0.1 * sample_normal(&mut rng, 0.35);
+            let brightness = (style.brightness + photometric_jitter * 0.3).clamp(0.02, 1.0);
+            let contrast = (style.contrast + photometric_jitter * 0.15).clamp(0.02, 1.0);
+            let gain = 0.35 + 0.65 * brightness.sqrt() * (0.4 + 0.6 * contrast);
+
+            // Object encoding: per-cell evidence magnitude.
+            let mut evidence = vec![0.0f32; cells];
+            let mut truth = vec![false; cells];
+            let mut total_area = 0.0f32;
+            for obj in &objects {
+                evidence[obj.cell] += (obj.area * 14.0).min(2.0);
+                truth[obj.cell] = true;
+                total_area += obj.area;
+            }
+
+            // Observed features.
+            let rho = cfg.temporal_rho;
+            let innovation = Matrix::random_normal(1, cfg.feature_dim, cfg.noise_std, &mut rng);
+            noise = &noise.scale(rho) + &innovation.scale((1.0 - rho * rho).sqrt());
+
+            let e = Matrix::row_vector(&evidence);
+            let projected = e.matmul(&style.mixing).expect("cells match");
+            let mut raw = projected.scale(gain);
+            for (v, &s) in raw.as_mut_slice().iter_mut().zip(style.latent.iter()) {
+                *v += s;
+            }
+            raw.axpy(1.0, &clip_offset).expect("same width");
+            raw.axpy(1.0, &noise).expect("same width");
+            let features: Vec<f32> = raw.iter().map(|&v| v.tanh()).collect();
+
+            frames.push(Frame {
+                features,
+                truth,
+                meta: FrameMeta {
+                    brightness,
+                    contrast,
+                    object_count: objects.len(),
+                    object_area: total_area.min(1.0),
+                },
+            });
+        }
+
+        VideoClip {
+            id,
+            source,
+            attributes: attrs,
+            frames,
+            seen: true,
+        }
+    }
+}
+
+fn spawn_object<R: Rng + ?Sized>(
+    prior: &[f32],
+    attrs: SceneAttributes,
+    rng: &mut R,
+) -> ObjectState {
+    // Sample a cell from the spatial prior.
+    let mut target: f32 = rng.gen();
+    let mut cell = prior.len() - 1;
+    for (i, &p) in prior.iter().enumerate() {
+        if target < p {
+            cell = i;
+            break;
+        }
+        target -= p;
+    }
+    // Object apparent size: highway traffic is distant (small), parking lots
+    // are close-ups (large).
+    let base = match attrs.location {
+        crate::Location::Highway | crate::Location::Bridge => 0.015,
+        crate::Location::ParkingLot | crate::Location::GasStation => 0.05,
+        _ => 0.03,
+    };
+    let area = (base * (0.4 + 1.6 * rng.gen::<f32>())).min(0.25);
+    ObjectState { cell, area }
+}
+
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R, std: f32) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Location, TimeOfDay, Weather, WorldConfig};
+
+    fn world() -> WorldModel {
+        WorldModel::new(WorldConfig::default(), Seed(5))
+    }
+
+    fn gen(attrs: SceneAttributes, seed: Seed) -> VideoClip {
+        world().generate_clip(ClipId(0), DatasetSource::Bdd100k, attrs, 120, 1.0, seed)
+    }
+
+    fn urban_day() -> SceneAttributes {
+        SceneAttributes::new(Weather::Clear, Location::Urban, TimeOfDay::Daytime)
+    }
+
+    #[test]
+    fn clip_has_requested_length_and_shapes() {
+        let clip = gen(urban_day(), Seed(1));
+        assert_eq!(clip.len(), 120);
+        for f in &clip.frames {
+            assert_eq!(f.features.len(), 32);
+            assert_eq!(f.truth.len(), 16);
+            assert!(f.features.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(gen(urban_day(), Seed(2)), gen(urban_day(), Seed(2)));
+        assert_ne!(gen(urban_day(), Seed(2)), gen(urban_day(), Seed(3)));
+    }
+
+    #[test]
+    fn truth_matches_meta_object_presence() {
+        let clip = gen(urban_day(), Seed(4));
+        for f in &clip.frames {
+            if f.meta.object_count == 0 {
+                assert_eq!(f.occupied_cells(), 0);
+            } else {
+                assert!(f.occupied_cells() >= 1);
+                assert!(f.occupied_cells() <= f.meta.object_count);
+                assert!(f.meta.object_area > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn urban_clips_are_busier_than_tunnel_clips() {
+        let tunnel = SceneAttributes::new(Weather::Clear, Location::Tunnel, TimeOfDay::Daytime);
+        let mean = |clip: &VideoClip| {
+            clip.frames.iter().map(|f| f.meta.object_count as f32).sum::<f32>()
+                / clip.len() as f32
+        };
+        let urban_mean = mean(&gen(urban_day(), Seed(6)));
+        let tunnel_mean = mean(&gen(tunnel, Seed(7)));
+        assert!(
+            urban_mean > 1.5 * tunnel_mean,
+            "urban {urban_mean} vs tunnel {tunnel_mean}"
+        );
+    }
+
+    #[test]
+    fn consecutive_frames_are_more_similar_than_distant_ones() {
+        let clip = gen(urban_day(), Seed(8));
+        let d = |a: &Frame, b: &Frame| anole_tensor::l2_distance(&a.features, &b.features);
+        let mut adjacent = 0.0;
+        let mut distant = 0.0;
+        let n = clip.len();
+        for i in 0..n - 1 {
+            adjacent += d(&clip.frames[i], &clip.frames[i + 1]);
+            distant += d(&clip.frames[i], &clip.frames[(i + n / 2) % n]);
+        }
+        assert!(
+            adjacent < distant * 0.8,
+            "adjacent {adjacent} vs distant {distant}"
+        );
+    }
+
+    #[test]
+    fn object_population_stays_near_scene_rate() {
+        let clip = world().generate_clip(
+            ClipId(1),
+            DatasetSource::Bdd100k,
+            urban_day(),
+            600,
+            1.0,
+            Seed(9),
+        );
+        let rate = world().object_rate_of(&urban_day());
+        let mean = clip.frames.iter().map(|f| f.meta.object_count as f32).sum::<f32>()
+            / clip.len() as f32;
+        assert!(
+            (mean - rate).abs() < rate * 0.5,
+            "population mean {mean} vs rate {rate}"
+        );
+    }
+
+    #[test]
+    fn density_scales_object_counts() {
+        let sparse = world().generate_clip(
+            ClipId(2),
+            DatasetSource::Kitti,
+            urban_day(),
+            200,
+            0.4,
+            Seed(10),
+        );
+        let dense = world().generate_clip(
+            ClipId(3),
+            DatasetSource::Bdd100k,
+            urban_day(),
+            200,
+            1.6,
+            Seed(10),
+        );
+        let mean = |c: &VideoClip| {
+            c.frames.iter().map(|f| f.meta.object_count as f32).sum::<f32>() / c.len() as f32
+        };
+        assert!(mean(&dense) > 2.0 * mean(&sparse));
+    }
+
+    #[test]
+    fn night_frames_are_darker() {
+        let night = SceneAttributes::new(Weather::Clear, Location::Urban, TimeOfDay::Night);
+        let bright = |c: &VideoClip| {
+            c.frames.iter().map(|f| f.meta.brightness).sum::<f32>() / c.len() as f32
+        };
+        assert!(bright(&gen(night, Seed(11))) < bright(&gen(urban_day(), Seed(11))) - 0.2);
+    }
+
+    #[test]
+    fn frame_ref_and_clip_id_are_plain_data() {
+        let r = FrameRef { clip: 3, frame: 14 };
+        assert_eq!(r, FrameRef { clip: 3, frame: 14 });
+        assert_eq!(ClipId(7).to_string(), "clip#7");
+    }
+}

@@ -1,0 +1,273 @@
+//! Compact binary encoding of video clips.
+//!
+//! Generated footage is shared between the profiling server and analysis
+//! tooling (and checked into experiment archives); JSON blows a 250-frame
+//! clip up to several hundred kilobytes. This codec stores features as raw
+//! little-endian `f32`, ground truth as a bitset, and metadata packed — a
+//! ~6× size reduction — with bounds-checked decoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{
+    ClipId, DatasetSource, Frame, FrameMeta, Location, SceneAttributes, TimeOfDay, VideoClip,
+    Weather,
+};
+
+const MAGIC: &[u8; 4] = b"ANOL";
+const VERSION: u16 = 1;
+
+/// Error returned when decoding malformed clip bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeClipError {
+    detail: String,
+}
+
+impl DecodeClipError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeClipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid clip encoding: {}", self.detail)
+    }
+}
+
+impl std::error::Error for DecodeClipError {}
+
+/// Encodes clips into the compact binary format.
+///
+/// # Examples
+///
+/// ```
+/// use anole_data::{decode_clips, encode_clips, DatasetConfig, DrivingDataset};
+/// use anole_tensor::Seed;
+///
+/// let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(1));
+/// let bytes = encode_clips(&dataset.clips()[..2]);
+/// let clips = decode_clips(&bytes)?;
+/// assert_eq!(clips.as_slice(), &dataset.clips()[..2]);
+/// # Ok::<(), anole_data::DecodeClipError>(())
+/// ```
+pub fn encode_clips(clips: &[VideoClip]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(clips.len() as u32);
+    for clip in clips {
+        buf.put_u64_le(clip.id.0 as u64);
+        buf.put_u8(match clip.source {
+            DatasetSource::Kitti => 0,
+            DatasetSource::Bdd100k => 1,
+            DatasetSource::Shd => 2,
+        });
+        buf.put_u8(clip.attributes.weather.index() as u8);
+        buf.put_u8(clip.attributes.location.index() as u8);
+        buf.put_u8(clip.attributes.time.index() as u8);
+        buf.put_u8(u8::from(clip.seen));
+        buf.put_u32_le(clip.frames.len() as u32);
+        let feature_dim = clip.frames.first().map(|f| f.features.len()).unwrap_or(0);
+        let cells = clip.frames.first().map(|f| f.truth.len()).unwrap_or(0);
+        buf.put_u16_le(feature_dim as u16);
+        buf.put_u16_le(cells as u16);
+        for frame in &clip.frames {
+            for &v in &frame.features {
+                buf.put_f32_le(v);
+            }
+            // Truth bitset, LSB-first within each byte.
+            let mut byte = 0u8;
+            for (i, &t) in frame.truth.iter().enumerate() {
+                if t {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    buf.put_u8(byte);
+                    byte = 0;
+                }
+            }
+            if cells % 8 != 0 {
+                buf.put_u8(byte);
+            }
+            buf.put_f32_le(frame.meta.brightness);
+            buf.put_f32_le(frame.meta.contrast);
+            buf.put_u16_le(frame.meta.object_count as u16);
+            buf.put_f32_le(frame.meta.object_area);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes clips from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`DecodeClipError`] on a bad magic/version, truncated input, or
+/// out-of-range enum tags.
+pub fn decode_clips(mut bytes: &[u8]) -> Result<Vec<VideoClip>, DecodeClipError> {
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), DecodeClipError> {
+        if buf.remaining() < n {
+            Err(DecodeClipError::new(format!("truncated while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&bytes, 6, "header")?;
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeClipError::new("bad magic"));
+    }
+    let version = bytes.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeClipError::new(format!("unsupported version {version}")));
+    }
+    need(&bytes, 4, "clip count")?;
+    let clip_count = bytes.get_u32_le() as usize;
+
+    let mut clips = Vec::with_capacity(clip_count.min(1 << 16));
+    for _ in 0..clip_count {
+        need(&bytes, 8 + 5 + 4 + 4, "clip header")?;
+        let id = ClipId(bytes.get_u64_le() as usize);
+        let source = match bytes.get_u8() {
+            0 => DatasetSource::Kitti,
+            1 => DatasetSource::Bdd100k,
+            2 => DatasetSource::Shd,
+            other => return Err(DecodeClipError::new(format!("bad source tag {other}"))),
+        };
+        let weather = *Weather::ALL
+            .get(bytes.get_u8() as usize)
+            .ok_or_else(|| DecodeClipError::new("bad weather tag"))?;
+        let location = *Location::ALL
+            .get(bytes.get_u8() as usize)
+            .ok_or_else(|| DecodeClipError::new("bad location tag"))?;
+        let time = *TimeOfDay::ALL
+            .get(bytes.get_u8() as usize)
+            .ok_or_else(|| DecodeClipError::new("bad time tag"))?;
+        let seen = bytes.get_u8() != 0;
+        let frame_count = bytes.get_u32_le() as usize;
+        let feature_dim = bytes.get_u16_le() as usize;
+        let cells = bytes.get_u16_le() as usize;
+        let truth_bytes = cells.div_ceil(8);
+        let frame_size = feature_dim * 4 + truth_bytes + 4 + 4 + 2 + 4;
+
+        let mut frames = Vec::with_capacity(frame_count.min(1 << 20));
+        for _ in 0..frame_count {
+            need(&bytes, frame_size, "frame")?;
+            let mut features = Vec::with_capacity(feature_dim);
+            for _ in 0..feature_dim {
+                features.push(bytes.get_f32_le());
+            }
+            let mut truth = Vec::with_capacity(cells);
+            let mut byte = 0u8;
+            for i in 0..cells {
+                if i % 8 == 0 {
+                    byte = bytes.get_u8();
+                }
+                truth.push(byte & (1 << (i % 8)) != 0);
+            }
+            let meta = FrameMeta {
+                brightness: bytes.get_f32_le(),
+                contrast: bytes.get_f32_le(),
+                object_count: bytes.get_u16_le() as usize,
+                object_area: bytes.get_f32_le(),
+            };
+            frames.push(Frame {
+                features,
+                truth,
+                meta,
+            });
+        }
+        clips.push(VideoClip {
+            id,
+            source,
+            attributes: SceneAttributes::new(weather, location, time),
+            frames,
+            seen,
+        });
+    }
+    if bytes.has_remaining() {
+        return Err(DecodeClipError::new(format!(
+            "{} trailing bytes",
+            bytes.remaining()
+        )));
+    }
+    Ok(clips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetConfig, DrivingDataset};
+    use anole_tensor::Seed;
+
+    fn clips() -> Vec<VideoClip> {
+        DrivingDataset::generate(&DatasetConfig::small(), Seed(171))
+            .clips()
+            .to_vec()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let clips = clips();
+        let bytes = encode_clips(&clips);
+        let decoded = decode_clips(&bytes).unwrap();
+        assert_eq!(decoded, clips);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let bytes = encode_clips(&[]);
+        assert_eq!(decode_clips(&bytes).unwrap(), Vec::<VideoClip>::new());
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let clips = clips();
+        let binary = encode_clips(&clips).len();
+        let json = serde_json::to_string(&clips).unwrap().len();
+        assert!(
+            binary * 3 < json,
+            "binary {binary} bytes vs json {json} bytes"
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let clips = clips();
+        let mut bytes = encode_clips(&clips).to_vec();
+        bytes[0] = b'X';
+        let err = decode_clips(&bytes).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let clips = clips();
+        let bytes = encode_clips(&clips[..1]);
+        // Any strict prefix must fail cleanly, never panic.
+        for cut in [0, 3, 5, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_clips(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let clips = clips();
+        let mut bytes = encode_clips(&clips[..1]).to_vec();
+        bytes.push(0xFF);
+        assert!(decode_clips(&bytes).unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn bad_enum_tags_are_rejected() {
+        let clips = clips();
+        let mut bytes = encode_clips(&clips[..1]).to_vec();
+        // The source tag sits right after header(6) + count(4) + id(8).
+        bytes[18] = 9;
+        assert!(decode_clips(&bytes).unwrap_err().to_string().contains("bad source tag"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fast-changing synthesized clips (paper §VI-C): splice random test-set
+//! segments from several clips into one stream, T1–T6.
+
+use anole_tensor::{rng_from_seed, Seed};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DrivingDataset, FrameRef};
+
+/// Parameters of the splicing procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpliceConfig {
+    /// Number of synthesized clips to produce (paper: 6, T1–T6).
+    pub clip_count: usize,
+    /// Segments per synthesized clip (paper: 5).
+    pub segments_per_clip: usize,
+    /// Frames per segment (paper: 100; our clips are shorter, default 40).
+    pub segment_len: usize,
+}
+
+impl Default for SpliceConfig {
+    fn default() -> Self {
+        Self {
+            clip_count: 6,
+            segments_per_clip: 5,
+            segment_len: 40,
+        }
+    }
+}
+
+/// A synthesized fast-changing clip: an ordered list of frame references
+/// cut from several source clips.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplicedClip {
+    /// Name, `T1`…`Tn` as in the paper.
+    pub name: String,
+    /// Frames in playback order.
+    pub frames: Vec<FrameRef>,
+    /// Index of the source clip of each segment, in order.
+    pub segment_sources: Vec<usize>,
+}
+
+impl SplicedClip {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the clip is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Synthesizes fast-changing clips per §VI-C: for each output clip, pick
+/// `segments_per_clip` random clips; from each, cut a random window from its
+/// *test* portion when the clip is seen (or anywhere when unseen), then
+/// concatenate.
+///
+/// Segments shorter than requested are taken whole (small test ranges).
+///
+/// # Panics
+///
+/// Panics if the dataset has no clips or `segment_len == 0`.
+pub fn synthesize_fast_changing(
+    dataset: &DrivingDataset,
+    config: &SpliceConfig,
+    seed: Seed,
+) -> Vec<SplicedClip> {
+    assert!(!dataset.clips().is_empty(), "dataset has no clips");
+    assert!(config.segment_len > 0, "segment_len must be positive");
+    let mut rng = rng_from_seed(seed);
+    let clip_indices: Vec<usize> = (0..dataset.clips().len()).collect();
+
+    (0..config.clip_count)
+        .map(|t| {
+            let mut frames = Vec::new();
+            let mut segment_sources = Vec::new();
+            let mut pool = clip_indices.clone();
+            pool.shuffle(&mut rng);
+            for &ci in pool.iter().take(config.segments_per_clip) {
+                let range = if dataset.clips()[ci].seen {
+                    dataset.test_range(ci)
+                } else {
+                    0..dataset.clips()[ci].len()
+                };
+                let span = range.end - range.start;
+                let len = config.segment_len.min(span);
+                let start = if span > len {
+                    range.start + rng.gen_range(0..span - len + 1)
+                } else {
+                    range.start
+                };
+                for frame in start..start + len {
+                    frames.push(FrameRef { clip: ci, frame });
+                }
+                segment_sources.push(ci);
+            }
+            SplicedClip {
+                name: format!("T{}", t + 1),
+                frames,
+                segment_sources,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetConfig;
+
+    fn dataset() -> DrivingDataset {
+        DrivingDataset::generate(&DatasetConfig::small(), Seed(77))
+    }
+
+    #[test]
+    fn produces_named_clips_of_expected_length() {
+        let ds = dataset();
+        let cfg = SpliceConfig {
+            clip_count: 6,
+            segments_per_clip: 4,
+            segment_len: 10,
+        };
+        let spliced = synthesize_fast_changing(&ds, &cfg, Seed(1));
+        assert_eq!(spliced.len(), 6);
+        assert_eq!(spliced[0].name, "T1");
+        assert_eq!(spliced[5].name, "T6");
+        for s in &spliced {
+            assert_eq!(s.len(), 40);
+            assert_eq!(s.segment_sources.len(), 4);
+        }
+    }
+
+    #[test]
+    fn segments_come_from_distinct_clips() {
+        let ds = dataset();
+        let spliced = synthesize_fast_changing(&ds, &SpliceConfig::default(), Seed(2));
+        for s in &spliced {
+            let mut sources = s.segment_sources.clone();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(sources.len(), s.segment_sources.len());
+        }
+    }
+
+    #[test]
+    fn seen_segments_stay_within_test_ranges() {
+        let ds = dataset();
+        let spliced = synthesize_fast_changing(&ds, &SpliceConfig::default(), Seed(3));
+        for s in &spliced {
+            for r in &s.frames {
+                if ds.clips()[r.clip].seen {
+                    let range = ds.test_range(r.clip);
+                    assert!(range.contains(&r.frame), "{r:?} outside {range:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_are_contiguous_runs() {
+        let ds = dataset();
+        let cfg = SpliceConfig {
+            clip_count: 1,
+            segments_per_clip: 3,
+            segment_len: 8,
+        };
+        let s = &synthesize_fast_changing(&ds, &cfg, Seed(4))[0];
+        for seg in s.frames.chunks(8) {
+            for w in seg.windows(2) {
+                assert_eq!(w[0].clip, w[1].clip);
+                assert_eq!(w[0].frame + 1, w[1].frame);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_segment_len_is_clamped() {
+        let ds = dataset();
+        let cfg = SpliceConfig {
+            clip_count: 1,
+            segments_per_clip: 2,
+            segment_len: 10_000,
+        };
+        let s = &synthesize_fast_changing(&ds, &cfg, Seed(5))[0];
+        assert!(!s.is_empty());
+        assert!(s.len() <= 2 * ds.config().frames_per_clip);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let a = synthesize_fast_changing(&ds, &SpliceConfig::default(), Seed(6));
+        let b = synthesize_fast_changing(&ds, &SpliceConfig::default(), Seed(6));
+        assert_eq!(a, b);
+    }
+}

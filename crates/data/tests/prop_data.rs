@@ -1,0 +1,113 @@
+//! Property-based tests of the generative driving world and dataset
+//! assembly.
+
+use anole_data::{
+    synthesize_fast_changing, DatasetConfig, DrivingDataset, SpliceConfig, WorldConfig,
+};
+use anole_tensor::Seed;
+use proptest::prelude::*;
+
+fn tiny_config(frames: usize, kitti: usize, bdd: usize, shd: usize) -> DatasetConfig {
+    DatasetConfig {
+        frames_per_clip: frames,
+        kitti_clips: kitti,
+        bdd_clips: bdd,
+        shd_clips: shd,
+        ..DatasetConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Split fractions partition every seen clip's frames for any clip
+    /// shape, and unseen hold-outs exist per source with clips present.
+    #[test]
+    fn split_partitions_for_any_shape(
+        frames in 10usize..80,
+        kitti in 1usize..4,
+        bdd in 1usize..6,
+        shd in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        let ds = DrivingDataset::generate(&tiny_config(frames, kitti, bdd, shd), Seed(seed));
+        let split = ds.split();
+        let seen_frames: usize = ds.clips().iter().filter(|c| c.seen).map(|c| c.len()).sum();
+        prop_assert_eq!(
+            split.train.len() + split.val.len() + split.test.len(),
+            seen_frames
+        );
+        prop_assert!(!split.unseen_clips.is_empty());
+        // Train refs precede val refs precede test refs within each clip.
+        for r in &split.train {
+            prop_assert!(r.frame < ds.test_range(r.clip).start);
+        }
+        for r in &split.test {
+            prop_assert!(ds.test_range(r.clip).contains(&r.frame));
+        }
+    }
+
+    /// Features matrices are exactly the frames' features, in order.
+    #[test]
+    fn matrices_mirror_frames(seed in 0u64..100) {
+        let ds = DrivingDataset::generate(&tiny_config(20, 1, 2, 1), Seed(seed));
+        let refs = ds.clip_frames(0);
+        let x = ds.features_matrix(&refs);
+        let y = ds.truth_matrix(&refs);
+        for (i, &r) in refs.iter().enumerate() {
+            let frame = ds.frame(r);
+            prop_assert_eq!(x.row(i), frame.features.as_slice());
+            for (j, &t) in frame.truth.iter().enumerate() {
+                prop_assert_eq!(y.get(i, j) > 0.5, t);
+            }
+        }
+    }
+
+    /// Splicing only references frames that exist, preserves segment count,
+    /// and is deterministic.
+    #[test]
+    fn splicing_is_well_formed(
+        segments in 1usize..5,
+        segment_len in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        let ds = DrivingDataset::generate(&tiny_config(40, 2, 3, 2), Seed(seed));
+        let cfg = SpliceConfig { clip_count: 3, segments_per_clip: segments, segment_len };
+        let a = synthesize_fast_changing(&ds, &cfg, Seed(seed + 1));
+        let b = synthesize_fast_changing(&ds, &cfg, Seed(seed + 1));
+        prop_assert_eq!(&a, &b);
+        for clip in &a {
+            prop_assert_eq!(clip.segment_sources.len(), segments.min(ds.clips().len()));
+            for r in &clip.frames {
+                prop_assert!(r.clip < ds.clips().len());
+                prop_assert!(r.frame < ds.clips()[r.clip].len());
+            }
+        }
+    }
+
+    /// World configuration knobs stay within their contracts: features are
+    /// tanh-bounded for any style strength and noise level.
+    #[test]
+    fn features_bounded_for_any_world(
+        style in 0.0f32..2.0,
+        noise in 0.0f32..1.0,
+        mixing in 0.0f32..6.0,
+        seed in 0u64..50,
+    ) {
+        let config = DatasetConfig {
+            world: WorldConfig {
+                style_strength: style,
+                noise_std: noise,
+                scene_mixing_strength: mixing,
+                ..WorldConfig::default()
+            },
+            ..tiny_config(12, 1, 1, 1)
+        };
+        let ds = DrivingDataset::generate(&config, Seed(seed));
+        for clip in ds.clips() {
+            for frame in &clip.frames {
+                prop_assert!(frame.features.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+            }
+        }
+    }
+}

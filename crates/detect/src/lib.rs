@@ -1,0 +1,25 @@
+//! Detection task metrics for the Anole reproduction: grid-cell detection
+//! counts, precision / recall / F1 (the paper's §VI-A4 metric), windowed F1
+//! series, and confusion matrices (Fig. 6).
+//!
+//! Detectors in this reproduction predict per-grid-cell object occupancy;
+//! a predicted-occupied cell that is truly occupied is a true positive, so
+//! precision/recall/F1 behave exactly like box-level detection metrics at
+//! the grid granularity.
+//!
+//! # Examples
+//!
+//! ```
+//! use anole_detect::DetectionCounts;
+//!
+//! let mut counts = DetectionCounts::default();
+//! counts.accumulate(&[true, true, false, false], &[true, false, true, false]);
+//! assert_eq!((counts.true_positives, counts.false_positives, counts.false_negatives), (1, 1, 1));
+//! assert!((counts.f1() - 0.5).abs() < 1e-6);
+//! ```
+
+mod confusion;
+mod metrics;
+
+pub use confusion::ConfusionMatrix;
+pub use metrics::{threshold_probs, windowed_f1, DetectionCounts};

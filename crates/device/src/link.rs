@@ -1,0 +1,187 @@
+//! Unstable wireless uplink (Gilbert–Elliott), used by the cloud-offload
+//! ablation that motivates local inference (paper §I: "unstable
+//! communication … may lead to unpredictable delay").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Channel state of the two-state Gilbert–Elliott model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkState {
+    /// Connected with nominal bandwidth and RTT.
+    Good,
+    /// Degraded or disconnected: transfers time out.
+    Bad,
+}
+
+/// Parameters of the unstable uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnstableLinkConfig {
+    /// Per-step probability of leaving the good state.
+    pub p_good_to_bad: f32,
+    /// Per-step probability of recovering from the bad state.
+    pub p_bad_to_good: f32,
+    /// Mean round-trip time in the good state, milliseconds.
+    pub good_rtt_ms: f32,
+    /// RTT jitter fraction in the good state.
+    pub rtt_jitter: f32,
+    /// Uplink bandwidth in bytes per millisecond in the good state.
+    pub bandwidth_bytes_per_ms: f32,
+    /// Timeout after which a transfer in the bad state is abandoned.
+    pub timeout_ms: f32,
+}
+
+impl Default for UnstableLinkConfig {
+    /// A vehicular LTE-like link: ~60 ms RTT, ~1 MB/s up, occasional
+    /// multi-second outages.
+    fn default() -> Self {
+        Self {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.10,
+            good_rtt_ms: 60.0,
+            rtt_jitter: 0.3,
+            bandwidth_bytes_per_ms: 1_000.0,
+            timeout_ms: 1_000.0,
+        }
+    }
+}
+
+/// The unstable uplink simulator. Each [`UnstableLink::round_trip_ms`] call
+/// advances the channel one step and prices one offloaded inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnstableLink {
+    config: UnstableLinkConfig,
+    state: LinkState,
+}
+
+impl UnstableLink {
+    /// Creates a link starting in the good state.
+    pub fn new(config: UnstableLinkConfig) -> Self {
+        Self {
+            config,
+            state: LinkState::Good,
+        }
+    }
+
+    /// Current channel state.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &UnstableLinkConfig {
+        &self.config
+    }
+
+    /// Attempts one offloaded round trip carrying `payload_bytes` up.
+    ///
+    /// Returns `Ok(ms)` on success or `Err(timeout_ms)` when the channel was
+    /// bad and the request timed out (the caller must retry or fall back to
+    /// local inference, paying the timeout either way).
+    pub fn round_trip_ms<R: Rng + ?Sized>(
+        &mut self,
+        payload_bytes: u64,
+        rng: &mut R,
+    ) -> Result<f32, f32> {
+        self.step(rng);
+        match self.state {
+            LinkState::Good => {
+                let transfer = payload_bytes as f32 / self.config.bandwidth_bytes_per_ms;
+                let jitter = 1.0 + (rng.gen::<f32>() - 0.5) * 2.0 * self.config.rtt_jitter;
+                Ok(self.config.good_rtt_ms * jitter.max(0.1) + transfer)
+            }
+            LinkState::Bad => Err(self.config.timeout_ms),
+        }
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let flip: f32 = rng.gen();
+        self.state = match self.state {
+            LinkState::Good if flip < self.config.p_good_to_bad => LinkState::Bad,
+            LinkState::Bad if flip < self.config.p_bad_to_good => LinkState::Good,
+            s => s,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anole_tensor::{rng_from_seed, Seed};
+
+    #[test]
+    fn good_state_prices_rtt_plus_transfer() {
+        let mut link = UnstableLink::new(UnstableLinkConfig {
+            p_good_to_bad: 0.0,
+            rtt_jitter: 0.0,
+            ..UnstableLinkConfig::default()
+        });
+        let mut rng = rng_from_seed(Seed(1));
+        let ms = link.round_trip_ms(200_000, &mut rng).unwrap();
+        assert!((ms - (60.0 + 200.0)).abs() < 1e-3, "{ms}");
+    }
+
+    #[test]
+    fn outages_produce_timeouts() {
+        let mut link = UnstableLink::new(UnstableLinkConfig {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            ..UnstableLinkConfig::default()
+        });
+        let mut rng = rng_from_seed(Seed(2));
+        assert_eq!(link.round_trip_ms(1000, &mut rng), Err(1000.0));
+        assert_eq!(link.state(), LinkState::Bad);
+    }
+
+    #[test]
+    fn tail_latency_is_much_worse_than_median() {
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(3));
+        let mut latencies: Vec<f32> = (0..2000)
+            .map(|_| match link.round_trip_ms(200_000, &mut rng) {
+                Ok(ms) => ms,
+                Err(timeout) => timeout,
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = latencies[latencies.len() / 2];
+        let p99 = latencies[latencies.len() * 99 / 100];
+        assert!(p99 > 3.0 * median, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn channel_recovers_eventually() {
+        let mut link = UnstableLink::new(UnstableLinkConfig {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.5,
+            ..UnstableLinkConfig::default()
+        });
+        let mut rng = rng_from_seed(Seed(4));
+        let _ = link.round_trip_ms(1, &mut rng); // forced into Bad
+        let mut recovered = false;
+        for _ in 0..100 {
+            if link.round_trip_ms(1, &mut rng).is_ok() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered);
+    }
+
+    #[test]
+    fn outage_fraction_matches_stationary_distribution() {
+        let cfg = UnstableLinkConfig::default();
+        let mut link = UnstableLink::new(cfg);
+        let mut rng = rng_from_seed(Seed(5));
+        let n = 20_000;
+        let bad = (0..n)
+            .filter(|_| link.round_trip_ms(1, &mut rng).is_err())
+            .count();
+        let expected = cfg.p_good_to_bad / (cfg.p_good_to_bad + cfg.p_bad_to_good);
+        let measured = bad as f32 / n as f32;
+        assert!(
+            (measured - expected).abs() < 0.03,
+            "measured {measured}, expected {expected}"
+        );
+    }
+}

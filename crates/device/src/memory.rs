@@ -1,0 +1,113 @@
+//! GPU memory accounting (paper Table IV, §V-B).
+//!
+//! Loading a model costs its weight footprint; *executing* one costs more
+//! (activations, workspace). The model cache keeps several compressed models
+//! loaded but only one executes at a time, so the budget is:
+//! `gpu_memory ≥ execution_peak + scene_decision_resident + n · load_bytes`.
+
+use anole_nn::ReferenceModel;
+use serde::Serialize;
+
+use crate::{DeviceKind, DeviceSpec};
+
+/// GPU memory model for sizing the on-device model cache.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuMemoryModel {
+    spec: DeviceSpec,
+    /// Fraction of GPU memory usable by the application (the OS/display
+    /// stack reserves the rest, significant on the 2 GB Nano).
+    pub usable_fraction: f32,
+}
+
+impl GpuMemoryModel {
+    /// Memory model of a device with a default 85% usable fraction.
+    pub fn for_device(kind: DeviceKind) -> Self {
+        Self {
+            spec: DeviceSpec::of(kind),
+            usable_fraction: 0.85,
+        }
+    }
+
+    /// Usable bytes.
+    pub fn usable_bytes(&self) -> u64 {
+        (self.spec.gpu_memory_bytes as f64 * self.usable_fraction as f64) as u64
+    }
+
+    /// Resident cost of keeping `n` models of a class loaded (Table IV's
+    /// `weights × n` column).
+    pub fn loaded_bytes(&self, model: ReferenceModel, n: usize) -> u64 {
+        model.weight_bytes() * n as u64
+    }
+
+    /// Peak execution footprint of a model class (Table IV "Execution").
+    pub fn execution_bytes(&self, model: ReferenceModel) -> u64 {
+        model.execution_bytes()
+    }
+
+    /// Maximum number of compressed models that can stay cached while the
+    /// Anole pipeline (scene encoder + decision model resident, one
+    /// compressed model executing) still fits.
+    pub fn max_cached_models(&self) -> usize {
+        let budget = self.usable_bytes() as i64
+            - self.execution_bytes(ReferenceModel::Yolov3Tiny) as i64
+            - ReferenceModel::Resnet18.weight_bytes() as i64
+            - ReferenceModel::DecisionMlp.weight_bytes() as i64;
+        if budget <= 0 {
+            return 0;
+        }
+        (budget as u64 / ReferenceModel::Yolov3Tiny.weight_bytes()) as usize
+    }
+
+    /// Whether a single deep model (SDM) plus execution workspace fits.
+    pub fn fits_deep_model(&self) -> bool {
+        self.execution_bytes(ReferenceModel::Yolov3) <= self.usable_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx2_caches_a_handful_of_models() {
+        // Fig. 7b: ~5 cached models suffice; the TX2 fits comfortably more,
+        // the Nano is the constrained case.
+        let tx2 = GpuMemoryModel::for_device(DeviceKind::JetsonTx2Nx);
+        assert!(tx2.max_cached_models() >= 10, "{}", tx2.max_cached_models());
+
+        let nano = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
+        assert!(
+            (2..=16).contains(&nano.max_cached_models()),
+            "nano fits {}",
+            nano.max_cached_models()
+        );
+        assert!(tx2.max_cached_models() > nano.max_cached_models());
+    }
+
+    #[test]
+    fn loaded_bytes_scale_linearly() {
+        let m = GpuMemoryModel::for_device(DeviceKind::Laptop);
+        assert_eq!(
+            m.loaded_bytes(ReferenceModel::Yolov3Tiny, 19),
+            19 * 34_000_000
+        );
+    }
+
+    #[test]
+    fn deep_model_fits_tx2_but_is_borderline_on_nano() {
+        assert!(GpuMemoryModel::for_device(DeviceKind::JetsonTx2Nx).fits_deep_model());
+        // Nano: 1.73 GB execution footprint vs 2 GB × 0.85 usable — the deep
+        // model does not fit without giving it nearly the whole GPU.
+        let mut nano = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
+        assert!(!nano.fits_deep_model());
+        nano.usable_fraction = 0.9;
+        assert!(nano.fits_deep_model());
+    }
+
+    #[test]
+    fn zero_budget_degrades_gracefully() {
+        let mut m = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
+        m.usable_fraction = 0.1;
+        assert_eq!(m.max_cached_models(), 0);
+    }
+}

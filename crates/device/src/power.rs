@@ -1,0 +1,189 @@
+//! Power modes and the power/FPS model (paper Fig. 11).
+
+use anole_nn::ReferenceModel;
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceKind, DeviceSpec, LatencyModel};
+
+/// A Jetson-style power mode: a wattage budget, active core count, and the
+/// compute-throughput fraction it allows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerMode {
+    /// Input power budget in watts.
+    pub watts: f32,
+    /// Active CPU cores.
+    pub cores: u8,
+    /// GPU throughput relative to the top mode.
+    pub throughput_scale: f32,
+}
+
+impl PowerMode {
+    /// The TX2 NX-style modes swept in Fig. 11 (7.5 W / 10 W / 15 W / 20 W).
+    pub fn tx2_modes() -> Vec<PowerMode> {
+        vec![
+            PowerMode { watts: 7.5, cores: 2, throughput_scale: 0.40 },
+            PowerMode { watts: 10.0, cores: 4, throughput_scale: 0.60 },
+            PowerMode { watts: 15.0, cores: 4, throughput_scale: 0.85 },
+            PowerMode { watts: 20.0, cores: 6, throughput_scale: 1.00 },
+        ]
+    }
+
+    /// Human-readable label, e.g. `"20W/6core"`.
+    pub fn label(&self) -> String {
+        format!("{}W/{}core", self.watts, self.cores)
+    }
+}
+
+/// A power and throughput reading for one inference pipeline on one mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReading {
+    /// Achieved frames per second (camera-capped).
+    pub fps: f32,
+    /// Average power draw in watts.
+    pub watts: f32,
+    /// Energy per frame in joules.
+    pub joules_per_frame: f32,
+}
+
+/// Power model: energy per frame is proportional to the reference FLOPs of
+/// every model the pipeline runs per frame; power is idle draw plus dynamic
+/// energy times achieved FPS, clamped to the mode's budget.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerModel {
+    spec: DeviceSpec,
+    /// Source camera frame rate (paper footage is 30 fps).
+    pub camera_fps: f32,
+}
+
+impl PowerModel {
+    /// Power model of a device with a 30 fps camera.
+    pub fn for_device(kind: DeviceKind) -> Self {
+        Self {
+            spec: DeviceSpec::of(kind),
+            camera_fps: 30.0,
+        }
+    }
+
+    /// Evaluates a pipeline on a mode.
+    ///
+    /// `pipeline` lists every model executed per frame (e.g. Anole runs
+    /// `[Resnet18, DecisionMlp, Yolov3Tiny]`, SDM runs `[Yolov3]`). FPS is
+    /// the camera rate unless compute-bound; power is idle + dynamic, capped
+    /// at the mode's wattage budget.
+    pub fn evaluate(&self, pipeline: &[ReferenceModel], mode: PowerMode) -> PowerReading {
+        let latency = LatencyModel::for_device(self.spec.kind)
+            .with_jitter(0.0)
+            .with_throughput_scale(mode.throughput_scale);
+        let frame_ms: f32 = pipeline.iter().map(|&m| latency.mean_inference_ms(m)).sum();
+        let fps = (1000.0 / frame_ms).min(self.camera_fps);
+        let gflops_per_frame: f32 =
+            pipeline.iter().map(|&m| m.flops() as f32 / 1e9).sum();
+        let joules_per_frame =
+            gflops_per_frame * self.spec.joules_per_gflop + self.spec.overhead_joules_per_frame;
+        let idle = self.idle_at(mode);
+        let watts = (idle + joules_per_frame * fps).min(mode.watts);
+        PowerReading {
+            fps,
+            watts,
+            joules_per_frame,
+        }
+    }
+
+    fn idle_at(&self, mode: PowerMode) -> f32 {
+        // More cores online → higher idle floor.
+        self.spec.idle_watts * (0.7 + 0.05 * mode.cores as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ANOLE: [ReferenceModel; 3] = [
+        ReferenceModel::Resnet18,
+        ReferenceModel::DecisionMlp,
+        ReferenceModel::Yolov3Tiny,
+    ];
+    const SDM: [ReferenceModel; 1] = [ReferenceModel::Yolov3];
+
+    #[test]
+    fn tx2_modes_are_monotone() {
+        let modes = PowerMode::tx2_modes();
+        assert_eq!(modes.len(), 4);
+        for w in modes.windows(2) {
+            assert!(w[1].watts > w[0].watts);
+            assert!(w[1].throughput_scale > w[0].throughput_scale);
+        }
+        assert_eq!(modes[3].label(), "20W/6core");
+    }
+
+    #[test]
+    fn anole_uses_much_less_power_than_sdm() {
+        // Paper: 45.1% reduction vs SDM at full power.
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        let top = PowerMode::tx2_modes()[3];
+        let anole = pm.evaluate(&ANOLE, top);
+        let sdm = pm.evaluate(&SDM, top);
+        let reduction = 1.0 - anole.watts / sdm.watts;
+        assert!(
+            (0.30..0.60).contains(&reduction),
+            "reduction {reduction:.3} (anole {:.1} W, sdm {:.1} W)",
+            anole.watts,
+            sdm.watts
+        );
+    }
+
+    #[test]
+    fn anole_sustains_30fps_at_top_mode() {
+        // Paper: >30 FPS at 20 W / 6 cores.
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        let reading = pm.evaluate(&ANOLE, PowerMode::tx2_modes()[3]);
+        assert!((reading.fps - 30.0).abs() < 1e-3, "fps {}", reading.fps);
+    }
+
+    #[test]
+    fn sdm_is_compute_bound_on_low_modes() {
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        let low = PowerMode::tx2_modes()[0];
+        let reading = pm.evaluate(&SDM, low);
+        assert!(reading.fps < 15.0, "fps {}", reading.fps);
+    }
+
+    #[test]
+    fn fps_rises_with_power_mode() {
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        let mut last = 0.0;
+        for mode in PowerMode::tx2_modes() {
+            let r = pm.evaluate(&SDM, mode);
+            assert!(r.fps >= last, "fps must not drop with more power");
+            last = r.fps;
+        }
+    }
+
+    #[test]
+    fn power_never_exceeds_mode_budget() {
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        for mode in PowerMode::tx2_modes() {
+            for pipeline in [&ANOLE[..], &SDM[..]] {
+                let r = pm.evaluate(pipeline, mode);
+                assert!(r.watts <= mode.watts + 1e-6);
+                assert!(r.watts > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_per_frame_tracks_flops() {
+        let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+        let top = PowerMode::tx2_modes()[3];
+        let anole = pm.evaluate(&ANOLE, top);
+        let sdm = pm.evaluate(&SDM, top);
+        let overhead = PowerModel::for_device(DeviceKind::JetsonTx2Nx)
+            .spec
+            .overhead_joules_per_frame;
+        let flop_ratio = 65.86 / (4.69 + 0.0036 + 5.56);
+        let energy_ratio =
+            (sdm.joules_per_frame - overhead) / (anole.joules_per_frame - overhead);
+        assert!((energy_ratio - flop_ratio as f32).abs() < 0.1);
+    }
+}

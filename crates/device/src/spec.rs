@@ -1,0 +1,149 @@
+//! Device hardware specifications (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// The three devices the paper deploys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Nvidia Jetson Nano: ARM A57, Maxwell GPU, 2 GB GPU memory.
+    JetsonNano,
+    /// Nvidia Jetson TX2 NX: ARM A57, Pascal GPU, 4 GB GPU memory.
+    JetsonTx2Nx,
+    /// Windows laptop: i7-10750H, RTX 2070, 8 GB GPU memory.
+    Laptop,
+}
+
+impl DeviceKind {
+    /// All devices in Table I order.
+    pub const ALL: [DeviceKind; 3] =
+        [DeviceKind::JetsonNano, DeviceKind::JetsonTx2Nx, DeviceKind::Laptop];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::JetsonNano => "Jetson Nano",
+            DeviceKind::JetsonTx2Nx => "Jetson TX2 NX",
+            DeviceKind::Laptop => "Laptop",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hardware constants of a device (Table I plus the calibration constants
+/// behind Table IV and Fig. 4a).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeviceSpec {
+    /// Which device this is.
+    pub kind: DeviceKind,
+    /// CPU model string.
+    pub cpu: &'static str,
+    /// GPU model string.
+    pub gpu: &'static str,
+    /// GPU memory in bytes.
+    pub gpu_memory_bytes: u64,
+    /// Flash/disk capacity in bytes.
+    pub storage_bytes: u64,
+    /// One-time deep-learning-framework initialization cost when a model is
+    /// first loaded (part of the Fig. 4a cold-start spike).
+    pub framework_init_ms: f32,
+    /// Storage→GPU load bandwidth in bytes per millisecond.
+    pub load_bandwidth_bytes_per_ms: f32,
+    /// Idle power draw in watts (at the default power mode).
+    pub idle_watts: f32,
+    /// Dynamic energy per reference GFLOP in joules.
+    pub joules_per_gflop: f32,
+    /// Fixed per-frame energy overhead in joules (capture, preprocessing,
+    /// memory traffic) independent of which model runs.
+    pub overhead_joules_per_frame: f32,
+}
+
+impl DeviceSpec {
+    /// The built-in specification of a device.
+    pub fn of(kind: DeviceKind) -> Self {
+        const GB: u64 = 1_000_000_000;
+        match kind {
+            DeviceKind::JetsonNano => Self {
+                kind,
+                cpu: "ARM A57",
+                gpu: "Maxwell",
+                gpu_memory_bytes: 2 * GB,
+                storage_bytes: 32 * GB,
+                framework_init_ms: 1800.0,
+                load_bandwidth_bytes_per_ms: 80_000.0, // 80 MB/s eMMC
+                idle_watts: 1.8,
+                joules_per_gflop: 0.012,
+                overhead_joules_per_frame: 0.05,
+            },
+            DeviceKind::JetsonTx2Nx => Self {
+                kind,
+                cpu: "ARM A57",
+                gpu: "Pascal",
+                gpu_memory_bytes: 4 * GB,
+                storage_bytes: 32 * GB,
+                framework_init_ms: 1500.0,
+                load_bandwidth_bytes_per_ms: 120_000.0,
+                idle_watts: 6.0,
+                joules_per_gflop: 0.010,
+                overhead_joules_per_frame: 0.08,
+            },
+            DeviceKind::Laptop => Self {
+                kind,
+                cpu: "i7-10750H",
+                gpu: "RTX 2070",
+                gpu_memory_bytes: 8 * GB,
+                storage_bytes: 1000 * GB,
+                framework_init_ms: 900.0,
+                load_bandwidth_bytes_per_ms: 900_000.0, // NVMe
+                idle_watts: 18.0,
+                joules_per_gflop: 0.015,
+                overhead_joules_per_frame: 0.30,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_i() {
+        let nano = DeviceSpec::of(DeviceKind::JetsonNano);
+        assert_eq!(nano.gpu, "Maxwell");
+        assert_eq!(nano.gpu_memory_bytes, 2_000_000_000);
+
+        let tx2 = DeviceSpec::of(DeviceKind::JetsonTx2Nx);
+        assert_eq!(tx2.gpu, "Pascal");
+        assert_eq!(tx2.gpu_memory_bytes, 4_000_000_000);
+
+        let laptop = DeviceSpec::of(DeviceKind::Laptop);
+        assert_eq!(laptop.cpu, "i7-10750H");
+        assert_eq!(laptop.gpu_memory_bytes, 8_000_000_000);
+        assert_eq!(laptop.storage_bytes, 1_000_000_000_000);
+    }
+
+    #[test]
+    fn all_devices_have_positive_constants() {
+        for kind in DeviceKind::ALL {
+            let s = DeviceSpec::of(kind);
+            assert!(s.framework_init_ms > 0.0);
+            assert!(s.load_bandwidth_bytes_per_ms > 0.0);
+            assert!(s.idle_watts > 0.0);
+            assert!(s.joules_per_gflop > 0.0);
+            assert!(s.overhead_joules_per_frame > 0.0);
+            assert!(!s.kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn laptop_loads_models_fastest() {
+        let bw = |k| DeviceSpec::of(k).load_bandwidth_bytes_per_ms;
+        assert!(bw(DeviceKind::Laptop) > bw(DeviceKind::JetsonTx2Nx));
+        assert!(bw(DeviceKind::JetsonTx2Nx) > bw(DeviceKind::JetsonNano));
+    }
+}

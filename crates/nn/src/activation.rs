@@ -1,0 +1,124 @@
+//! Element-wise activation functions with their derivatives.
+
+use anole_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation function applied after a dense layer.
+///
+/// # Examples
+///
+/// ```
+/// use anole_nn::Activation;
+/// use anole_tensor::Matrix;
+///
+/// let z = Matrix::row_vector(&[-1.0, 2.0]);
+/// let a = Activation::Relu.forward(&z);
+/// assert_eq!(a.as_slice(), &[0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — used in hidden layers throughout the reproduction.
+    Relu,
+    /// Logistic sigmoid — used by multi-label detector heads.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Pass-through, used by logit-producing output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to every entry of `z`.
+    pub fn forward(&self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => z.map(|v| v.max(0.0)),
+            Activation::Sigmoid => z.map(stable_sigmoid),
+            Activation::Tanh => z.map(f32::tanh),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Computes `d activation / d z` given the pre-activation `z` and the
+    /// post-activation `a` (some derivatives are cheaper from one or the
+    /// other).
+    pub fn derivative(&self, z: &Matrix, a: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => z.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Sigmoid => a.map(|s| s * (1.0 - s)),
+            Activation::Tanh => a.map(|t| 1.0 - t * t),
+            Activation::Identity => Matrix::filled(z.rows(), z.cols(), 1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let z = Matrix::row_vector(&[-3.0, 0.0, 4.5]);
+        assert_eq!(Activation::Relu.forward(&z).as_slice(), &[0.0, 0.0, 4.5]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        let z = Matrix::row_vector(&[-100.0, 0.0, 100.0]);
+        let a = Activation::Sigmoid.forward(&z);
+        assert!(a.get(0, 0) >= 0.0 && a.get(0, 0) < 1e-6);
+        assert!((a.get(0, 1) - 0.5).abs() < 1e-6);
+        assert!(a.get(0, 2) > 1.0 - 1e-6 && a.get(0, 2) <= 1.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            for &x in &[-1.5f32, -0.2, 0.3, 2.0] {
+                let z = Matrix::row_vector(&[x]);
+                let a = act.forward(&z);
+                let d = act.derivative(&z, &a).get(0, 0);
+                let fp = act.forward(&Matrix::row_vector(&[x + eps])).get(0, 0);
+                let fm = act.forward(&Matrix::row_vector(&[x - eps])).get(0, 0);
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (d - numeric).abs() < 5e-2,
+                    "{act} at {x}: analytic {d} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Relu.to_string(), "relu");
+        assert_eq!(Activation::Identity.to_string(), "identity");
+    }
+}

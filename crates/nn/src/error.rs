@@ -1,0 +1,91 @@
+//! Error type shared by the neural-network crate.
+
+use anole_tensor::ShapeError;
+
+/// Error returned by network construction, training, and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A matrix operation received incompatible shapes.
+    Shape(ShapeError),
+    /// The input width does not match the network's expected input width.
+    InputWidth {
+        /// Width the network was built for.
+        expected: usize,
+        /// Width actually supplied.
+        actual: usize,
+    },
+    /// A label index is out of range for the output layer.
+    LabelOutOfRange {
+        /// Offending label.
+        label: usize,
+        /// Number of classes the network predicts.
+        classes: usize,
+    },
+    /// The numbers of samples and labels disagree.
+    SampleCount {
+        /// Number of feature rows.
+        samples: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Training was requested on an empty dataset.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::Shape(e) => write!(f, "shape error: {e}"),
+            NnError::InputWidth { expected, actual } => {
+                write!(f, "input width {actual} does not match network input {expected}")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::SampleCount { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            NnError::EmptyDataset => write!(f, "training dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        NnError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NnError::InputWidth { expected: 4, actual: 3 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("4"));
+        let e = NnError::LabelOutOfRange { label: 9, classes: 5 };
+        assert!(e.to_string().contains("9"));
+        assert!(NnError::EmptyDataset.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn shape_error_converts_and_sources() {
+        use std::error::Error;
+        let shape_err = anole_tensor::Matrix::zeros(1, 2)
+            .matmul(&anole_tensor::Matrix::zeros(3, 1))
+            .unwrap_err();
+        let e: NnError = shape_err.into();
+        assert!(e.source().is_some());
+    }
+}

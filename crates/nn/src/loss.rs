@@ -1,0 +1,310 @@
+//! Loss functions: softmax cross-entropy (classification) and
+//! binary-cross-entropy-with-logits (multi-label detection heads).
+
+use anole_tensor::Matrix;
+
+use crate::NnError;
+
+/// A scalar loss together with its gradient w.r.t. the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossValue {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `d loss / d logits`, same shape as the logits.
+    pub d_logits: Matrix,
+}
+
+/// Row-wise softmax with the max-subtraction trick.
+///
+/// # Examples
+///
+/// ```
+/// use anole_tensor::Matrix;
+///
+/// let p = anole_nn::softmax(&Matrix::row_vector(&[0.0, 0.0]));
+/// assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Element-wise logistic sigmoid of a matrix.
+pub fn sigmoid(logits: &Matrix) -> Matrix {
+    logits.map(|x| {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    })
+}
+
+/// Softmax cross-entropy against integer class labels (the paper's §IV-C
+/// decision-model loss).
+///
+/// Returns the mean loss and its gradient `softmax(logits) − one_hot(labels)`
+/// scaled by `1/batch`.
+///
+/// # Errors
+///
+/// * [`NnError::SampleCount`] if `labels.len() != logits.rows()`.
+/// * [`NnError::LabelOutOfRange`] if any label `>= logits.cols()`.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<LossValue, NnError> {
+    if labels.len() != logits.rows() {
+        return Err(NnError::SampleCount {
+            samples: logits.rows(),
+            labels: labels.len(),
+        });
+    }
+    let classes = logits.cols();
+    for &l in labels {
+        if l >= classes {
+            return Err(NnError::LabelOutOfRange { label: l, classes });
+        }
+    }
+    let probs = softmax(logits);
+    let batch = logits.rows().max(1) as f32;
+    let mut loss = 0.0;
+    let mut d = probs;
+    for (i, &label) in labels.iter().enumerate() {
+        let p = d.get(i, label).max(1e-12);
+        loss -= p.ln();
+        d.set(i, label, d.get(i, label) - 1.0);
+    }
+    Ok(LossValue {
+        loss: loss / batch,
+        d_logits: d.scale(1.0 / batch),
+    })
+}
+
+/// Softmax cross-entropy against *soft* target distributions (rows of
+/// `targets` should sum to 1). This is the loss the paper's §IV-C uses with
+/// the (normalized) multi-hot model-allocation vector `v^x`.
+///
+/// # Errors
+///
+/// Returns an error if `targets` and `logits` have different shapes.
+pub fn soft_cross_entropy(logits: &Matrix, targets: &Matrix) -> Result<LossValue, NnError> {
+    if logits.shape() != targets.shape() {
+        return Err(NnError::SampleCount {
+            samples: logits.rows(),
+            labels: targets.rows(),
+        });
+    }
+    let probs = softmax(logits);
+    let batch = logits.rows().max(1) as f32;
+    let mut loss = 0.0;
+    let mut d = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        for j in 0..logits.cols() {
+            let t = targets.get(i, j);
+            let p = probs.get(i, j).max(1e-12);
+            if t > 0.0 {
+                loss -= t * p.ln();
+            }
+            d.set(i, j, (probs.get(i, j) - t) / batch);
+        }
+    }
+    Ok(LossValue {
+        loss: loss / batch,
+        d_logits: d,
+    })
+}
+
+/// Binary cross-entropy with logits against dense 0/1 targets, used by the
+/// multi-label grid detectors. `pos_weight > 1` up-weights positive cells,
+/// countering the sparsity of objects in a frame.
+///
+/// # Errors
+///
+/// Returns a shape error if `targets` and `logits` have different shapes.
+pub fn bce_with_logits(
+    logits: &Matrix,
+    targets: &Matrix,
+    pos_weight: f32,
+) -> Result<LossValue, NnError> {
+    if logits.shape() != targets.shape() {
+        return Err(NnError::SampleCount {
+            samples: logits.rows(),
+            labels: targets.rows(),
+        });
+    }
+    let probs = sigmoid(logits);
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0;
+    let mut d = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        for j in 0..logits.cols() {
+            let p = probs.get(i, j).clamp(1e-7, 1.0 - 1e-7);
+            let t = targets.get(i, j);
+            let w = if t > 0.5 { pos_weight } else { 1.0 };
+            loss -= w * (t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+            d.set(i, j, w * (p - t) / n);
+        }
+    }
+    Ok(LossValue {
+        loss: loss / n,
+        d_logits: d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&Matrix::row_vector(&[1000.0, 1000.0]));
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0], &[0.0, 20.0]]).unwrap();
+        let lv = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(lv.loss < 1e-6);
+        assert!(lv.d_logits.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Matrix::zeros(1, 4);
+        let lv = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((lv.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.3, 0.8]]).unwrap();
+        let labels = [1usize];
+        let lv = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, j, logits.get(0, j) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, j, logits.get(0, j) - eps);
+            let fp = softmax_cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &labels).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - lv.d_logits.get(0, j)).abs() < 1e-3,
+                "grad[{j}] numeric {numeric} vs {}",
+                lv.d_logits.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Matrix::zeros(2, 3);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0]),
+            Err(NnError::SampleCount { .. })
+        ));
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn soft_cross_entropy_reduces_to_hard_on_one_hot() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.3, 0.8], &[1.0, 0.0, -1.0]]).unwrap();
+        let hard = softmax_cross_entropy(&logits, &[1, 0]).unwrap();
+        let one_hot =
+            Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0]]).unwrap();
+        let soft = soft_cross_entropy(&logits, &one_hot).unwrap();
+        assert!((hard.loss - soft.loss).abs() < 1e-5);
+        for (a, b) in hard.d_logits.iter().zip(soft.d_logits.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn soft_cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.2, -0.5, 1.1]]).unwrap();
+        let targets = Matrix::from_rows(&[&[0.5, 0.0, 0.5]]).unwrap();
+        let lv = soft_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, j, logits.get(0, j) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, j, logits.get(0, j) - eps);
+            let fp = soft_cross_entropy(&lp, &targets).unwrap().loss;
+            let fm = soft_cross_entropy(&lm, &targets).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - lv.d_logits.get(0, j)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn soft_cross_entropy_shape_mismatch_errors() {
+        assert!(soft_cross_entropy(&Matrix::zeros(2, 3), &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -1.2], &[2.0, 0.1]]).unwrap();
+        let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let lv = bce_with_logits(&logits, &targets, 2.0).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, logits.get(i, j) + eps);
+                let mut lm = logits.clone();
+                lm.set(i, j, logits.get(i, j) - eps);
+                let fp = bce_with_logits(&lp, &targets, 2.0).unwrap().loss;
+                let fm = bce_with_logits(&lm, &targets, 2.0).unwrap().loss;
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (numeric - lv.d_logits.get(i, j)).abs() < 1e-3,
+                    "bce grad[{i},{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_pos_weight_upweights_positives() {
+        let logits = Matrix::row_vector(&[0.0]);
+        let pos = Matrix::row_vector(&[1.0]);
+        let l1 = bce_with_logits(&logits, &pos, 1.0).unwrap().loss;
+        let l4 = bce_with_logits(&logits, &pos, 4.0).unwrap().loss;
+        assert!((l4 - 4.0 * l1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_shape_mismatch_errors() {
+        let logits = Matrix::zeros(2, 2);
+        let targets = Matrix::zeros(3, 2);
+        assert!(bce_with_logits(&logits, &targets, 1.0).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! First-order optimizers: SGD with momentum and Adam.
+
+use anole_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{Mlp, NnError};
+
+/// Declarative optimizer choice carried by
+/// [`TrainConfig`](crate::TrainConfig).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f32,
+    },
+    /// Adam with default `(β₁, β₂) = (0.9, 0.999)`.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer state for a training run.
+    pub fn build(self) -> Optimizer {
+        match self {
+            OptimizerKind::Sgd { lr, momentum } => Optimizer::Sgd(Sgd::new(lr, momentum)),
+            OptimizerKind::Adam { lr } => Optimizer::Adam(Adam::new(lr)),
+        }
+    }
+}
+
+impl Default for OptimizerKind {
+    /// Adam at `lr = 1e-2`, a robust default for the small networks here.
+    fn default() -> Self {
+        OptimizerKind::Adam { lr: 1e-2 }
+    }
+}
+
+/// Stateful optimizer applied by the trainer each mini-batch.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// See [`Sgd`].
+    Sgd(Sgd),
+    /// See [`Adam`].
+    Adam(Adam),
+}
+
+impl Optimizer {
+    /// Applies one update step given per-layer `(d_weights, d_bias)` grads.
+    ///
+    /// Layers within the model's frozen prefix are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step(&mut self, model: &mut Mlp, grads: &[(Matrix, Matrix)]) -> Result<(), NnError> {
+        match self {
+            Optimizer::Sgd(s) => s.step(model, grads),
+            Optimizer::Adam(a) => a.step(model, grads),
+        }
+    }
+}
+
+/// SGD with classical momentum: `v ← μv − lr·g`, `θ ← θ + v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<(Matrix, Matrix)>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one SGD step; see [`Optimizer::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step(&mut self, model: &mut Mlp, grads: &[(Matrix, Matrix)]) -> Result<(), NnError> {
+        if self.velocity.is_empty() {
+            self.velocity = grads
+                .iter()
+                .map(|(dw, db)| (Matrix::zeros(dw.rows(), dw.cols()), Matrix::zeros(db.rows(), db.cols())))
+                .collect();
+        }
+        let frozen = model.frozen_prefix();
+        for (idx, layer) in model.layers_mut().iter_mut().enumerate() {
+            if idx < frozen {
+                continue;
+            }
+            let (dw, db) = &grads[idx];
+            let (vw, vb) = &mut self.velocity[idx];
+            *vw = vw.scale(self.momentum);
+            vw.axpy(-self.lr, dw)?;
+            *vb = vb.scale(self.momentum);
+            vb.axpy(-self.lr, db)?;
+            layer.apply_update(&vw.clone(), &vb.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    first: Vec<(Matrix, Matrix)>,
+    second: Vec<(Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard moment coefficients.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            first: Vec::new(),
+            second: Vec::new(),
+        }
+    }
+
+    /// Applies one Adam step; see [`Optimizer::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step(&mut self, model: &mut Mlp, grads: &[(Matrix, Matrix)]) -> Result<(), NnError> {
+        if self.first.is_empty() {
+            let zeros = |m: &Matrix| Matrix::zeros(m.rows(), m.cols());
+            self.first = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
+            self.second = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let frozen = model.frozen_prefix();
+        for (idx, layer) in model.layers_mut().iter_mut().enumerate() {
+            if idx < frozen {
+                continue;
+            }
+            let (dw, db) = &grads[idx];
+            let update_w = self.moment_update(idx, true, dw, bc1, bc2);
+            let update_b = self.moment_update(idx, false, db, bc1, bc2);
+            layer.apply_update(&update_w, &update_b)?;
+        }
+        Ok(())
+    }
+
+    fn moment_update(&mut self, idx: usize, weights: bool, g: &Matrix, bc1: f32, bc2: f32) -> Matrix {
+        let (m, v) = if weights {
+            (&mut self.first[idx].0, &mut self.second[idx].0)
+        } else {
+            (&mut self.first[idx].1, &mut self.second[idx].1)
+        };
+        let mut update = Matrix::zeros(g.rows(), g.cols());
+        for i in 0..g.len() {
+            let gi = g.as_slice()[i];
+            let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+            let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+            m.as_mut_slice()[i] = mi;
+            v.as_mut_slice()[i] = vi;
+            let m_hat = mi / bc1;
+            let v_hat = vi / bc2;
+            update.as_mut_slice()[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{softmax_cross_entropy, Activation, Mlp};
+    use anole_tensor::{Matrix, Seed};
+
+    fn tiny_problem() -> (Mlp, Matrix, Vec<usize>) {
+        let model = Mlp::builder(2).hidden(8, Activation::Tanh).output(2).build(Seed(3));
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let y = vec![0usize, 1, 1, 0]; // XOR
+        (model, x, y)
+    }
+
+    fn loss_of(model: &Mlp, x: &Matrix, y: &[usize]) -> f32 {
+        softmax_cross_entropy(&model.forward(x).unwrap(), y).unwrap().loss
+    }
+
+    fn run_steps(mut opt: Optimizer, steps: usize) -> f32 {
+        let (mut model, x, y) = tiny_problem();
+        for _ in 0..steps {
+            let cache = model.forward_cached(&x).unwrap();
+            let lv = softmax_cross_entropy(cache.output(), &y).unwrap();
+            let grads = model.backward(&cache, &lv.d_logits).unwrap();
+            opt.step(&mut model, &grads).unwrap();
+        }
+        loss_of(&model, &x, &y)
+    }
+
+    #[test]
+    fn sgd_reduces_xor_loss() {
+        let initial = {
+            let (model, x, y) = tiny_problem();
+            loss_of(&model, &x, &y)
+        };
+        let final_loss = run_steps(OptimizerKind::Sgd { lr: 0.5, momentum: 0.9 }.build(), 400);
+        assert!(final_loss < initial * 0.2, "{final_loss} vs {initial}");
+    }
+
+    #[test]
+    fn adam_solves_xor() {
+        let final_loss = run_steps(OptimizerKind::Adam { lr: 0.05 }.build(), 400);
+        assert!(final_loss < 0.05, "adam final loss {final_loss}");
+    }
+
+    #[test]
+    fn frozen_prefix_layers_do_not_move() {
+        let (mut model, x, y) = tiny_problem();
+        model.set_frozen_prefix(1);
+        let before = model.layers()[0].weights().clone();
+        let mut opt = OptimizerKind::Adam { lr: 0.05 }.build();
+        let initial = loss_of(&model, &x, &y);
+        for _ in 0..200 {
+            let cache = model.forward_cached(&x).unwrap();
+            let lv = softmax_cross_entropy(cache.output(), &y).unwrap();
+            let grads = model.backward(&cache, &lv.d_logits).unwrap();
+            opt.step(&mut model, &grads).unwrap();
+        }
+        assert_eq!(model.layers()[0].weights(), &before);
+        // The head must still have moved and improved the loss.
+        assert!(loss_of(&model, &x, &y) < initial);
+    }
+
+    #[test]
+    fn default_kind_is_adam() {
+        assert!(matches!(OptimizerKind::default(), OptimizerKind::Adam { .. }));
+    }
+}

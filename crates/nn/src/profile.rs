@@ -1,0 +1,177 @@
+//! FLOP and weight accounting (paper Table II).
+//!
+//! The simulated networks in this reproduction are far smaller than the CNNs
+//! the paper deploys, so each trained model carries a *reference profile*
+//! describing the paper-scale model it stands in for. The device simulator
+//! prices latency, memory, and energy from the reference profile, keeping
+//! Tables II/IV and Figures 4/11 at the paper's scale, while accuracy comes
+//! from the actually-trained simulated network.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper-scale model class a simulated network stands in for
+/// (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReferenceModel {
+    /// YOLOv3-tiny — the compressed per-scene detectors.
+    Yolov3Tiny,
+    /// ResNet18 — the scene encoder `M_scene`.
+    Resnet18,
+    /// Two-layer MLP — the decision model `M_decision`.
+    DecisionMlp,
+    /// Full YOLOv3 — the deep baseline (SDM).
+    Yolov3,
+}
+
+impl ReferenceModel {
+    /// All reference models in Table II order.
+    pub const ALL: [ReferenceModel; 4] = [
+        ReferenceModel::Yolov3Tiny,
+        ReferenceModel::Resnet18,
+        ReferenceModel::DecisionMlp,
+        ReferenceModel::Yolov3,
+    ];
+
+    /// Display name used in regenerated tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReferenceModel::Yolov3Tiny => "YOLOv3-tiny",
+            ReferenceModel::Resnet18 => "Resnet18",
+            ReferenceModel::DecisionMlp => "MLP",
+            ReferenceModel::Yolov3 => "YOLOv3",
+        }
+    }
+
+    /// Role string as printed in Table II.
+    pub fn role(&self) -> &'static str {
+        match self {
+            ReferenceModel::Yolov3Tiny => "Compress model",
+            ReferenceModel::Resnet18 => "M_scene",
+            ReferenceModel::DecisionMlp => "M_decision",
+            ReferenceModel::Yolov3 => "Deep model",
+        }
+    }
+
+    /// Forward-pass FLOPs per frame (Table II, "FLOPS" column).
+    pub fn flops(&self) -> u64 {
+        match self {
+            ReferenceModel::Yolov3Tiny => 5_560_000_000,
+            ReferenceModel::Resnet18 => 4_690_000_000,
+            ReferenceModel::DecisionMlp => 3_600_000,
+            ReferenceModel::Yolov3 => 65_860_000_000,
+        }
+    }
+
+    /// Serialized weight size in bytes (Table II, "Weights" column).
+    pub fn weight_bytes(&self) -> u64 {
+        const MB: u64 = 1_000_000;
+        match self {
+            ReferenceModel::Yolov3Tiny => 34 * MB,
+            ReferenceModel::Resnet18 => 44 * MB,
+            ReferenceModel::DecisionMlp => 935_000,
+            ReferenceModel::Yolov3 => 237 * MB,
+        }
+    }
+
+    /// Resident GPU memory during batch-1 inference in bytes
+    /// (Table IV, "Execution" column; the deep model also dominates there).
+    pub fn execution_bytes(&self) -> u64 {
+        const MB: u64 = 1_000_000;
+        match self {
+            ReferenceModel::Yolov3Tiny => 1_120 * MB,
+            ReferenceModel::Resnet18 | ReferenceModel::DecisionMlp => 584 * MB,
+            ReferenceModel::Yolov3 => 1_730 * MB,
+        }
+    }
+}
+
+impl std::fmt::Display for ReferenceModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cost profile of a deployable model: what the device simulator prices.
+///
+/// `simulated_*` fields describe the network actually trained in this
+/// reproduction; `reference` pins the paper-scale class used for latency,
+/// memory, and energy accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Paper-scale class this model stands in for.
+    pub reference: ReferenceModel,
+    /// FLOPs of the simulated network's forward pass.
+    pub simulated_flops: u64,
+    /// Parameter bytes of the simulated network.
+    pub simulated_weight_bytes: u64,
+}
+
+impl ModelProfile {
+    /// Builds a profile for a simulated network standing in for `reference`.
+    pub fn new(reference: ReferenceModel, simulated_flops: u64, simulated_weight_bytes: u64) -> Self {
+        Self {
+            reference,
+            simulated_flops,
+            simulated_weight_bytes,
+        }
+    }
+
+    /// Builds a profile straight from a trained [`Mlp`](crate::Mlp).
+    pub fn of_mlp(reference: ReferenceModel, mlp: &crate::Mlp) -> Self {
+        Self::new(reference, mlp.flops_per_sample(), mlp.weight_bytes())
+    }
+
+    /// FLOPs used for device pricing (the reference scale).
+    pub fn flops(&self) -> u64 {
+        self.reference.flops()
+    }
+
+    /// Weight bytes used for device pricing (the reference scale).
+    pub fn weight_bytes(&self) -> u64 {
+        self.reference.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Mlp};
+    use anole_tensor::Seed;
+
+    #[test]
+    fn table_ii_flops_ratio_holds() {
+        // The paper highlights that YOLOv3 is ~10x the FLOPs of the tiny
+        // model and ResNet18.
+        let deep = ReferenceModel::Yolov3.flops() as f64;
+        let tiny = ReferenceModel::Yolov3Tiny.flops() as f64;
+        let resnet = ReferenceModel::Resnet18.flops() as f64;
+        assert!(deep / tiny > 10.0);
+        assert!(deep / resnet > 10.0);
+    }
+
+    #[test]
+    fn decision_mlp_is_tiny() {
+        assert!(ReferenceModel::DecisionMlp.flops() < ReferenceModel::Yolov3Tiny.flops() / 1000);
+        assert!(ReferenceModel::DecisionMlp.weight_bytes() < 1_000_000);
+    }
+
+    #[test]
+    fn names_and_roles_cover_all() {
+        for m in ReferenceModel::ALL {
+            assert!(!m.name().is_empty());
+            assert!(!m.role().is_empty());
+            assert!(m.flops() > 0);
+            assert!(m.weight_bytes() > 0);
+            assert!(m.execution_bytes() >= m.weight_bytes());
+        }
+    }
+
+    #[test]
+    fn profile_of_mlp_records_simulated_costs() {
+        let mlp = Mlp::builder(16).hidden(8, Activation::Relu).output(4).build(Seed(0));
+        let p = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &mlp);
+        assert_eq!(p.simulated_flops, mlp.flops_per_sample());
+        assert_eq!(p.simulated_weight_bytes, mlp.weight_bytes());
+        assert_eq!(p.flops(), ReferenceModel::Yolov3Tiny.flops());
+    }
+}

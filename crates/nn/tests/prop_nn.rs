@@ -1,0 +1,136 @@
+//! Property-based tests of the neural-network substrate.
+
+use anole_nn::{
+    bce_with_logits, sigmoid, soft_cross_entropy, softmax, softmax_cross_entropy, Activation, Mlp,
+};
+use anole_tensor::{Matrix, Seed};
+use proptest::prelude::*;
+
+fn logits_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-8.0f32..8.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+}
+
+proptest! {
+    /// Softmax rows are probability distributions for any finite logits.
+    #[test]
+    fn softmax_rows_are_distributions(logits in logits_strategy(4, 6)) {
+        let p = softmax(&logits);
+        for i in 0..p.rows() {
+            let sum: f32 = p.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Softmax is invariant to per-row constant shifts.
+    #[test]
+    fn softmax_shift_invariance(logits in logits_strategy(3, 5), shift in -5.0f32..5.0) {
+        let shifted = logits.map(|v| v + shift);
+        let a = softmax(&logits);
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Cross-entropy is minimized (over labels) at the argmax class.
+    #[test]
+    fn cross_entropy_prefers_argmax_label(logits in logits_strategy(1, 5)) {
+        let best = anole_tensor::argmax(logits.row(0)).unwrap();
+        let best_loss = softmax_cross_entropy(&logits, &[best]).unwrap().loss;
+        for label in 0..5 {
+            let loss = softmax_cross_entropy(&logits, &[label]).unwrap().loss;
+            prop_assert!(best_loss <= loss + 1e-5);
+        }
+    }
+
+    /// Soft cross-entropy against the softmax itself equals its entropy, the
+    /// minimum over target distributions with the same support.
+    #[test]
+    fn soft_ce_gradient_zero_at_self(logits in logits_strategy(2, 4)) {
+        let p = softmax(&logits);
+        let lv = soft_cross_entropy(&logits, &p).unwrap();
+        prop_assert!(lv.d_logits.max_abs() < 1e-5, "grad {}", lv.d_logits.max_abs());
+    }
+
+    /// Sigmoid outputs lie in (0, 1) and BCE loss is non-negative.
+    #[test]
+    fn bce_is_nonnegative(logits in logits_strategy(3, 4)) {
+        let probs = sigmoid(&logits);
+        prop_assert!(probs.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let targets = logits.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let lv = bce_with_logits(&logits, &targets, 1.5).unwrap();
+        prop_assert!(lv.loss >= 0.0);
+    }
+
+    /// Forward passes are deterministic and batch-consistent: stacking two
+    /// batches equals concatenating their outputs.
+    #[test]
+    fn forward_is_batch_consistent(
+        a in logits_strategy(2, 6),
+        b in logits_strategy(3, 6),
+        seed in 0u64..100,
+    ) {
+        let model = Mlp::builder(6).hidden(5, Activation::Tanh).output(3).build(Seed(seed));
+        let out_a = model.forward(&a).unwrap();
+        let out_b = model.forward(&b).unwrap();
+        let stacked = Matrix::vstack(&[&a, &b]).unwrap();
+        let out = model.forward(&stacked).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                prop_assert!((out.get(i, j) - out_a.get(i, j)).abs() < 1e-5);
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((out.get(i + 2, j) - out_b.get(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Gradients from backward() match finite differences on random nets.
+    #[test]
+    fn backward_matches_finite_difference(
+        x in logits_strategy(2, 3),
+        seed in 0u64..50,
+        label in 0usize..2,
+    ) {
+        let model = Mlp::builder(3).hidden(4, Activation::Tanh).output(2).build(Seed(seed));
+        let labels = [label, 1 - label];
+        let cache = model.forward_cached(&x).unwrap();
+        let lv = softmax_cross_entropy(cache.output(), &labels).unwrap();
+        let grads = model.backward(&cache, &lv.d_logits).unwrap();
+
+        // Probe one random-ish weight in the first layer.
+        let eps = 1e-2f32;
+        let (wi, wj) = (seed as usize % 3, (seed as usize / 3) % 4);
+        let mut bump = Matrix::zeros(3, 4);
+        bump.set(wi, wj, eps);
+        let mut plus = model.clone();
+        plus.layers_mut()[0].apply_update(&bump, &Matrix::zeros(1, 4)).unwrap();
+        let mut minus = model.clone();
+        minus.layers_mut()[0].apply_update(&bump.scale(-1.0), &Matrix::zeros(1, 4)).unwrap();
+        let fp = softmax_cross_entropy(&plus.forward(&x).unwrap(), &labels).unwrap().loss;
+        let fm = softmax_cross_entropy(&minus.forward(&x).unwrap(), &labels).unwrap().loss;
+        let numeric = (fp - fm) / (2.0 * eps);
+        prop_assert!((numeric - grads[0].0.get(wi, wj)).abs() < 5e-2);
+    }
+
+    /// Parameter/FLOP accounting is consistent with architecture arithmetic.
+    #[test]
+    fn accounting_matches_architecture(
+        input in 1usize..16,
+        hidden in 1usize..16,
+        out in 1usize..8,
+        seed in 0u64..20,
+    ) {
+        let model = Mlp::builder(input).hidden(hidden, Activation::Relu).output(out).build(Seed(seed));
+        prop_assert_eq!(model.parameter_count(), input * hidden + hidden + hidden * out + out);
+        prop_assert_eq!(model.weight_bytes(), model.parameter_count() as u64 * 4);
+        prop_assert_eq!(
+            model.flops_per_sample(),
+            ((2 * input + 2) * hidden + (2 * hidden + 2) * out) as u64
+        );
+    }
+}

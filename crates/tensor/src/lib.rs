@@ -1,0 +1,27 @@
+//! Dense `f32` matrices and deterministic randomness for the Anole reproduction.
+//!
+//! This crate is the numerical substrate shared by the neural-network,
+//! clustering, and data-generation crates. It deliberately implements only
+//! what the reproduction needs — row-major dense matrices, the handful of
+//! BLAS-like kernels backing the MLP forward/backward passes, and seeded RNG
+//! construction so every experiment in the repository is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use anole_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c, a);
+//! # Ok::<(), anole_tensor::ShapeError>(())
+//! ```
+
+mod matrix;
+mod rng;
+mod stats;
+
+pub use matrix::{Matrix, ShapeError};
+pub use rng::{rng_from_seed, split_seed, Seed};
+pub use stats::{argmax, cosine_similarity, empirical_cdf, l2_distance, mean, stddev, CdfPoint};

@@ -1,0 +1,730 @@
+//! Row-major dense `f32` matrix with the kernels the reproduction needs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Error returned when matrix shapes are incompatible for an operation.
+///
+/// # Examples
+///
+/// ```
+/// use anole_tensor::Matrix;
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(2, 3);
+/// assert!(a.matmul(&b).is_err()); // inner dimensions 3 vs 2 disagree
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl ShapeError {
+    fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A row-major dense matrix of `f32` values.
+///
+/// `Matrix` is the workhorse of the reproduction: network activations,
+/// weights, scene embeddings, and cluster centroids are all `Matrix` values.
+/// Rows index samples, columns index features, matching the convention of the
+/// neural-network crate.
+///
+/// # Examples
+///
+/// ```
+/// use anole_tensor::Matrix;
+///
+/// let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.row(1), &[3.0, 4.0]);
+/// # Ok::<(), anole_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = anole_tensor::Matrix::zeros(2, 3);
+    /// assert_eq!(m.shape(), (2, 3));
+    /// assert!(m.iter().all(|&v| v == 0.0));
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(ShapeError::new("from_rows", (rows.len(), cols), (1, r.len())));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[lo, hi)`.
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix with standard-normal entries scaled by `scale`.
+    ///
+    /// Uses the Box–Muller transform so the only dependency is a uniform RNG.
+    pub fn random_normal<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut R,
+    ) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * scale);
+            if data.len() < n {
+                data.push(r * theta.sin() * scale);
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the entry at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterates over all entries in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Borrows the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a new matrix holding the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Stacks matrices vertically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if column counts disagree.
+    pub fn vstack(parts: &[&Matrix]) -> Result<Self, ShapeError> {
+        let parts: Vec<&&Matrix> = parts.iter().filter(|m| m.rows > 0).collect();
+        if parts.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            if m.cols != cols {
+                return Err(ShapeError::new("vstack", (rows, cols), m.shape()));
+            }
+            data.extend_from_slice(&m.data);
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams over contiguous
+    /// memory in both operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ik * b_kj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != rhs.rows {
+            return Err(ShapeError::new("matmul_tn", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a_ki) in a_row.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ki * b_kj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError::new("matmul_nt", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Adds `row` (a 1×cols matrix, typically a bias) to every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `row` is not a single row of matching width.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Result<Matrix, ShapeError> {
+        if row.rows != 1 || row.cols != self.cols {
+            return Err(ShapeError::new("add_row_broadcast", self.shape(), row.shape()));
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums the rows into a 1×cols matrix.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for i in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(i).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes disagree.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("hadamard", self.shape(), rhs.shape()));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every entry by `s`, returning a new matrix.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += other * s` (AXPY).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes disagree.
+    pub fn axpy(&mut self, s: f32, other: &Matrix) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("axpy", self.shape(), other.shape()));
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute entry, or 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self.get(i, j))?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes disagree; use [`Matrix::axpy`] for a fallible variant.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f32) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs).expect("matrix += shape mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_identity_map() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let id = Matrix::identity(3);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Matrix::random_normal(4, 3, 1.0, &mut rng);
+        let b = Matrix::random_normal(4, 5, 1.0, &mut rng);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Matrix::random_normal(4, 3, 1.0, &mut rng);
+        let b = Matrix::random_normal(5, 3, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Matrix::random_uniform(3, 7, -1.0, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]).unwrap();
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let c = a.add_row_broadcast(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[11.0, 21.0], &[12.0, 22.0]]).unwrap());
+    }
+
+    #[test]
+    fn sum_rows_accumulates_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        assert_eq!(a.sum_rows(), Matrix::row_vector(&[9.0, 12.0]));
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[&[2.0], &[0.0]]).unwrap());
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let v = Matrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn vstack_rejects_mismatched_columns() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        assert!(Matrix::vstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let a = Matrix::from_rows(&[&[2.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[4.0, 5.0]]).unwrap();
+        assert_eq!(a.hadamard(&b).unwrap(), Matrix::from_rows(&[&[8.0, 15.0]]).unwrap());
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled_matrix() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a, Matrix::filled(2, 2, 2.0));
+    }
+
+    #[test]
+    fn random_normal_has_roughly_unit_variance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let m = Matrix::random_normal(100, 100, 1.0, &mut rng);
+        let mean: f32 = m.iter().sum::<f32>() / m.len() as f32;
+        let var: f32 = m.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let rendered = format!("{}", Matrix::zeros(0, 0));
+        assert!(!rendered.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_rows(&[&[1.5, -2.5]]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

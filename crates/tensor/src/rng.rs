@@ -1,0 +1,116 @@
+//! Deterministic RNG construction shared across the workspace.
+//!
+//! Every experiment in the reproduction takes an explicit [`Seed`], and all
+//! randomness flows from [`rng_from_seed`] / [`split_seed`]. This keeps the
+//! regenerated tables and figures bit-stable across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 64-bit experiment seed.
+///
+/// Using a newtype rather than a bare `u64` keeps seed plumbing visible in
+/// signatures and prevents accidentally passing a sample count as a seed.
+///
+/// # Examples
+///
+/// ```
+/// use anole_tensor::{rng_from_seed, Seed};
+/// use rand::Rng;
+///
+/// let mut a = rng_from_seed(Seed(7));
+/// let mut b = rng_from_seed(Seed(7));
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Seed(pub u64);
+
+impl Default for Seed {
+    /// The workspace-wide default experiment seed.
+    fn default() -> Self {
+        Seed(0xA_0_1_E) // "A01E" ~ Anole
+    }
+}
+
+impl std::fmt::Display for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed({})", self.0)
+    }
+}
+
+impl From<u64> for Seed {
+    fn from(v: u64) -> Self {
+        Seed(v)
+    }
+}
+
+/// Builds a [`StdRng`] from a seed.
+pub fn rng_from_seed(seed: Seed) -> StdRng {
+    StdRng::seed_from_u64(seed.0)
+}
+
+/// Derives an independent child seed from `(seed, stream)`.
+///
+/// Uses the SplitMix64 finalizer so nearby streams produce decorrelated
+/// children; the same `(seed, stream)` pair always yields the same child.
+///
+/// # Examples
+///
+/// ```
+/// use anole_tensor::{split_seed, Seed};
+///
+/// let train = split_seed(Seed(1), 0);
+/// let eval = split_seed(Seed(1), 1);
+/// assert_ne!(train, eval);
+/// assert_eq!(train, split_seed(Seed(1), 0));
+/// ```
+pub fn split_seed(seed: Seed, stream: u64) -> Seed {
+    let mut z = seed
+        .0
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    Seed(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(Seed(5));
+        let mut b = rng_from_seed(Seed(5));
+        let xs: Vec<u32> = (0..10).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = rng_from_seed(Seed(5));
+        let mut b = rng_from_seed(Seed(6));
+        let xs: Vec<u32> = (0..4).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_distinct() {
+        let s = Seed(123);
+        let children: Vec<Seed> = (0..16).map(|i| split_seed(s, i)).collect();
+        for (i, a) in children.iter().enumerate() {
+            assert_eq!(*a, split_seed(s, i as u64));
+            for b in &children[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn default_seed_is_stable() {
+        assert_eq!(Seed::default(), Seed::default());
+        assert_eq!(format!("{}", Seed(3)), "seed(3)");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the matrix kernels.
+
+use anole_tensor::{argmax, cosine_similarity, empirical_cdf, l2_distance, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized vec"))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 3),
+        b in matrix_strategy(3, 3),
+        c in matrix_strategy(3, 3),
+    ) {
+        let left = a.matmul(&(&b + &c)).unwrap();
+        let right = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(a in matrix_strategy(4, 3), b in matrix_strategy(4, 5)) {
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        for (x, y) in fused.iter().zip(explicit.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l2_distance_satisfies_triangle_inequality(
+        a in proptest::collection::vec(-100.0f32..100.0, 8),
+        b in proptest::collection::vec(-100.0f32..100.0, 8),
+        c in proptest::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let ab = l2_distance(&a, &b);
+        let bc = l2_distance(&b, &c);
+        let ac = l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-3);
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded(
+        a in proptest::collection::vec(-100.0f32..100.0, 8),
+        b in proptest::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&s));
+    }
+
+    #[test]
+    fn argmax_returns_a_maximum(values in proptest::collection::vec(-1e6f32..1e6, 1..64)) {
+        let idx = argmax(&values).unwrap();
+        for &v in &values {
+            prop_assert!(values[idx] >= v);
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone(
+        values in proptest::collection::vec(-1e4f32..1e4, 1..200),
+        steps in 1usize..50,
+    ) {
+        let cdf = empirical_cdf(&values, steps);
+        prop_assert_eq!(cdf.len(), steps);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].value >= w[0].value);
+        }
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(cdf.last().unwrap().value, max);
+    }
+
+    #[test]
+    fn scale_then_norm_scales_norm(m in matrix_strategy(4, 4), s in 0.0f32..10.0) {
+        let scaled = m.scale(s);
+        prop_assert!((scaled.frobenius_norm() - s * m.frobenius_norm()).abs() < 1e-1);
+    }
+}

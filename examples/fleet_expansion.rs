@@ -1,0 +1,103 @@
+//! Fleet expansion: the paper's §II case-3 remedy in action.
+//!
+//! A deployed fleet meets a scene no repository model covers (the paper:
+//! "a remedy for this case is to train new models to deal with x and the
+//! like in the future"). The fleet uploads labelled footage overnight; the
+//! cloud trains one new specialist, widens the decision model, and ships
+//! both back. This example measures detection quality on the exotic scene
+//! before and after.
+//!
+//! ```text
+//! cargo run --release --example fleet_expansion
+//! ```
+
+use anole::core::omi::{DriftDetector, DriftState};
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{
+    ClipId, DatasetConfig, DatasetSource, DrivingDataset, Location, SceneAttributes, TimeOfDay,
+    Weather,
+};
+use anole::detect::DetectionCounts;
+use anole::device::DeviceKind;
+use anole::tensor::{split_seed, Seed};
+
+fn score(system: &AnoleSystem, frames: &[anole::data::Frame], seed: Seed) -> (f32, usize) {
+    let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, seed);
+    engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+    let mut counts = DetectionCounts::default();
+    let mut newest_used = 0;
+    let newest = system.repository().len() - 1;
+    for frame in frames {
+        let out = engine.step(&frame.features).expect("inference");
+        counts.accumulate(&out.detections, &frame.truth);
+        if out.used == newest {
+            newest_used += 1;
+        }
+    }
+    (counts.f1(), newest_used)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = Seed(777);
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), split_seed(seed, 0));
+    let mut system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), split_seed(seed, 1))?;
+    println!("deployed repository: {} compressed models", system.repository().len());
+
+    // The fleet drives into a scene the training data never contained.
+    let exotic = SceneAttributes::new(Weather::Foggy, Location::TollBooth, TimeOfDay::Night);
+    let collected = dataset.world().generate_clip(
+        ClipId(5000),
+        DatasetSource::Shd,
+        exotic,
+        150,
+        1.0,
+        split_seed(seed, 2),
+    );
+    let tomorrow = dataset.world().generate_clip(
+        ClipId(5001),
+        DatasetSource::Shd,
+        exotic,
+        80,
+        1.0,
+        split_seed(seed, 3),
+    );
+
+    // The deployed drift detector is what tells the fleet to upload footage
+    // in the first place: calibrated on validation confidence, it fires on
+    // the exotic stream.
+    let split = dataset.split();
+    let mut detector = DriftDetector::calibrated(&system, &dataset, &split.val, 15, 0.1)?;
+    let drifting = collected
+        .frames
+        .iter()
+        .filter(|f| {
+            detector.observe_frame(&system, &f.features).expect("inference") == DriftState::Drifting
+        })
+        .count();
+    println!(
+        "drift detector (floor {:.2}): {}/{} collected frames flagged as case-3",
+        detector.floor(),
+        drifting,
+        collected.frames.len()
+    );
+
+    let (before, _) = score(&system, &tomorrow.frames, split_seed(seed, 4));
+    println!("F1 on '{exotic}' before expansion: {before:.3}");
+
+    let new_id = system.extend_with_frames(&dataset, &collected.frames, split_seed(seed, 5))?;
+    println!(
+        "overnight: trained specialist M{new_id} (validation F1 {:.3}), decision head retrained \
+         over {} models",
+        system.repository().model(new_id).validation_f1,
+        system.decision().model_count()
+    );
+
+    let (after, newest_used) = score(&system, &tomorrow.frames, split_seed(seed, 4));
+    println!(
+        "F1 on '{exotic}' after expansion: {after:.3} (+{:.3}); new model served {}/{} frames",
+        after - before,
+        newest_used,
+        tomorrow.frames.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Facade crate for the Anole reproduction workspace.
+//!
+//! Re-exports the per-subsystem crates under one name so the examples and
+//! cross-crate integration tests can `use anole::...`. Downstream users who
+//! only need one subsystem should depend on that crate directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use anole::core::AnoleConfig;
+//!
+//! let config = AnoleConfig::default();
+//! assert!(config.repository.target_models >= 2);
+//! ```
+
+pub use anole_bandit as bandit;
+pub use anole_cache as cache;
+pub use anole_cluster as cluster;
+pub use anole_core as core;
+pub use anole_data as data;
+pub use anole_detect as detect;
+pub use anole_device as device;
+pub use anole_nn as nn;
+pub use anole_tensor as tensor;

@@ -1,0 +1,120 @@
+//! The paper's quantitative headline claims, checked against the simulator
+//! at the calibrated reference scale (these do not require training).
+
+use anole::bandit::{balance_coefficient, RandomSampler, SamplingStrategy, ThompsonSampler};
+use anole::device::{DeviceKind, GpuMemoryModel, LatencyModel, PowerMode, PowerModel};
+use anole::nn::ReferenceModel;
+use anole::tensor::{rng_from_seed, Seed};
+
+const ANOLE_PIPELINE: [ReferenceModel; 3] = [
+    ReferenceModel::Resnet18,
+    ReferenceModel::DecisionMlp,
+    ReferenceModel::Yolov3Tiny,
+];
+
+/// §I: "response time (33.1% faster)" — Anole's single-model path against
+/// the deep model, per device.
+#[test]
+fn anole_path_is_faster_than_sdm_on_every_device() {
+    for kind in DeviceKind::ALL {
+        let lm = LatencyModel::for_device(kind);
+        let anole = lm.mean_scene_decision_ms() + lm.mean_inference_ms(ReferenceModel::Yolov3Tiny);
+        let sdm = lm.mean_inference_ms(ReferenceModel::Yolov3);
+        assert!(
+            anole < sdm,
+            "{kind}: anole path {anole} ms vs SDM {sdm} ms"
+        );
+    }
+    // On the TX2 the paper reports 13.9 ms switching latency.
+    let tx2 = LatencyModel::for_device(DeviceKind::JetsonTx2Nx);
+    let path = tx2.mean_scene_decision_ms() + tx2.mean_inference_ms(ReferenceModel::Yolov3Tiny);
+    assert!((path - 13.9).abs() < 0.1, "TX2 path {path} ms");
+}
+
+/// §VI-G: "the latency of YOLOv3-tiny on Jetson Nano is 87.9% lower than
+/// that of YOLOv3".
+#[test]
+fn tiny_latency_reduction_on_nano_matches() {
+    let nano = LatencyModel::for_device(DeviceKind::JetsonNano);
+    let reduction = 1.0
+        - nano.mean_inference_ms(ReferenceModel::Yolov3Tiny)
+            / nano.mean_inference_ms(ReferenceModel::Yolov3);
+    assert!((reduction - 0.879).abs() < 0.005, "reduction {reduction}");
+}
+
+/// §VI-H: "45.1% reduction in power consumption compared with SDM and an
+/// inference speed of over 30 FPS with an input power of 20W".
+#[test]
+fn power_claims_hold_at_20w() {
+    let pm = PowerModel::for_device(DeviceKind::JetsonTx2Nx);
+    let top = PowerMode::tx2_modes().into_iter().last().unwrap();
+    let anole = pm.evaluate(&ANOLE_PIPELINE, top);
+    let sdm = pm.evaluate(&[ReferenceModel::Yolov3], top);
+    let reduction = 1.0 - anole.watts / sdm.watts;
+    assert!(
+        (0.30..0.60).contains(&reduction),
+        "power reduction {reduction:.3} not in the paper's neighbourhood"
+    );
+    assert!(anole.fps >= 30.0, "Anole fps {}", anole.fps);
+    assert!(sdm.fps < 30.0, "SDM should not sustain 30 fps ({})", sdm.fps);
+}
+
+/// Fig. 4(a): the first frame pays a cold-start two orders of magnitude
+/// above steady state.
+#[test]
+fn cold_start_spike_is_orders_of_magnitude() {
+    let lm = LatencyModel::for_device(DeviceKind::JetsonTx2Nx).with_jitter(0.0);
+    let mut rng = rng_from_seed(Seed(5));
+    let trace = lm.cold_start_trace(ReferenceModel::Yolov3, 20, &mut rng);
+    assert!(trace[0] / trace[1] > 50.0, "spike ratio {}", trace[0] / trace[1]);
+}
+
+/// §V-B / Fig. 7(b): a handful of cached models fits every device, and the
+/// 2 GB Nano still fits at least the constrained 2-model cache.
+#[test]
+fn cache_capacity_fits_all_devices() {
+    let nano = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
+    assert!(nano.max_cached_models() >= 2);
+    let tx2 = GpuMemoryModel::for_device(DeviceKind::JetsonTx2Nx);
+    assert!(tx2.max_cached_models() >= 5, "tx2 fits {}", tx2.max_cached_models());
+    let laptop = GpuMemoryModel::for_device(DeviceKind::Laptop);
+    assert!(laptop.max_cached_models() >= 19, "laptop fits the full pack");
+}
+
+/// Table II: the model-size relationships the scheme depends on.
+#[test]
+fn model_scale_relationships() {
+    assert!(ReferenceModel::Yolov3.flops() > 10 * ReferenceModel::Yolov3Tiny.flops());
+    // 19 compressed models store fewer weights than 3 deep models.
+    assert!(19 * ReferenceModel::Yolov3Tiny.weight_bytes() < 3 * ReferenceModel::Yolov3.weight_bytes());
+    // The decision stage adds ~8% of a tiny model's compute.
+    let decision = ReferenceModel::DecisionMlp.flops() as f64;
+    assert!(decision / (ReferenceModel::Yolov3Tiny.flops() as f64) < 0.01);
+}
+
+/// Fig. 3: Thompson sampling yields balanced per-arm draws where prevalence-
+/// weighted random sampling mirrors the dataset bias.
+#[test]
+fn adaptive_sampling_balances_draws() {
+    let prevalence: Vec<usize> = (0..19).map(|i| 20_000 / ((i + 1) * (i + 1))).collect();
+    let mut random = RandomSampler::new(&prevalence);
+    let mut rng = rng_from_seed(Seed(17));
+    for _ in 0..6000 {
+        let arm = random.select(&mut rng).unwrap();
+        random.record_sampled(arm);
+    }
+
+    let clusters = vec![120usize; 19];
+    let mut thompson = ThompsonSampler::new(&clusters, 0.5);
+    let mut rng = rng_from_seed(Seed(19));
+    while let Some(arm) = thompson.select(&mut rng) {
+        thompson.record_sampled(arm);
+    }
+
+    let b_random = balance_coefficient(random.counts());
+    let b_thompson = balance_coefficient(thompson.counts());
+    assert!(
+        b_thompson > 5.0 * b_random.max(1e-6),
+        "thompson {b_thompson:.3} vs random {b_random:.3}"
+    );
+}

@@ -1,0 +1,101 @@
+//! Cross-crate property tests: invariants of the generative world, the
+//! detection metrics, and the online engine under arbitrary inputs.
+
+use anole::cluster::KMeans;
+use anole::data::{
+    ClipId, DatasetSource, Location, SceneAttributes, TimeOfDay, Weather, WorldConfig, WorldModel,
+};
+use anole::detect::{threshold_probs, DetectionCounts};
+use anole::tensor::{Matrix, Seed};
+use proptest::prelude::*;
+
+fn attrs_strategy() -> impl Strategy<Value = SceneAttributes> {
+    (0usize..5, 0usize..8, 0usize..3).prop_map(|(w, l, t)| {
+        SceneAttributes::new(Weather::ALL[w], Location::ALL[l], TimeOfDay::ALL[t])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every scene produces well-formed clips: finite bounded features,
+    /// truth consistent with metadata, photometrics in range.
+    #[test]
+    fn generated_clips_are_well_formed(
+        attrs in attrs_strategy(),
+        seed in 0u64..1000,
+        length in 1usize..40,
+        density in 0.2f32..2.0,
+    ) {
+        let world = WorldModel::new(WorldConfig::default(), Seed(999));
+        let clip = world.generate_clip(
+            ClipId(0),
+            DatasetSource::Shd,
+            attrs,
+            length,
+            density,
+            Seed(seed),
+        );
+        prop_assert_eq!(clip.len(), length);
+        for frame in &clip.frames {
+            prop_assert!(frame.features.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+            prop_assert!((0.0..=1.0).contains(&frame.meta.brightness));
+            prop_assert!((0.0..=1.0).contains(&frame.meta.contrast));
+            prop_assert!(frame.occupied_cells() <= frame.meta.object_count);
+            prop_assert!((frame.meta.object_count == 0) == (frame.occupied_cells() == 0));
+        }
+    }
+
+    /// Scene styles are deterministic functions of (world seed, attributes).
+    #[test]
+    fn scene_styles_are_deterministic(attrs in attrs_strategy(), seed in 0u64..100) {
+        let a = WorldModel::new(WorldConfig::default(), Seed(seed));
+        let b = WorldModel::new(WorldConfig::default(), Seed(seed));
+        prop_assert_eq!(a.scene_style(&attrs), b.scene_style(&attrs));
+    }
+
+    /// F1 is symmetric in the sense that swapping predictions and truth
+    /// leaves it unchanged (precision and recall swap).
+    #[test]
+    fn f1_is_swap_invariant(cells in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..64)) {
+        let pred: Vec<bool> = cells.iter().map(|&(p, _)| p).collect();
+        let truth: Vec<bool> = cells.iter().map(|&(_, t)| t).collect();
+        let mut forward = DetectionCounts::default();
+        forward.accumulate(&pred, &truth);
+        let mut backward = DetectionCounts::default();
+        backward.accumulate(&truth, &pred);
+        prop_assert!((forward.f1() - backward.f1()).abs() < 1e-6);
+    }
+
+    /// Thresholding at 0 marks everything detected; at > 1 nothing.
+    #[test]
+    fn thresholding_extremes(probs in proptest::collection::vec(0.0f32..=1.0, 1..64)) {
+        prop_assert!(threshold_probs(&probs, 0.0).iter().all(|&d| d));
+        prop_assert!(threshold_probs(&probs, 1.1).iter().all(|&d| !d));
+    }
+
+    /// k-means assignments returned by `fit` agree with `predict` on the
+    /// training points themselves.
+    #[test]
+    fn kmeans_fit_predict_agree(
+        points in proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 3), 6..40),
+        k in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(points.len() >= k);
+        let refs: Vec<&[f32]> = points.iter().map(|p| p.as_slice()).collect();
+        let m = Matrix::from_rows(&refs).unwrap();
+        let fit = KMeans::new(k).fit(&m, Seed(seed)).unwrap();
+        for (i, point) in points.iter().enumerate() {
+            prop_assert_eq!(fit.predict(point), fit.assignments[i]);
+        }
+    }
+
+    /// Scene indices are a bijection over the 120 semantic scenes.
+    #[test]
+    fn scene_index_bijection(attrs in attrs_strategy()) {
+        let idx = attrs.scene_index();
+        prop_assert!(idx < anole::data::SEMANTIC_SCENE_COUNT);
+        prop_assert_eq!(SceneAttributes::from_scene_index(idx), attrs);
+    }
+}
