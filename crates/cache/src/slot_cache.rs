@@ -186,6 +186,29 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         self.entries.remove(key).is_some()
     }
 
+    /// Resizes the cache to `capacity` slots, evicting per the configured
+    /// policy until the resident set fits. Returns the evicted keys in
+    /// eviction order (empty when growing or already within bounds).
+    ///
+    /// This models a memory-pressure event on the device: the OS reclaims
+    /// GPU memory mid-stream and the deployment layer must shed resident
+    /// models without restarting.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<K> {
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            match self.pick_victim() {
+                Some(victim) => {
+                    self.entries.remove(&victim);
+                    self.stats.evictions += 1;
+                    evicted.push(victim);
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
     /// Removes every resident key (statistics are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -306,6 +329,53 @@ mod tests {
             c.insert(i % 7);
             assert!(c.len() <= 3);
         }
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_by_policy() {
+        let mut c = SlotCache::new(4, EvictionPolicy::Lfu);
+        for key in ["a", "b", "c", "d"] {
+            c.insert(key);
+        }
+        for _ in 0..3 {
+            c.touch(&"a");
+        }
+        c.touch(&"b");
+        c.touch(&"b");
+        c.touch(&"c");
+        // Shrink to 2: the least-frequent keys ("d" then "c") must go.
+        let evicted = c.set_capacity(2);
+        assert_eq!(evicted, vec!["d", "c"]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+        assert!(c.contains(&"a") && c.contains(&"b"));
+        assert_eq!(c.stats().evictions, 2);
+        // Inserts now respect the reduced capacity.
+        c.insert("e");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn growing_capacity_evicts_nothing() {
+        let mut c = SlotCache::new(1, EvictionPolicy::Lru);
+        c.insert(1);
+        assert!(c.set_capacity(3).is_empty());
+        c.insert(2);
+        c.insert(3);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn shrinking_to_zero_empties_the_cache() {
+        let mut c = SlotCache::new(3, EvictionPolicy::Fifo);
+        c.insert(1);
+        c.insert(2);
+        let evicted = c.set_capacity(0);
+        assert_eq!(evicted.len(), 2);
+        assert!(c.is_empty());
+        // A zero-capacity cache rejects further inserts.
+        c.insert(4);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -4,7 +4,12 @@ use anole_cluster::ClusterError;
 use anole_nn::NnError;
 
 /// Error returned by Anole training and inference.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new failure modes (the fault-injection work keeps finding them) can be
+/// added without a breaking release.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AnoleError {
     /// A neural-network operation failed.
     Nn(NnError),
@@ -25,6 +30,32 @@ pub enum AnoleError {
         /// Diagnostic detail.
         detail: String,
     },
+    /// A run-time parameter is outside its valid range.
+    InvalidConfig {
+        /// The offending parameter.
+        what: &'static str,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// A frame handed to the online engine is unusable (wrong feature
+    /// width, or NaN/Inf values that would poison decision scores).
+    InvalidFrame {
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// A model could not be loaded onto the device after bounded retries.
+    ModelLoadFailed {
+        /// Repository id of the model.
+        model: usize,
+        /// Load attempts made before giving up.
+        attempts: usize,
+    },
+    /// Every fallback tier is exhausted: no loadable model, no pinned
+    /// fallback, and no last-good detections to replay.
+    FaultExhausted {
+        /// Diagnostic detail.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for AnoleError {
@@ -39,6 +70,16 @@ impl std::fmt::Display for AnoleError {
                 write!(f, "algorithm 1 accepted no model; lower the δ threshold")
             }
             AnoleError::Deploy { detail } => write!(f, "deployment bundle error: {detail}"),
+            AnoleError::InvalidConfig { what, detail } => {
+                write!(f, "invalid configuration for {what}: {detail}")
+            }
+            AnoleError::InvalidFrame { detail } => write!(f, "invalid frame: {detail}"),
+            AnoleError::ModelLoadFailed { model, attempts } => {
+                write!(f, "model {model} failed to load after {attempts} attempts")
+            }
+            AnoleError::FaultExhausted { detail } => {
+                write!(f, "all fallback tiers exhausted: {detail}")
+            }
         }
     }
 }
@@ -86,5 +127,30 @@ mod tests {
         assert!(e.source().is_none());
         let e = AnoleError::Deploy { detail: "bad checksum".into() };
         assert!(e.to_string().contains("deployment bundle error"));
+    }
+
+    #[test]
+    fn robustness_variants_display_and_source() {
+        let e = AnoleError::InvalidConfig {
+            what: "camera_fps",
+            detail: "0 is not a frame rate".into(),
+        };
+        assert!(e.to_string().contains("camera_fps"));
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.source().is_none());
+
+        let e = AnoleError::InvalidFrame { detail: "NaN at feature 3".into() };
+        assert!(e.to_string().contains("invalid frame"));
+        assert!(e.to_string().contains("NaN at feature 3"));
+        assert!(e.source().is_none());
+
+        let e = AnoleError::ModelLoadFailed { model: 4, attempts: 3 };
+        assert!(e.to_string().contains("model 4"));
+        assert!(e.to_string().contains("3 attempts"));
+        assert!(e.source().is_none());
+
+        let e = AnoleError::FaultExhausted { detail: "no resident model".into() };
+        assert!(e.to_string().contains("exhausted"));
+        assert!(e.source().is_none());
     }
 }

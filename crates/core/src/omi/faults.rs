@@ -1,0 +1,546 @@
+//! Fault injection and graceful degradation for the online engine.
+//!
+//! The paper's premise is a vehicle-mounted device that must keep producing
+//! detections under hostile conditions — unstable uplinks, memory pressure,
+//! fast scene change (§I, §VI-H). This module makes that robustness property
+//! explicit and testable:
+//!
+//! * [`FaultPlan`] — a deterministic, seeded schedule of faults: per-frame
+//!   Bernoulli rates (model-load failures, sensor dropouts, NaN-poisoned
+//!   frames, decision-model anomalies) plus exactly-scheduled events
+//!   (mid-stream memory pressure, bundle corruption).
+//! * [`FaultInjector`] — the plan's runtime: one draw per frame, fully
+//!   reproducible from the plan's seed and independent of the engine's own
+//!   RNG, so a zero-fault plan leaves the engine bit-identical to an
+//!   un-instrumented run.
+//! * [`HealthState`] / [`HealthReport`] — the degradation ladder the engine
+//!   walks (`Healthy → Degraded → Critical`) and the aggregate story of a
+//!   run: fault counts, retries, excluded models, fallback depths.
+//!
+//! The engine-side behaviour (fallback chain, retry-with-backoff, permanent
+//! exclusion) lives in [`crate::omi::OnlineEngine`]; see `docs/robustness.md`
+//! for the full taxonomy.
+
+use anole_tensor::{rng_from_seed, Seed};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The engine's degradation ladder.
+///
+/// `Healthy` means the full Anole pipeline is serving frames. `Degraded`
+/// means faults are being absorbed (retries, exclusions) but a real model
+/// still serves every frame. `Critical` means the engine is surviving on the
+/// pinned fallback model or on replayed last-good detections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Full pipeline, no recent faults.
+    Healthy,
+    /// Faults absorbed; a cached model still serves every frame.
+    Degraded,
+    /// Serving from the pinned fallback or last-good detections only.
+    Critical,
+}
+
+impl HealthState {
+    /// All states, mildest first.
+    pub const ALL: [HealthState; 3] =
+        [HealthState::Healthy, HealthState::Degraded, HealthState::Critical];
+
+    /// Index into per-state counters (0 = healthy).
+    pub fn index(self) -> usize {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Critical => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Critical => "critical",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How a scheduled or drawn model-load fault fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadFault {
+    /// The load fails but retries may succeed (flaky I/O, transient OOM).
+    Transient,
+    /// The load fails deterministically (driver wedged, file unreadable).
+    Permanent,
+    /// The stored artifact fails its checksum — permanently unusable.
+    Corruption,
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The next model load fails once; bounded retries may recover it.
+    TransientLoadFailure,
+    /// The next model load fails permanently; the model is excluded.
+    PermanentLoadFailure,
+    /// The next model's deployment artifact is checksum-corrupt; the model
+    /// is excluded (the device cannot re-download mid-stream).
+    BundleCorruption,
+    /// The camera produced no usable frame this step.
+    SensorDropout,
+    /// The frame arrived NaN-poisoned (broken preprocessing, bit flips).
+    NanFrame,
+    /// Memory pressure: the model cache shrinks to this many slots.
+    MemoryPressure {
+        /// New slot count of the model cache.
+        capacity: usize,
+    },
+    /// The decision model emits garbage suitability scores this frame.
+    DecisionAnomaly,
+}
+
+/// A fault pinned to a specific frame index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Frame index (0-based step count) at which the fault fires.
+    pub frame: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// Rates are per-frame Bernoulli probabilities, clamped to `[0, 1]`;
+/// scheduled events fire at exact frame indices. The same plan always
+/// produces the same fault stream.
+///
+/// # Examples
+///
+/// ```
+/// use anole_core::omi::{FaultKind, FaultPlan};
+/// use anole_tensor::Seed;
+///
+/// let plan = FaultPlan::new(Seed(7))
+///     .with_transient_load_rate(0.1)
+///     .with_sensor_dropout_rate(0.02)
+///     .at(120, FaultKind::MemoryPressure { capacity: 2 });
+/// assert!(!plan.is_zero_fault());
+/// let mut a = plan.clone().injector();
+/// let mut b = plan.injector();
+/// for frame in 0..200 {
+///     assert_eq!(a.next_frame(), b.next_frame(), "frame {frame}");
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: Seed,
+    transient_load_rate: f32,
+    permanent_load_rate: f32,
+    sensor_dropout_rate: f32,
+    nan_frame_rate: f32,
+    decision_anomaly_rate: f32,
+    scheduled: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero and no scheduled events.
+    pub fn new(seed: Seed) -> Self {
+        Self {
+            seed,
+            transient_load_rate: 0.0,
+            permanent_load_rate: 0.0,
+            sensor_dropout_rate: 0.0,
+            nan_frame_rate: 0.0,
+            decision_anomaly_rate: 0.0,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Per-frame probability that a model load fails transiently.
+    #[must_use]
+    pub fn with_transient_load_rate(mut self, rate: f32) -> Self {
+        self.transient_load_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-frame probability that a model load fails permanently.
+    #[must_use]
+    pub fn with_permanent_load_rate(mut self, rate: f32) -> Self {
+        self.permanent_load_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-frame probability of a sensor dropout (no usable frame).
+    #[must_use]
+    pub fn with_sensor_dropout_rate(mut self, rate: f32) -> Self {
+        self.sensor_dropout_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-frame probability of a NaN-poisoned frame.
+    #[must_use]
+    pub fn with_nan_frame_rate(mut self, rate: f32) -> Self {
+        self.nan_frame_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-frame probability of a decision-model anomaly.
+    #[must_use]
+    pub fn with_decision_anomaly_rate(mut self, rate: f32) -> Self {
+        self.decision_anomaly_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Schedules `kind` at exact `frame`.
+    #[must_use]
+    pub fn at(mut self, frame: usize, kind: FaultKind) -> Self {
+        self.scheduled.push(FaultEvent { frame, kind });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// Whether this plan can never inject anything (all rates zero, no
+    /// scheduled events). Such a plan leaves the engine bit-identical to an
+    /// un-instrumented run.
+    pub fn is_zero_fault(&self) -> bool {
+        self.transient_load_rate == 0.0
+            && self.permanent_load_rate == 0.0
+            && self.sensor_dropout_rate == 0.0
+            && self.nan_frame_rate == 0.0
+            && self.decision_anomaly_rate == 0.0
+            && self.scheduled.is_empty()
+    }
+
+    /// Builds the runtime injector for this plan.
+    pub fn injector(self) -> FaultInjector {
+        let rng = rng_from_seed(self.seed);
+        FaultInjector {
+            plan: self,
+            rng,
+            frame: 0,
+        }
+    }
+}
+
+fn clamp_rate(rate: f32) -> f32 {
+    if rate.is_nan() {
+        0.0
+    } else {
+        rate.clamp(0.0, 1.0)
+    }
+}
+
+/// The faults injected into one frame, pre-sorted by how the engine consumes
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FrameFaults {
+    /// Cache shrink to this capacity, if a memory-pressure event fired.
+    pub memory_pressure: Option<usize>,
+    /// The camera produced nothing usable.
+    pub sensor_dropout: bool,
+    /// The frame is NaN-poisoned.
+    pub nan_frame: bool,
+    /// The decision model emits garbage this frame.
+    pub decision_anomaly: bool,
+    /// The next attempted model load fails this way.
+    pub load_fault: Option<LoadFault>,
+}
+
+impl FrameFaults {
+    /// Whether anything at all was injected.
+    pub fn any(&self) -> bool {
+        self.memory_pressure.is_some()
+            || self.sensor_dropout
+            || self.nan_frame
+            || self.decision_anomaly
+            || self.load_fault.is_some()
+    }
+
+    /// Number of distinct faults injected this frame.
+    pub fn count(&self) -> u32 {
+        self.memory_pressure.is_some() as u32
+            + self.sensor_dropout as u32
+            + self.nan_frame as u32
+            + self.decision_anomaly as u32
+            + self.load_fault.is_some() as u32
+    }
+}
+
+/// Runtime of a [`FaultPlan`]: owns its own RNG (never the engine's) and
+/// advances one frame per [`FaultInjector::next_frame`] call.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    frame: usize,
+}
+
+impl FaultInjector {
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Frames drawn so far.
+    pub fn frames_drawn(&self) -> usize {
+        self.frame
+    }
+
+    /// Draws the faults for the next frame. Exactly five Bernoulli draws are
+    /// consumed per call regardless of the rates, so scheduled events never
+    /// shift the random stream.
+    pub fn next_frame(&mut self) -> FrameFaults {
+        let mut faults = FrameFaults::default();
+        // Fixed draw order keeps the stream reproducible.
+        let transient = self.rng.gen::<f32>() < self.plan.transient_load_rate;
+        let permanent = self.rng.gen::<f32>() < self.plan.permanent_load_rate;
+        faults.sensor_dropout = self.rng.gen::<f32>() < self.plan.sensor_dropout_rate;
+        faults.nan_frame = self.rng.gen::<f32>() < self.plan.nan_frame_rate;
+        faults.decision_anomaly = self.rng.gen::<f32>() < self.plan.decision_anomaly_rate;
+        if permanent {
+            faults.load_fault = Some(LoadFault::Permanent);
+        } else if transient {
+            faults.load_fault = Some(LoadFault::Transient);
+        }
+        for event in &self.plan.scheduled {
+            if event.frame != self.frame {
+                continue;
+            }
+            match event.kind {
+                FaultKind::TransientLoadFailure => {
+                    faults.load_fault = Some(worse(faults.load_fault, LoadFault::Transient));
+                }
+                FaultKind::PermanentLoadFailure => {
+                    faults.load_fault = Some(worse(faults.load_fault, LoadFault::Permanent));
+                }
+                FaultKind::BundleCorruption => {
+                    faults.load_fault = Some(worse(faults.load_fault, LoadFault::Corruption));
+                }
+                FaultKind::SensorDropout => faults.sensor_dropout = true,
+                FaultKind::NanFrame => faults.nan_frame = true,
+                FaultKind::MemoryPressure { capacity } => {
+                    faults.memory_pressure = Some(capacity);
+                }
+                FaultKind::DecisionAnomaly => faults.decision_anomaly = true,
+            }
+        }
+        self.frame += 1;
+        faults
+    }
+
+    /// Whether one load retry also fails (drawn at the transient rate, so a
+    /// flaky link keeps being flaky). Only called by the engine while a
+    /// transient load fault is being retried — a zero-fault plan never
+    /// reaches this.
+    pub fn retry_fails(&mut self) -> bool {
+        self.rng.gen::<f32>() < self.plan.transient_load_rate
+    }
+}
+
+fn worse(current: Option<LoadFault>, incoming: LoadFault) -> LoadFault {
+    match current {
+        None | Some(LoadFault::Transient) => incoming,
+        Some(existing) => existing,
+    }
+}
+
+/// Per-kind fault counters accumulated by the engine (applied faults, not
+/// drawn-and-ignored ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Transient load failures absorbed.
+    pub transient_load: usize,
+    /// Permanent load failures absorbed.
+    pub permanent_load: usize,
+    /// Corrupt bundle artifacts detected.
+    pub bundle_corruption: usize,
+    /// Sensor dropouts absorbed.
+    pub sensor_dropout: usize,
+    /// NaN-poisoned frames absorbed.
+    pub nan_frames: usize,
+    /// Memory-pressure events absorbed.
+    pub memory_pressure: usize,
+    /// Decision-model anomalies absorbed.
+    pub decision_anomaly: usize,
+}
+
+impl FaultCounts {
+    /// Total faults absorbed.
+    pub fn total(&self) -> usize {
+        self.transient_load
+            + self.permanent_load
+            + self.bundle_corruption
+            + self.sensor_dropout
+            + self.nan_frames
+            + self.memory_pressure
+            + self.decision_anomaly
+    }
+}
+
+/// Aggregate health story of an online run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Health state after the last step.
+    pub state: HealthState,
+    /// Steps taken.
+    pub frames: usize,
+    /// Steps spent in each state (`HealthState::index` order).
+    pub frames_by_state: [usize; 3],
+    /// Faults absorbed, by kind.
+    pub faults: FaultCounts,
+    /// Load retries performed.
+    pub retries: usize,
+    /// Whole-frame load failures (every bounded retry exhausted).
+    pub load_strikes: usize,
+    /// Models permanently excluded from selection.
+    pub excluded_models: Vec<usize>,
+    /// Frames served at each fallback depth: 0 = requested model,
+    /// 1 = best cached model, 2 = pinned fallback model, 3 = last-good
+    /// detections.
+    pub fallback_depths: [usize; 4],
+}
+
+impl HealthReport {
+    /// Fraction of steps spent outside `Healthy`; 0.0 for an empty run.
+    pub fn degraded_fraction(&self) -> f32 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            (self.frames_by_state[1] + self.frames_by_state[2]) as f32 / self.frames as f32
+        }
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} frames ({} degraded, {} critical); {} faults, {} retries, {} excluded",
+            self.state,
+            self.frames,
+            self.frames_by_state[1],
+            self.frames_by_state[2],
+            self.faults.total(),
+            self.retries,
+            self.excluded_models.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_plan_injects_nothing() {
+        let mut injector = FaultPlan::new(Seed(1)).injector();
+        for _ in 0..500 {
+            let faults = injector.next_frame();
+            assert!(!faults.any());
+            assert_eq!(faults.count(), 0);
+        }
+        assert!(injector.plan().is_zero_fault());
+        assert_eq!(injector.frames_drawn(), 500);
+    }
+
+    #[test]
+    fn same_plan_same_stream() {
+        let plan = FaultPlan::new(Seed(42))
+            .with_transient_load_rate(0.3)
+            .with_sensor_dropout_rate(0.1)
+            .with_nan_frame_rate(0.05)
+            .with_decision_anomaly_rate(0.05)
+            .at(17, FaultKind::MemoryPressure { capacity: 1 });
+        let mut a = plan.clone().injector();
+        let mut b = plan.injector();
+        for frame in 0..300 {
+            assert_eq!(a.next_frame(), b.next_frame(), "diverged at frame {frame}");
+        }
+    }
+
+    #[test]
+    fn rates_produce_roughly_proportional_faults() {
+        let mut injector = FaultPlan::new(Seed(7))
+            .with_sensor_dropout_rate(0.2)
+            .injector();
+        let n = 2000;
+        let hits = (0..n).filter(|_| injector.next_frame().sensor_dropout).count();
+        let rate = hits as f32 / n as f32;
+        assert!((rate - 0.2).abs() < 0.04, "observed rate {rate}");
+    }
+
+    #[test]
+    fn scheduled_events_fire_exactly_once() {
+        let mut injector = FaultPlan::new(Seed(9))
+            .at(3, FaultKind::MemoryPressure { capacity: 2 })
+            .at(5, FaultKind::BundleCorruption)
+            .at(5, FaultKind::SensorDropout)
+            .injector();
+        for frame in 0..10 {
+            let faults = injector.next_frame();
+            match frame {
+                3 => assert_eq!(faults.memory_pressure, Some(2)),
+                5 => {
+                    assert_eq!(faults.load_fault, Some(LoadFault::Corruption));
+                    assert!(faults.sensor_dropout);
+                    assert_eq!(faults.count(), 2);
+                }
+                _ => assert!(!faults.any(), "unexpected fault at frame {frame}"),
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_faults_dominate_transient() {
+        assert_eq!(worse(Some(LoadFault::Transient), LoadFault::Corruption), LoadFault::Corruption);
+        assert_eq!(worse(Some(LoadFault::Permanent), LoadFault::Transient), LoadFault::Permanent);
+        assert_eq!(worse(None, LoadFault::Transient), LoadFault::Transient);
+    }
+
+    #[test]
+    fn rates_are_clamped() {
+        let plan = FaultPlan::new(Seed(1))
+            .with_transient_load_rate(7.0)
+            .with_nan_frame_rate(-3.0)
+            .with_sensor_dropout_rate(f32::NAN);
+        assert_eq!(plan.transient_load_rate, 1.0);
+        assert_eq!(plan.nan_frame_rate, 0.0);
+        assert_eq!(plan.sensor_dropout_rate, 0.0);
+        // A saturated transient rate fires every frame.
+        let mut injector = plan.injector();
+        assert_eq!(injector.next_frame().load_fault, Some(LoadFault::Transient));
+    }
+
+    #[test]
+    fn health_state_index_and_display() {
+        for (i, s) in HealthState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(HealthState::Critical.to_string(), "critical");
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let report = HealthReport {
+            state: HealthState::Degraded,
+            frames: 10,
+            frames_by_state: [6, 3, 1],
+            faults: FaultCounts { sensor_dropout: 2, ..FaultCounts::default() },
+            retries: 1,
+            load_strikes: 0,
+            excluded_models: vec![4],
+            fallback_depths: [7, 1, 1, 1],
+        };
+        assert!((report.degraded_fraction() - 0.4).abs() < 1e-6);
+        let text = report.to_string();
+        assert!(text.contains("degraded after 10 frames"));
+        assert!(text.contains("2 faults"));
+    }
+}

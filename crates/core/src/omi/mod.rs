@@ -2,12 +2,17 @@
 
 mod deployment;
 mod drift;
+mod faults;
 mod realtime;
 mod switching;
 mod telemetry;
 
 pub use deployment::{OnlineEngine, StepOutcome};
 pub use drift::{DriftDetector, DriftState, SceneDistanceScorer};
+pub use faults::{
+    FaultCounts, FaultEvent, FaultInjector, FaultKind, FaultPlan, FrameFaults, HealthReport,
+    HealthState, LoadFault,
+};
 pub use realtime::{run_realtime, FrameProcessor, RealTimeReport, TimedMethod};
 pub use switching::{scene_durations, SwitchStats};
 pub use telemetry::{Telemetry, TelemetryRecord};

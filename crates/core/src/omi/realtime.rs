@@ -117,18 +117,20 @@ pub struct RealTimeReport {
 ///
 /// # Errors
 ///
-/// Surfaces processing errors.
-///
-/// # Panics
-///
-/// Panics if `camera_fps` is not strictly positive.
+/// Returns [`AnoleError::InvalidConfig`] if `camera_fps` is not a strictly
+/// positive finite number; surfaces processing errors otherwise.
 pub fn run_realtime(
     processor: &mut dyn FrameProcessor,
     frames: &[Frame],
     source: DatasetSource,
     camera_fps: f32,
 ) -> Result<RealTimeReport, AnoleError> {
-    assert!(camera_fps > 0.0, "camera fps must be positive");
+    if !(camera_fps > 0.0 && camera_fps.is_finite()) {
+        return Err(AnoleError::InvalidConfig {
+            what: "camera_fps",
+            detail: format!("{camera_fps} is not a positive frame rate"),
+        });
+    }
     let interval = 1000.0 / camera_fps;
 
     #[derive(Default)]
@@ -298,11 +300,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "camera fps must be positive")]
     fn zero_fps_is_rejected() {
         let (dataset, system) = world();
-        let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(151));
         let frames = test_frames(&dataset, 2);
-        let _ = run_realtime(&mut engine, &frames, DatasetSource::Shd, 0.0);
+        for bad_fps in [0.0f32, -24.0, f32::NAN, f32::INFINITY] {
+            let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(151));
+            let err = run_realtime(&mut engine, &frames, DatasetSource::Shd, bad_fps).unwrap_err();
+            assert!(
+                matches!(err, AnoleError::InvalidConfig { what: "camera_fps", .. }),
+                "fps {bad_fps}: unexpected error {err}"
+            );
+            assert!(err.to_string().contains("camera_fps"), "{err}");
+        }
     }
 }

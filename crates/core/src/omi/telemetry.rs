@@ -2,14 +2,15 @@
 //!
 //! Operators debugging a deployment need the per-frame record — which model
 //! the router asked for, which one served, whether the cache hit, how
-//! confident the decision was, what it cost — not just aggregate F1.
-//! [`Telemetry`] collects [`StepOutcome`]s (plus the ground-truth F1 when
-//! available) and renders them as CSV for offline analysis.
+//! confident the decision was, what it cost, and how healthy the engine was
+//! while serving it — not just aggregate F1. [`Telemetry`] collects
+//! [`StepOutcome`]s (plus the ground-truth F1 when available) and renders
+//! them as CSV for offline analysis.
 
 use anole_detect::DetectionCounts;
 use serde::{Deserialize, Serialize};
 
-use crate::omi::StepOutcome;
+use crate::omi::{HealthState, StepOutcome};
 
 /// One telemetry record: a [`StepOutcome`] plus optional ground-truth score.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,12 +23,20 @@ pub struct TelemetryRecord {
     pub used: usize,
     /// Whether the requested model was cache-resident.
     pub cache_hit: bool,
-    /// Compressed models executed (>1 on hedged frames).
+    /// Compressed models executed (>1 on hedged frames, 0 on frames served
+    /// from last-good detections).
     pub models_executed: usize,
     /// End-to-end latency in milliseconds.
     pub latency_ms: f32,
     /// Top-1 suitability probability.
     pub suitability: f32,
+    /// Engine health after this frame.
+    pub health: HealthState,
+    /// Fallback tier that served the frame (0 = requested model,
+    /// 1 = best cached, 2 = pinned fallback, 3 = last-good detections).
+    pub fallback_depth: usize,
+    /// Faults injected into this frame.
+    pub faults: u32,
     /// Per-frame F1 against ground truth, when truth was supplied.
     pub f1: Option<f32>,
 }
@@ -84,17 +93,35 @@ impl Telemetry {
             models_executed: outcome.models_executed,
             latency_ms: outcome.latency_ms,
             suitability: outcome.suitability,
+            health: outcome.health,
+            fallback_depth: outcome.fallback_depth,
+            faults: outcome.faults,
             f1,
         });
     }
 
+    /// Frames recorded while the engine was not `Healthy`.
+    pub fn degraded_frames(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.health != HealthState::Healthy)
+            .count()
+    }
+
+    /// Total faults injected across the recorded frames.
+    pub fn fault_total(&self) -> u64 {
+        self.records.iter().map(|r| u64::from(r.faults)).sum()
+    }
+
     /// Renders the log as CSV (header + one row per frame).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("frame,requested,used,cache_hit,models_executed,latency_ms,suitability,f1\n");
+        let mut out = String::from(
+            "frame,requested,used,cache_hit,models_executed,latency_ms,suitability,\
+             health,fallback_depth,faults,f1\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.3},{:.4},{}\n",
+                "{},{},{},{},{},{:.3},{:.4},{},{},{},{}\n",
                 r.frame,
                 r.requested,
                 r.used,
@@ -102,6 +129,9 @@ impl Telemetry {
                 r.models_executed,
                 r.latency_ms,
                 r.suitability,
+                r.health,
+                r.fallback_depth,
+                r.faults,
                 r.f1.map(|v| format!("{v:.4}")).unwrap_or_default()
             ));
         }
@@ -152,7 +182,11 @@ mod tests {
         assert_eq!(telemetry.len(), 25);
         let csv = telemetry.to_csv();
         assert_eq!(csv.lines().count(), 26);
-        assert!(csv.lines().nth(1).unwrap().split(',').count() == 8);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 11);
+        // A fault-free run stays healthy throughout.
+        assert_eq!(telemetry.degraded_frames(), 0);
+        assert_eq!(telemetry.fault_total(), 0);
+        assert!(csv.lines().nth(1).unwrap().contains("healthy"));
 
         let (latency, hit_rate, f1) = telemetry.summary();
         assert!(latency > 0.0);
@@ -174,11 +208,17 @@ mod tests {
             models_executed: 1,
             latency_ms: 10.0,
             suitability: 0.4,
+            health: HealthState::Degraded,
+            fallback_depth: 1,
+            faults: 2,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, None);
         assert_eq!(t.records()[0].f1, None);
         assert!(t.to_csv().lines().nth(1).unwrap().ends_with(','));
+        assert!(t.to_csv().lines().nth(1).unwrap().contains("degraded"));
+        assert_eq!(t.degraded_frames(), 1);
+        assert_eq!(t.fault_total(), 2);
         let (_, _, f1) = t.summary();
         assert_eq!(f1, 0.0);
     }
