@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the parallel k-means assignment step: a full
+//! `KMeans::fit` (k-means++ init + Lloyd iterations, assignment-dominated)
+//! and the silhouette score, at threads = 1 vs auto.
+//!
+//! Run with `ANOLE_THREADS=<n>` to control the parallel variant's pool.
+
+use anole_cluster::{silhouette_score, KMeans};
+use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn blob_points(n: usize, dim: usize) -> Matrix {
+    let mut rng = rng_from_seed(Seed(5_500 + n as u64));
+    let mut pts = Matrix::random_normal(n, dim, 1.0, &mut rng);
+    // Pull points toward 8 well-separated centers so Lloyd converges the
+    // same way every run.
+    for i in 0..n {
+        let offset = (i % 8) as f32 * 10.0;
+        for v in pts.row_mut(i) {
+            *v += offset;
+        }
+    }
+    pts
+}
+
+fn serial() -> ParallelConfig {
+    ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    }
+}
+
+fn parallel() -> ParallelConfig {
+    ParallelConfig {
+        min_par_elems: 1,
+        ..ParallelConfig::default()
+    }
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let pts = blob_points(4096, 16);
+    let mut group = c.benchmark_group("kmeans_4096x16_k8");
+    for (name, cfg) in [("serial", serial()), ("parallel", parallel())] {
+        group.bench_function(name, |bench| {
+            set_parallel_config(cfg);
+            let km = KMeans::new(8).with_max_iterations(10);
+            bench.iter(|| black_box(km.fit(&pts, Seed(1)).unwrap()))
+        });
+    }
+    group.finish();
+    set_parallel_config(ParallelConfig::default());
+}
+
+fn bench_silhouette(c: &mut Criterion) {
+    let pts = blob_points(1024, 16);
+    let fit = KMeans::new(8).fit(&pts, Seed(2)).unwrap();
+    let mut group = c.benchmark_group("silhouette_1024x16_k8");
+    for (name, cfg) in [("serial", serial()), ("parallel", parallel())] {
+        group.bench_function(name, |bench| {
+            set_parallel_config(cfg);
+            bench.iter(|| black_box(silhouette_score(&pts, &fit.assignments, 8)))
+        });
+    }
+    group.finish();
+    set_parallel_config(ParallelConfig::default());
+}
+
+criterion_group!(benches, bench_kmeans, bench_silhouette);
+criterion_main!(benches);

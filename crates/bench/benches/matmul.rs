@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the anole-tensor matmul kernels: a naive
+//! textbook baseline (implemented here, outside the library) against the
+//! tiled serial kernel and the tiled parallel kernel, at 64³ and 256³.
+//!
+//! Run with `ANOLE_THREADS=<n>` to control the parallel variant's pool.
+
+use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Textbook i-j-k matmul with no tiling and no threading: the baseline the
+/// tiled kernels are measured against.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn operands(n: usize) -> (Matrix, Matrix) {
+    let mut rng = rng_from_seed(Seed(9_000 + n as u64));
+    (
+        Matrix::random_normal(n, n, 1.0, &mut rng),
+        Matrix::random_normal(n, n, 1.0, &mut rng),
+    )
+}
+
+fn serial() -> ParallelConfig {
+    ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    }
+}
+
+fn parallel() -> ParallelConfig {
+    ParallelConfig {
+        min_par_elems: 1,
+        ..ParallelConfig::default() // threads = 0: auto / ANOLE_THREADS
+    }
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    for n in [64usize, 256] {
+        let (a, b) = operands(n);
+        let mut group = c.benchmark_group(format!("matmul_{n}"));
+        group.bench_function("naive", |bench| {
+            bench.iter(|| black_box(naive_matmul(&a, &b)))
+        });
+        group.bench_function("tiled_serial", |bench| {
+            set_parallel_config(serial());
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        group.bench_function("tiled_parallel", |bench| {
+            set_parallel_config(parallel());
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        group.finish();
+    }
+    set_parallel_config(ParallelConfig::default());
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let (a, b) = operands(256);
+    let bt = b.transpose();
+    let mut group = c.benchmark_group("matmul_variants_256");
+    for (name, cfg) in [("serial", serial()), ("parallel", parallel())] {
+        set_parallel_config(cfg);
+        group.bench_function(format!("tn_{name}"), |bench| {
+            bench.iter(|| black_box(a.matmul_tn(&b).unwrap()))
+        });
+        set_parallel_config(cfg);
+        group.bench_function(format!("nt_{name}"), |bench| {
+            bench.iter(|| black_box(a.matmul_nt(&bt).unwrap()))
+        });
+    }
+    group.bench_function("transpose", |bench| {
+        bench.iter(|| black_box(a.transpose()))
+    });
+    group.finish();
+    set_parallel_config(ParallelConfig::default());
+}
+
+criterion_group!(benches, bench_matmul, bench_variants);
+criterion_main!(benches);

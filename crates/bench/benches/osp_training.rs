@@ -1,0 +1,61 @@
+//! End-to-end benchmark of the offline scene profiling (Algorithm 1) loop:
+//! multi-level clustering plus per-cluster compressed-model training, the
+//! stage the bounded repository fan-out parallelizes.
+//!
+//! Run with `ANOLE_THREADS=<n>` to control the fan-out width.
+
+use anole_core::osp::{ModelRepository, SceneModel};
+use anole_core::{AnoleConfig, SceneModelConfig};
+use anole_data::{DatasetConfig, DrivingDataset};
+use anole_tensor::{set_parallel_config, ParallelConfig, Seed};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_repository_training(c: &mut Criterion) {
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(71));
+    let split = dataset.split();
+    let config = AnoleConfig::fast();
+    let mut scfg = SceneModelConfig::default();
+    scfg.train.epochs = 10;
+    let scene = SceneModel::train(&dataset, &split.train, &scfg, Seed(72)).expect("scene model");
+
+    let mut group = c.benchmark_group("osp_repository_train");
+    group.sample_size(10);
+    for (name, cfg) in [
+        (
+            "serial",
+            ParallelConfig {
+                threads: 1,
+                ..ParallelConfig::default()
+            },
+        ),
+        (
+            "parallel",
+            ParallelConfig {
+                min_par_elems: 1,
+                ..ParallelConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |bench| {
+            set_parallel_config(cfg);
+            bench.iter(|| {
+                black_box(
+                    ModelRepository::train(
+                        &dataset,
+                        &scene,
+                        &split.train,
+                        &split.val,
+                        &config,
+                        Seed(73),
+                    )
+                    .expect("repository"),
+                )
+            })
+        });
+    }
+    group.finish();
+    set_parallel_config(ParallelConfig::default());
+}
+
+criterion_group!(benches, bench_repository_training);
+criterion_main!(benches);

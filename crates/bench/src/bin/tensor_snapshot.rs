@@ -1,0 +1,227 @@
+//! `tensor_snapshot` — machine-readable timing snapshot of the parallel
+//! compute layer, written to `BENCH_tensor.json`.
+//!
+//! Unlike the criterion benches (statistical, human-oriented), this emits a
+//! small JSON file suitable for diffing across commits and machines: wall
+//! times for the naive/tiled-serial/tiled-parallel matmul kernels, the
+//! k-means assignment fan-out, and the Algorithm 1 repository training loop
+//! at threads = 1 vs auto.
+//!
+//! Usage:
+//!
+//! ```text
+//! tensor_snapshot [--out PATH] [--reps N] [--skip-train]
+//! ```
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use anole_cluster::KMeans;
+use anole_core::osp::{ModelRepository, SceneModel};
+use anole_core::{AnoleConfig, SceneModelConfig};
+use anole_data::{DatasetConfig, DrivingDataset};
+use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
+
+fn serial() -> ParallelConfig {
+    ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    }
+}
+
+fn parallel() -> ParallelConfig {
+    ParallelConfig {
+        min_par_elems: 1,
+        ..ParallelConfig::default() // threads = 0: auto / ANOLE_THREADS
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_tensor.json");
+    let mut reps = 5usize;
+    let mut skip_train = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reps" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => reps = n,
+                None => {
+                    eprintln!("error: --reps needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--skip-train" => skip_train = true,
+            "--help" | "-h" => {
+                println!("tensor_snapshot [--out PATH] [--reps N] [--skip-train]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let auto_threads = parallel().effective_threads();
+    let mut kernels = Vec::new();
+    let mut record = |name: &str, variant: &str, threads: usize, ms: f64| {
+        eprintln!("[tensor_snapshot] {name}/{variant} (threads={threads}): {ms:.3} ms");
+        kernels.push(serde_json::json!({
+            "name": name, "variant": variant, "threads": threads, "ms": ms,
+        }));
+    };
+
+    // Matmul kernels.
+    for n in [64usize, 256] {
+        let mut rng = rng_from_seed(Seed(9_000 + n as u64));
+        let a = Matrix::random_normal(n, n, 1.0, &mut rng);
+        let b = Matrix::random_normal(n, n, 1.0, &mut rng);
+        let name = format!("matmul_{n}");
+        record(&name, "naive", 1, time_ms(reps, || {
+            black_box(naive_matmul(&a, &b));
+        }));
+        set_parallel_config(serial());
+        record(&name, "tiled_serial", 1, time_ms(reps, || {
+            black_box(a.matmul(&b).unwrap());
+        }));
+        set_parallel_config(parallel());
+        record(&name, "tiled_parallel", auto_threads, time_ms(reps, || {
+            black_box(a.matmul(&b).unwrap());
+        }));
+        if n == 256 {
+            let bt = b.transpose();
+            for (cfg, variant, threads) in
+                [(serial(), "serial", 1), (parallel(), "parallel", auto_threads)]
+            {
+                set_parallel_config(cfg);
+                record("matmul_tn_256", variant, threads, time_ms(reps, || {
+                    black_box(a.matmul_tn(&b).unwrap());
+                }));
+                set_parallel_config(cfg);
+                record("matmul_nt_256", variant, threads, time_ms(reps, || {
+                    black_box(a.matmul_nt(&bt).unwrap());
+                }));
+            }
+        }
+    }
+
+    // K-means assignment fan-out.
+    let mut rng = rng_from_seed(Seed(5_500));
+    let mut pts = Matrix::random_normal(4096, 16, 1.0, &mut rng);
+    for i in 0..pts.rows() {
+        let offset = (i % 8) as f32 * 10.0;
+        for v in pts.row_mut(i) {
+            *v += offset;
+        }
+    }
+    let km = KMeans::new(8).with_max_iterations(10);
+    for (cfg, variant, threads) in
+        [(serial(), "serial", 1), (parallel(), "parallel", auto_threads)]
+    {
+        set_parallel_config(cfg);
+        record("kmeans_4096x16_k8", variant, threads, time_ms(reps, || {
+            black_box(km.fit(&pts, Seed(1)).unwrap());
+        }));
+    }
+
+    // Algorithm 1 repository training loop (the TCM fan-out).
+    if !skip_train {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(71));
+        let split = dataset.split();
+        let config = AnoleConfig::fast();
+        let mut scfg = SceneModelConfig::default();
+        scfg.train.epochs = 10;
+        let scene =
+            SceneModel::train(&dataset, &split.train, &scfg, Seed(72)).expect("scene model");
+        for (cfg, variant, threads) in
+            [(serial(), "serial", 1), (parallel(), "parallel", auto_threads)]
+        {
+            set_parallel_config(cfg);
+            record("osp_repository_train_small", variant, threads, time_ms(1, || {
+                black_box(
+                    ModelRepository::train(
+                        &dataset,
+                        &scene,
+                        &split.train,
+                        &split.val,
+                        &config,
+                        Seed(73),
+                    )
+                    .expect("repository"),
+                );
+            }));
+        }
+    }
+    set_parallel_config(ParallelConfig::default());
+
+    let find = |name: &str, variant: &str| -> Option<f64> {
+        kernels
+            .iter()
+            .find(|k| k["name"] == name && k["variant"] == variant)
+            .and_then(|k| k["ms"].as_f64())
+    };
+    let ratio = |name: &str, from: &str, to: &str| -> Option<f64> {
+        match (find(name, from), find(name, to)) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    };
+    let report = serde_json::json!({
+        "schema": "anole-tensor-snapshot/1",
+        "host": { "cores": cores, "auto_threads": auto_threads },
+        "config": { "tile": ParallelConfig::default().tile, "reps": reps },
+        "kernels": kernels,
+        "speedups": {
+            "matmul_256_tiled_serial_vs_naive": ratio("matmul_256", "naive", "tiled_serial"),
+            "matmul_256_parallel_vs_naive": ratio("matmul_256", "naive", "tiled_parallel"),
+            "matmul_256_parallel_vs_serial": ratio("matmul_256", "tiled_serial", "tiled_parallel"),
+            "kmeans_parallel_vs_serial": ratio("kmeans_4096x16_k8", "serial", "parallel"),
+            "osp_train_parallel_vs_serial":
+                ratio("osp_repository_train_small", "serial", "parallel"),
+        },
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, pretty + "\n") {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[tensor_snapshot] wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,14 @@
 //! Deterministic k-means (k-means++ initialization, Lloyd iterations).
+//!
+//! The O(n·k·d) assignment step, the k-means++ distance refresh, and the
+//! silhouette score fan out across the [`anole_tensor::parallel_config`]
+//! thread pool. Parallelism only partitions per-point computations — each
+//! point's nearest centroid is computed exactly as in the serial loop, and
+//! scalar reductions (inertia, silhouette total, k-means++ mass) sum the
+//! per-point values in ascending point order on one thread — so fits are
+//! bit-identical for every thread count.
 
-use anole_tensor::{l2_distance, rng_from_seed, Matrix, Seed};
+use anole_tensor::{l2_distance, parallel_config, rng_from_seed, Matrix, Seed};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -110,13 +118,24 @@ impl KMeans {
         let mut centroids = self.init_pp(points, &mut rng);
         let mut assignments = vec![0usize; points.rows()];
         let mut iterations = 0;
+        let threads = assignment_threads(points.rows(), self.k, points.cols());
 
         for iter in 0..self.max_iterations {
             iterations = iter + 1;
-            // Assignment step.
-            for i in 0..points.rows() {
-                assignments[i] = nearest_centroid(points.row(i), &centroids).0;
-            }
+            // Assignment step: each point is independent, so partition points
+            // across threads; every assignment is computed exactly as in the
+            // serial loop.
+            anole_tensor::parallel::for_each_row_chunk(
+                &mut assignments,
+                1,
+                points.rows(),
+                threads,
+                |range, out| {
+                    for (slot, i) in out.iter_mut().zip(range) {
+                        *slot = nearest_centroid(points.row(i), &centroids).0;
+                    }
+                },
+            );
             // Update step.
             let mut sums = Matrix::zeros(self.k, points.cols());
             let mut counts = vec![0usize; self.k];
@@ -145,10 +164,23 @@ impl KMeans {
             }
         }
 
-        // Final assignment + inertia.
+        // Final assignment + inertia: nearest pairs in parallel, then the
+        // squared distances summed serially in point order so the reduction
+        // is chunk-stable.
+        let mut nearest: Vec<(usize, f32)> = vec![(0, 0.0); points.rows()];
+        anole_tensor::parallel::for_each_row_chunk(
+            &mut nearest,
+            1,
+            points.rows(),
+            threads,
+            |range, out| {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    *slot = nearest_centroid(points.row(i), &centroids);
+                }
+            },
+        );
         let mut inertia = 0.0;
-        for i in 0..points.rows() {
-            let (a, d) = nearest_centroid(points.row(i), &centroids);
+        for (i, &(a, d)) in nearest.iter().enumerate() {
             assignments[i] = a;
             inertia += d * d;
         }
@@ -171,17 +203,22 @@ impl KMeans {
         centroids.row_mut(0).copy_from_slice(points.row(first));
 
         let mut d2 = vec![0.0f32; n];
+        let threads = assignment_threads(n, self.k, points.cols());
         for c in 1..self.k {
-            let mut total = 0.0;
-            for i in 0..n {
-                let mut best = f32::INFINITY;
-                for existing in 0..c {
-                    let d = l2_distance(points.row(i), centroids.row(existing));
-                    best = best.min(d * d);
+            // Refresh each point's squared distance to its nearest chosen
+            // centroid in parallel; the sampling mass is then summed serially
+            // in point order, keeping the draw deterministic.
+            anole_tensor::parallel::for_each_row_chunk(&mut d2, 1, n, threads, |range, out| {
+                for (slot, i) in out.iter_mut().zip(range) {
+                    let mut best = f32::INFINITY;
+                    for existing in 0..c {
+                        let d = l2_distance(points.row(i), centroids.row(existing));
+                        best = best.min(d * d);
+                    }
+                    *slot = best;
                 }
-                d2[i] = best;
-                total += best;
-            }
+            });
+            let total: f32 = d2.iter().sum();
             let idx = if total <= f32::EPSILON {
                 rng.gen_range(0..n)
             } else {
@@ -258,6 +295,13 @@ pub(crate) fn nearest_centroid(point: &[f32], centroids: &Matrix) -> (usize, f32
     best
 }
 
+/// Threads to use for a per-point fan-out whose work is `points·k·dim`
+/// distance terms. Delegates to the global [`parallel_config`] so tests can
+/// pin `threads = 1`.
+fn assignment_threads(points: usize, k: usize, dim: usize) -> usize {
+    parallel_config().threads_for(points.saturating_mul(k).saturating_mul(dim.max(1)))
+}
+
 fn farthest_point(points: &Matrix, centroids: &Matrix, assignments: &[usize]) -> usize {
     let mut best = (0usize, -1.0f32);
     #[allow(clippy::needless_range_loop)]
@@ -284,32 +328,38 @@ pub fn silhouette_score(points: &Matrix, assignments: &[usize], k: usize) -> f32
     if n == 0 || k < 2 {
         return 0.0;
     }
-    let mut total = 0.0;
-    for i in 0..n {
-        let mut dist_sum = vec![0.0f32; k];
-        let mut count = vec![0usize; k];
-        for j in 0..n {
-            if i == j {
-                continue;
+    // Each point's silhouette coefficient is independent (O(n·d) apiece), so
+    // compute them in parallel and sum serially in point order.
+    let mut coeffs = vec![0.0f32; n];
+    let threads = parallel_config().threads_for(n.saturating_mul(n).saturating_mul(points.cols().max(1)));
+    anole_tensor::parallel::for_each_row_chunk(&mut coeffs, 1, n, threads, |range, out| {
+        for (slot, i) in out.iter_mut().zip(range) {
+            let mut dist_sum = vec![0.0f32; k];
+            let mut count = vec![0usize; k];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                dist_sum[assignments[j]] += l2_distance(points.row(i), points.row(j));
+                count[assignments[j]] += 1;
             }
-            dist_sum[assignments[j]] += l2_distance(points.row(i), points.row(j));
-            count[assignments[j]] += 1;
-        }
-        let own = assignments[i];
-        if count[own] == 0 {
-            continue; // singleton cluster contributes 0
-        }
-        let a = dist_sum[own] / count[own] as f32;
-        let mut b = f32::INFINITY;
-        for c in 0..k {
-            if c != own && count[c] > 0 {
-                b = b.min(dist_sum[c] / count[c] as f32);
+            let own = assignments[i];
+            if count[own] == 0 {
+                continue; // singleton cluster contributes 0
+            }
+            let a = dist_sum[own] / count[own] as f32;
+            let mut b = f32::INFINITY;
+            for c in 0..k {
+                if c != own && count[c] > 0 {
+                    b = b.min(dist_sum[c] / count[c] as f32);
+                }
+            }
+            if b.is_finite() {
+                *slot = (b - a) / a.max(b);
             }
         }
-        if b.is_finite() {
-            total += (b - a) / a.max(b);
-        }
-    }
+    });
+    let total: f32 = coeffs.iter().sum();
     total / n as f32
 }
 

@@ -1,0 +1,65 @@
+//! Bit-identity of parallel k-means across thread counts (threads ∈ {1, 2, 8}).
+//!
+//! The assignment step, the k-means++ distance refresh, and the silhouette
+//! score all fan out per point; the determinism contract promises the full
+//! fit (centroids, assignments, inertia, iteration count) is bit-identical
+//! for every thread count. The whole sweep lives in one `#[test]` because
+//! the parallel config is process-global.
+
+use anole_cluster::{silhouette_score, KMeans, MultiLevelClustering};
+use anole_tensor::{
+    parallel_config, rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed,
+};
+
+fn blobs(centers: &[(f32, f32)], per: usize, spread: f32, seed: Seed) -> Matrix {
+    let mut rng = rng_from_seed(seed);
+    let mut rows = Vec::new();
+    for &(cx, cy) in centers {
+        for _ in 0..per {
+            let jitter = Matrix::random_normal(1, 2, spread, &mut rng);
+            rows.push(vec![cx + jitter.get(0, 0), cy + jitter.get(0, 1)]);
+        }
+    }
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs).unwrap()
+}
+
+#[test]
+fn kmeans_fit_is_bit_identical_across_threads() {
+    let baseline = parallel_config();
+    let pts = blobs(
+        &[(0.0, 0.0), (6.0, 6.0), (12.0, 0.0), (0.0, 12.0)],
+        40,
+        1.5,
+        Seed(41),
+    );
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        set_parallel_config(ParallelConfig {
+            threads,
+            tile: 64,
+            min_par_elems: 1,
+        });
+        let fit = KMeans::new(4).fit(&pts, Seed(42)).unwrap();
+        let sil = silhouette_score(&pts, &fit.assignments, 4);
+        let levels: Vec<_> = MultiLevelClustering::new(&pts, Seed(43))
+            .with_max_k(5)
+            .map(|l| l.unwrap())
+            .collect();
+        runs.push((threads, fit, sil, levels));
+    }
+
+    let (_, fit_ref, sil_ref, levels_ref) = &runs[0];
+    for (threads, fit, sil, levels) in &runs[1..] {
+        assert_eq!(fit, fit_ref, "k-means fit diverged at threads={threads}");
+        assert_eq!(
+            sil.to_bits(),
+            sil_ref.to_bits(),
+            "silhouette diverged at threads={threads}"
+        );
+        assert_eq!(levels, levels_ref, "sweep diverged at threads={threads}");
+    }
+
+    set_parallel_config(baseline);
+}

@@ -125,59 +125,69 @@ pub fn run_fleet(
     let mut days = Vec::with_capacity(schedule.len());
 
     for (day, &scenario) in schedule.iter().enumerate() {
-        // Daily operation: all devices in parallel under the read lock.
+        // Daily operation: devices in parallel under the read lock, bounded
+        // by the global parallel config. Each device derives its RNG stream
+        // from (day, device_idx) and results are collected in device order,
+        // so the report is identical for any worker count.
         type DeviceDay = Result<(DetectionCounts, usize, Vec<Frame>), AnoleError>;
         let results: Vec<DeviceDay> = {
             let guard = shared.read();
             let system_ref: &AnoleSystem = &guard;
             let scorer_ref = &scorer;
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..config.devices)
-                    .map(|device_idx| {
-                        let device_seed =
-                            split_seed(seed, (day * config.devices + device_idx) as u64 + 1);
-                        scope.spawn(move |_| -> DeviceDay {
-                            let clip = dataset.world().generate_clip(
-                                ClipId(usize::MAX - day * 100 - device_idx),
-                                DatasetSource::Shd,
-                                scenario,
-                                config.frames_per_day,
-                                1.0,
-                                split_seed(device_seed, 0),
-                            );
-                            let mut engine =
-                                system_ref.online_engine(config.device, split_seed(device_seed, 1));
-                            engine.warm(
-                                &(0..system_ref.repository().len()).collect::<Vec<_>>(),
-                            );
-                            let mut detector =
-                                scorer_ref.detector(config.drift_window, ceiling);
-                            let mut counts = DetectionCounts::default();
-                            let mut drifting = 0usize;
-                            let mut collected = Vec::new();
-                            for frame in &clip.frames {
-                                let out = engine.step(&frame.features)?;
-                                counts.accumulate(&out.detections, &frame.truth);
-                                let state = scorer_ref.observe_frame(
-                                    &mut detector,
-                                    system_ref,
-                                    &frame.features,
-                                )?;
-                                if state == DriftState::Drifting {
-                                    drifting += 1;
-                                    collected.push(frame.clone());
-                                }
-                            }
-                            Ok((counts, drifting, collected))
+            let run_device = |device_idx: usize| -> DeviceDay {
+                let device_seed =
+                    split_seed(seed, (day * config.devices + device_idx) as u64 + 1);
+                let clip = dataset.world().generate_clip(
+                    ClipId(usize::MAX - day * 100 - device_idx),
+                    DatasetSource::Shd,
+                    scenario,
+                    config.frames_per_day,
+                    1.0,
+                    split_seed(device_seed, 0),
+                );
+                let mut engine =
+                    system_ref.online_engine(config.device, split_seed(device_seed, 1));
+                engine.warm(&(0..system_ref.repository().len()).collect::<Vec<_>>());
+                let mut detector = scorer_ref.detector(config.drift_window, ceiling);
+                let mut counts = DetectionCounts::default();
+                let mut drifting = 0usize;
+                let mut collected = Vec::new();
+                for frame in &clip.frames {
+                    let out = engine.step(&frame.features)?;
+                    counts.accumulate(&out.detections, &frame.truth);
+                    let state =
+                        scorer_ref.observe_frame(&mut detector, system_ref, &frame.features)?;
+                    if state == DriftState::Drifting {
+                        drifting += 1;
+                        collected.push(frame.clone());
+                    }
+                }
+                Ok((counts, drifting, collected))
+            };
+            let threads = anole_tensor::parallel_config()
+                .effective_threads()
+                .clamp(1, config.devices);
+            if threads <= 1 {
+                (0..config.devices).map(run_device).collect()
+            } else {
+                let indices: Vec<usize> = (0..config.devices).collect();
+                let per_worker = config.devices.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let run_device = &run_device;
+                    let handles: Vec<_> = indices
+                        .chunks(per_worker)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk.iter().map(|&i| run_device(i)).collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("device thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope")
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("device thread panicked"))
+                        .collect()
+                })
+            }
         };
 
         let mut day_counts = DetectionCounts::default();

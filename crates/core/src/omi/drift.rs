@@ -256,9 +256,17 @@ impl SceneDistanceScorer {
     ) -> Result<f32, AnoleError> {
         assert!(!refs.is_empty(), "reference set is empty");
         assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+        // One batched embedding pass instead of a row-vector forward per
+        // frame; each row matches the per-frame path bit-for-bit.
+        let x = dataset.features_matrix(refs);
+        let emb = system.scene_model().embed(&x)?;
         let mut distances = Vec::with_capacity(refs.len());
-        for &r in refs {
-            distances.push(self.score(system, &dataset.frame(r).features)?);
+        for i in 0..emb.rows() {
+            let mut best = f32::INFINITY;
+            for c in 0..self.centroids.rows() {
+                best = best.min(anole_tensor::l2_distance(emb.row(i), self.centroids.row(c)));
+            }
+            distances.push(best);
         }
         distances.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Ok(distances[((distances.len() - 1) as f32 * quantile) as usize])

@@ -2,7 +2,7 @@
 //! small MLP head predicting per-model suitability.
 
 use anole_data::{DrivingDataset, FrameRef};
-use anole_detect::{ConfusionMatrix, DetectionCounts};
+use anole_detect::{threshold_probs, ConfusionMatrix, DetectionCounts};
 use anole_nn::{softmax, Activation, Dense, Mlp, ModelProfile, ReferenceModel, Trainer};
 use anole_tensor::{argmax, split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
@@ -189,22 +189,36 @@ impl DecisionModel {
         threshold: f32,
     ) -> Result<ConfusionMatrix, AnoleError> {
         let mut cm = ConfusionMatrix::new(self.n_models);
-        for &r in refs {
+        if refs.is_empty() {
+            return Ok(cm);
+        }
+        // Batch the scoring: one decision forward over all frames and one
+        // detector forward per model, instead of per-frame row-vector
+        // forwards (n·(m+1) tiny matmuls collapse into m+1 large ones that
+        // the tiled kernels can parallelize). Per-row results are
+        // bit-identical to the row-vector path, so the matrix is unchanged.
+        let x = dataset.features_matrix(refs);
+        let suitability = self.suitability(&x)?;
+        let mut model_probs = Vec::with_capacity(repository.len());
+        for model in repository.models() {
+            model_probs.push((model.id, model.detect_probs(&x)?));
+        }
+        for (i, &r) in refs.iter().enumerate() {
             let frame = dataset.frame(r);
             let mut best = (0usize, 0.0f32);
-            for model in repository.models() {
-                let pred = model.detect(&frame.features, threshold)?;
+            for (id, probs) in &model_probs {
+                let pred = threshold_probs(probs.row(i), threshold);
                 let mut counts = DetectionCounts::default();
                 counts.accumulate(&pred, &frame.truth);
                 let f1 = counts.f1();
                 if f1 > best.1 {
-                    best = (model.id, f1);
+                    best = (*id, f1);
                 }
             }
             if best.1 <= 0.0 {
                 continue;
             }
-            let (predicted, _) = self.best_model(&frame.features)?;
+            let predicted = argmax(suitability.row(i)).expect("non-empty suitability row");
             cm.record(best.0, predicted);
         }
         Ok(cm)

@@ -214,41 +214,52 @@ impl ModelRepository {
                 });
             }
 
-            // Train the level's candidates in parallel: seeds are keyed by
-            // (k, cluster), not acceptance order, so the result is identical
-            // to a sequential run.
+            // Train the level's candidates in parallel, bounded by the global
+            // [`anole_tensor::ParallelConfig`] rather than one thread per
+            // candidate. Seeds are keyed by (k, cluster), not acceptance
+            // order, and results are collected in cluster order, so the
+            // output is identical to a sequential run for any thread count.
             let threshold = config.detector.threshold;
-            let trained: Vec<Result<(CompressedModel, f32), AnoleError>> =
-                crossbeam::thread::scope(|scope| {
+            let train_candidate = |c: &Candidate| -> Result<(CompressedModel, f32), AnoleError> {
+                let model_seed = split_seed(seed, 100 + level.k as u64 * 131 + c.cluster as u64);
+                let candidate = train_compressed(
+                    dataset,
+                    &c.train,
+                    config,
+                    0, // ids are assigned at acceptance time
+                    ClusterOrigin {
+                        k: level.k,
+                        cluster: c.cluster,
+                        scenes: c.scenes.clone(),
+                    },
+                    model_seed,
+                )?;
+                let f1 = candidate.evaluate_f1(dataset, &c.val, threshold)?;
+                Ok((candidate, f1))
+            };
+            let threads = anole_tensor::parallel_config()
+                .effective_threads()
+                .clamp(1, candidates.len().max(1));
+            let trained: Vec<Result<(CompressedModel, f32), AnoleError>> = if threads <= 1 {
+                candidates.iter().map(train_candidate).collect()
+            } else {
+                let per_worker = candidates.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let train_candidate = &train_candidate;
                     let handles: Vec<_> = candidates
-                        .iter()
-                        .map(|c| {
-                            let model_seed =
-                                split_seed(seed, 100 + level.k as u64 * 131 + c.cluster as u64);
-                            scope.spawn(move |_| {
-                                let candidate = train_compressed(
-                                    dataset,
-                                    &c.train,
-                                    config,
-                                    0, // ids are assigned at acceptance time
-                                    ClusterOrigin {
-                                        k: level.k,
-                                        cluster: c.cluster,
-                                        scenes: c.scenes.clone(),
-                                    },
-                                    model_seed,
-                                )?;
-                                let f1 = candidate.evaluate_f1(dataset, &c.val, threshold)?;
-                                Ok((candidate, f1))
+                        .chunks(per_worker)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk.iter().map(train_candidate).collect::<Vec<_>>()
                             })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("training thread panicked"))
+                        .flat_map(|h| h.join().expect("training thread panicked"))
                         .collect()
                 })
-                .expect("crossbeam scope");
+            };
 
             // Accept sequentially, in cluster order, until the target.
             for result in trained {

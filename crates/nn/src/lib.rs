@@ -46,4 +46,4 @@ pub use loss::{bce_with_logits, sigmoid, soft_cross_entropy, softmax, softmax_cr
 pub use mlp::{Mlp, MlpBuilder};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use profile::{ModelProfile, ReferenceModel};
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{TrainConfig, TrainReport, Trainer, GRAD_CHUNK_ROWS};

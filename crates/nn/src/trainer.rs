@@ -1,10 +1,25 @@
 //! Mini-batch training loops for classifiers and multi-label heads.
 
-use anole_tensor::{rng_from_seed, Matrix, Seed};
+use anole_tensor::{parallel_config, rng_from_seed, Matrix, Seed};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
-use crate::{bce_with_logits, soft_cross_entropy, softmax_cross_entropy, Mlp, NnError, OptimizerKind};
+use crate::{
+    bce_with_logits, soft_cross_entropy, softmax_cross_entropy, LossValue, Mlp, NnError,
+    OptimizerKind,
+};
+
+/// Fixed row count of one gradient-accumulation chunk.
+///
+/// Batches of at least `2 * GRAD_CHUNK_ROWS` rows are split into chunks of
+/// this size whose loss/gradient contributions are computed independently
+/// (possibly on different threads) and combined with a pairwise tree
+/// reduction. Both the chunk boundaries and the reduction order depend only
+/// on the batch size — never on the thread count — so training is
+/// bit-identical for any [`anole_tensor::ParallelConfig`]. Smaller batches
+/// keep the classic single-pass path, which preserves the exact numerics of
+/// earlier releases for every configuration shipped in this repository.
+pub const GRAD_CHUNK_ROWS: usize = 64;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -166,7 +181,7 @@ impl Trainer {
         loss_fn: F,
     ) -> Result<TrainReport, NnError>
     where
-        F: Fn(&Matrix, &[usize]) -> Result<crate::LossValue, NnError>,
+        F: Fn(&Matrix, &[usize]) -> Result<crate::LossValue, NnError> + Sync,
     {
         let mut rng = rng_from_seed(seed);
         let mut optimizer = self.config.optimizer.build();
@@ -180,10 +195,15 @@ impl Trainer {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(batch) {
-                let bx = x.select_rows(chunk);
-                let cache = model.forward_cached(&bx)?;
-                let lv = loss_fn(cache.output(), chunk)?;
-                let grads = model.backward(&cache, &lv.d_logits)?;
+                let (loss, grads) = if chunk.len() >= 2 * GRAD_CHUNK_ROWS {
+                    accumulate_grads_chunked(model, x, chunk, &loss_fn)?
+                } else {
+                    let bx = x.select_rows(chunk);
+                    let cache = model.forward_cached(&bx)?;
+                    let lv = loss_fn(cache.output(), chunk)?;
+                    let grads = model.backward(&cache, &lv.d_logits)?;
+                    (lv.loss, grads)
+                };
                 if self.config.weight_decay > 0.0 {
                     let keep = 1.0 - self.config.weight_decay;
                     let frozen = model.frozen_prefix();
@@ -192,7 +212,7 @@ impl Trainer {
                     }
                 }
                 optimizer.step(model, &grads)?;
-                epoch_loss += lv.loss;
+                epoch_loss += loss;
                 batches += 1;
             }
             let mean_loss = epoch_loss / batches.max(1) as f32;
@@ -209,6 +229,97 @@ impl Trainer {
             final_loss,
         })
     }
+}
+
+/// Loss and per-layer gradients of one fixed-size sub-chunk, pre-scaled by
+/// `chunk_rows / batch_rows` so the per-chunk contributions sum to the
+/// batch-mean loss and gradient.
+fn chunk_grad<F>(
+    model: &Mlp,
+    x: &Matrix,
+    idx: &[usize],
+    loss_fn: &F,
+    batch_rows: f32,
+) -> Result<(f32, Vec<(Matrix, Matrix)>), NnError>
+where
+    F: Fn(&Matrix, &[usize]) -> Result<LossValue, NnError> + Sync,
+{
+    let bx = x.select_rows(idx);
+    let cache = model.forward_cached(&bx)?;
+    let lv = loss_fn(cache.output(), idx)?;
+    let weight = idx.len() as f32 / batch_rows;
+    let d_logits = lv.d_logits.scale(weight);
+    let grads = model.backward(&cache, &d_logits)?;
+    Ok((lv.loss * weight, grads))
+}
+
+/// Splits `batch_idx` into [`GRAD_CHUNK_ROWS`]-row chunks, computes each
+/// chunk's loss/gradients independently (fanning out to the
+/// [`anole_tensor::parallel_config`] thread pool when it pays), and combines
+/// them with a pairwise tree reduction in fixed chunk order.
+///
+/// Chunk boundaries and the reduction tree depend only on `batch_idx.len()`,
+/// so the result is bit-identical for every thread count; only scheduling
+/// changes.
+fn accumulate_grads_chunked<F>(
+    model: &Mlp,
+    x: &Matrix,
+    batch_idx: &[usize],
+    loss_fn: &F,
+) -> Result<(f32, Vec<(Matrix, Matrix)>), NnError>
+where
+    F: Fn(&Matrix, &[usize]) -> Result<LossValue, NnError> + Sync,
+{
+    let batch_rows = batch_idx.len() as f32;
+    let chunks: Vec<&[usize]> = batch_idx.chunks(GRAD_CHUNK_ROWS).collect();
+    let work = batch_idx.len().saturating_mul(model.parameter_count());
+    let threads = parallel_config().threads_for(work).min(chunks.len());
+
+    let results: Vec<Result<(f32, Vec<(Matrix, Matrix)>), NnError>> = if threads <= 1 {
+        chunks
+            .iter()
+            .map(|idx| chunk_grad(model, x, idx, loss_fn, batch_rows))
+            .collect()
+    } else {
+        let per_worker = chunks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .chunks(per_worker)
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|idx| chunk_grad(model, x, idx, loss_fn, batch_rows))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("gradient worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut partials: Vec<(f32, Vec<(Matrix, Matrix)>)> =
+        results.into_iter().collect::<Result<_, _>>()?;
+    // Pairwise tree reduction: (0,1), (2,3), … then again over the survivors.
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                left.0 += right.0;
+                for ((lw, lb), (rw, rb)) in left.1.iter_mut().zip(right.1) {
+                    *lw += &rw;
+                    *lb += &rb;
+                }
+            }
+            next.push(left);
+        }
+        partials = next;
+    }
+    Ok(partials.pop().expect("at least one gradient chunk"))
 }
 
 #[cfg(test)]

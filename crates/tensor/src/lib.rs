@@ -19,9 +19,11 @@
 //! ```
 
 mod matrix;
+pub mod parallel;
 mod rng;
 mod stats;
 
-pub use matrix::{Matrix, ShapeError};
+pub use matrix::{Matrix, ShapeError, SPARSE_SKIP_THRESHOLD};
+pub use parallel::{parallel_config, set_parallel_config, ParallelConfig};
 pub use rng::{rng_from_seed, split_seed, Seed};
 pub use stats::{argmax, cosine_similarity, empirical_cdf, l2_distance, mean, stddev, CdfPoint};

@@ -42,6 +42,26 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Fraction of exact zeros in the left operand above which the matmul kernels
+/// use the skip-zero inner branch.
+///
+/// Post-ReLU activations are typically ≥ 50% zeros, where skipping a whole
+/// inner row per zero pays handsomely; on dense data the branch is pure
+/// misprediction overhead, so it is compiled in only when a cheap O(len) scan
+/// (amortized against the O(rows·cols·n) product) says the matrix qualifies.
+/// Both paths are bit-identical on finite data (`x + 0.0·b == x`), and the
+/// choice depends only on the operand's contents — never on the thread count —
+/// so determinism is preserved.
+pub const SPARSE_SKIP_THRESHOLD: f32 = 0.25;
+
+fn zero_fraction(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let zeros = data.iter().filter(|&&v| v == 0.0).count();
+    zeros as f32 / data.len() as f32
+}
+
 /// A row-major dense matrix of `f32` values.
 ///
 /// `Matrix` is the workhorse of the reproduction: network activations,
@@ -309,8 +329,15 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// memory in both operands.
+    /// Cache-blocked i-k-j kernel: output rows are tiled, the shared `rhs`
+    /// panel is re-streamed per k-block, and large products are row-partitioned
+    /// across the [`crate::parallel_config`] thread pool. Each output element
+    /// accumulates its `k` terms in ascending order into a single accumulator,
+    /// so results are bit-identical for every `threads`/`tile` setting.
+    ///
+    /// When `self` is mostly zeros (≥ [`SPARSE_SKIP_THRESHOLD`], common for
+    /// post-ReLU activations), zero entries skip their inner loop; on dense
+    /// data the branch is elided entirely so it cannot mispredict.
     ///
     /// # Errors
     ///
@@ -320,23 +347,52 @@ impl Matrix {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b_kj;
-                }
-            }
+        if self.data.is_empty() || rhs.data.is_empty() {
+            return Ok(out);
         }
+        let cfg = crate::parallel_config();
+        let sparse = zero_fraction(&self.data) >= SPARSE_SKIP_THRESHOLD;
+        let threads = cfg.threads_for(self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols));
+        let n = rhs.cols;
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            n,
+            self.rows,
+            threads,
+            |range, chunk| {
+                let tile = cfg.tile;
+                let kk = self.cols;
+                for i0 in range.clone().step_by(tile) {
+                    let i1 = (i0 + tile).min(range.end);
+                    for k0 in (0..kk).step_by(tile) {
+                        let k1 = (k0 + tile).min(kk);
+                        for i in i0..i1 {
+                            let a_row = &self.row(i)[k0..k1];
+                            let out_row =
+                                &mut chunk[(i - range.start) * n..(i - range.start + 1) * n];
+                            for (k, &a_ik) in a_row.iter().enumerate() {
+                                if sparse && a_ik == 0.0 {
+                                    continue;
+                                }
+                                let b_row = rhs.row(k0 + k);
+                                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                                    *o += a_ik * b_kj;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
     /// Matrix product `selfᵀ · rhs` without materializing the transpose.
+    ///
+    /// Output rows (columns of `self`) are partitioned across threads; each
+    /// thread streams `self` and `rhs` row-contiguously and touches only its
+    /// own output rows, accumulating `k` terms in ascending order — the same
+    /// determinism contract as [`Matrix::matmul`].
     ///
     /// # Errors
     ///
@@ -346,23 +402,44 @@ impl Matrix {
             return Err(ShapeError::new("matmul_tn", self.shape(), rhs.shape()));
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ki * b_kj;
-                }
-            }
+        if self.data.is_empty() || rhs.data.is_empty() {
+            return Ok(out);
         }
+        let cfg = crate::parallel_config();
+        let sparse = zero_fraction(&self.data) >= SPARSE_SKIP_THRESHOLD;
+        let threads = cfg.threads_for(self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols));
+        let n = rhs.cols;
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            n,
+            self.cols,
+            threads,
+            |range, chunk| {
+                for k in 0..self.rows {
+                    let a_row = &self.row(k)[range.clone()];
+                    let b_row = rhs.row(k);
+                    for (i, &a_ki) in a_row.iter().enumerate() {
+                        if sparse && a_ki == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut chunk[i * n..(i + 1) * n];
+                        for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a_ki * b_kj;
+                        }
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
     /// Matrix product `self · rhsᵀ` without materializing the transpose.
+    ///
+    /// Blocked dot-product kernel: i×j tiles keep the active `rhs` panel in
+    /// cache while it is reused across an output row block; rows are
+    /// partitioned across threads. Each dot product runs `k` ascending into a
+    /// single accumulator, so results are bit-identical for every
+    /// `threads`/`tile` setting.
     ///
     /// # Errors
     ///
@@ -372,26 +449,60 @@ impl Matrix {
             return Err(ShapeError::new("matmul_nt", self.shape(), rhs.shape()));
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        if self.data.is_empty() || rhs.data.is_empty() {
+            return Ok(out);
         }
+        let cfg = crate::parallel_config();
+        let threads = cfg.threads_for(self.rows.saturating_mul(self.cols).saturating_mul(rhs.rows));
+        let n = rhs.rows;
+        crate::parallel::for_each_row_chunk(
+            &mut out.data,
+            n,
+            self.rows,
+            threads,
+            |range, chunk| {
+                let tile = cfg.tile;
+                for i0 in range.clone().step_by(tile) {
+                    let i1 = (i0 + tile).min(range.end);
+                    for j0 in (0..n).step_by(tile) {
+                        let j1 = (j0 + tile).min(n);
+                        for i in i0..i1 {
+                            let a_row = self.row(i);
+                            let out_row =
+                                &mut chunk[(i - range.start) * n..(i - range.start + 1) * n];
+                            for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
+                                let b_row = rhs.row(j0 + j);
+                                let mut acc = 0.0;
+                                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                                    acc += a * b;
+                                }
+                                *o = acc;
+                            }
+                        }
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
     /// Returns the transpose.
+    ///
+    /// Blocked into `tile`×`tile` squares so both source reads and destination
+    /// writes stay within a cache-resident window instead of striding the full
+    /// matrix per element.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        let tile = crate::parallel_config().tile;
+        for i0 in (0..self.rows).step_by(tile) {
+            let i1 = (i0 + tile).min(self.rows);
+            for j0 in (0..self.cols).step_by(tile) {
+                let j1 = (j0 + tile).min(self.cols);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
             }
         }
         out

@@ -1,0 +1,132 @@
+//! Bit-identity properties of the parallel/tiled matrix kernels.
+//!
+//! The determinism contract (see `docs/performance.md`) promises that every
+//! `threads`/`tile` setting produces bit-identical results for all three
+//! matmul variants. These tests pin the global [`ParallelConfig`] to a
+//! baseline, capture reference products, then sweep threads ∈ {1, 2, 8} and
+//! assorted tile sizes with the parallel cutover forced to zero so the
+//! threaded code path actually runs, comparing with exact `==`.
+//!
+//! The whole sweep lives in one `#[test]` per property because the config is
+//! process-global: proptest's own shrinking loop plus Rust's threaded test
+//! runner would otherwise interleave config writes. Interleaving is *safe*
+//! (that is the point of the contract) but would make a failure harder to
+//! attribute, so the sweep is kept single-owner here and `serial_guard`
+//! serializes the two tests.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use anole_tensor::{
+    parallel_config, rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed,
+};
+
+fn serial_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Shapes chosen to exercise ragged tiles (not multiples of any tile size),
+/// degenerate rows/columns, and sizes larger than one thread chunk.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 5, 2),
+    (17, 9, 13),
+    (33, 47, 29),
+    (64, 64, 64),
+    (70, 1, 70),
+];
+
+fn cases(rows: usize, inner: usize, cols: usize) -> Vec<(Matrix, Matrix)> {
+    let mut rng = rng_from_seed(Seed(0xC0FFEE ^ (rows * 1_000_003 + inner * 1_009 + cols) as u64));
+    let dense_a = Matrix::random_normal(rows, inner, 1.0, &mut rng);
+    let dense_b = Matrix::random_normal(inner, cols, 1.0, &mut rng);
+    // A mostly-zero left operand drives the kernels down the sparse path.
+    let sparse_a = dense_a.map(|v| if v < 0.35 { 0.0 } else { v });
+    vec![(dense_a, dense_b.clone()), (sparse_a, dense_b)]
+}
+
+#[test]
+fn matmul_variants_are_bit_identical_across_threads_and_tiles() {
+    let _guard = serial_guard();
+    let baseline = parallel_config();
+
+    for &(rows, inner, cols) in SHAPES {
+        for (case, (a, b)) in cases(rows, inner, cols).into_iter().enumerate() {
+            // Reference: serial run under the default configuration.
+            set_parallel_config(ParallelConfig {
+                threads: 1,
+                ..ParallelConfig::default()
+            });
+            let nn_ref = a.matmul(&b).unwrap();
+            let tn_ref = a.matmul_tn(&b).unwrap();
+            let nt_ref = a.matmul_nt(&b.transpose()).unwrap();
+            let t_ref = a.transpose();
+
+            for threads in [1usize, 2, 8] {
+                for tile in [4usize, 7, 64, 1024] {
+                    set_parallel_config(ParallelConfig {
+                        threads,
+                        tile,
+                        min_par_elems: 1,
+                    });
+                    let label = format!(
+                        "{rows}x{inner}x{cols} case={case} threads={threads} tile={tile}"
+                    );
+                    assert_eq!(a.matmul(&b).unwrap(), nn_ref, "matmul {label}");
+                    assert_eq!(a.matmul_tn(&b).unwrap(), tn_ref, "matmul_tn {label}");
+                    assert_eq!(
+                        a.matmul_nt(&b.transpose()).unwrap(),
+                        nt_ref,
+                        "matmul_nt {label}"
+                    );
+                    assert_eq!(a.transpose(), t_ref, "transpose {label}");
+                }
+            }
+        }
+    }
+
+    set_parallel_config(baseline);
+}
+
+#[test]
+fn sparse_and_dense_paths_agree_on_finite_data() {
+    let _guard = serial_guard();
+    let baseline = parallel_config();
+    set_parallel_config(ParallelConfig {
+        threads: 2,
+        tile: 16,
+        min_par_elems: 1,
+    });
+
+    // Exactly at / around the sparsity threshold the kernel may pick either
+    // path; on finite data both must agree bitwise because x + 0.0·b == x.
+    let mut rng = rng_from_seed(Seed(99));
+    let b = Matrix::random_normal(12, 10, 1.0, &mut rng);
+    for zero_fraction in [0.0f32, 0.2, 0.25, 0.3, 0.9] {
+        let mut a = Matrix::random_normal(9, 12, 1.0, &mut rng);
+        let total = a.len();
+        for idx in 0..((total as f32 * zero_fraction) as usize) {
+            let (r, c) = (idx / a.cols(), idx % a.cols());
+            a.set(r, c, 0.0);
+        }
+        // Dense reference computed by hand in the same i-k-j ascending order.
+        let mut want = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let a_ik = a.get(i, k);
+                for j in 0..b.cols() {
+                    if a_ik != 0.0 {
+                        want.set(i, j, want.get(i, j) + a_ik * b.get(k, j));
+                    }
+                }
+            }
+        }
+        let got = a.matmul(&b).unwrap();
+        assert_eq!(got, want, "zero_fraction={zero_fraction}");
+    }
+
+    set_parallel_config(baseline);
+}
