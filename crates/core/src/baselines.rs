@@ -64,6 +64,32 @@ pub trait InferenceMethod {
     ///
     /// Returns a width error if the frame's feature width is wrong.
     fn predict(&mut self, frame: &Frame, source: DatasetSource) -> Result<Vec<bool>, AnoleError>;
+
+    /// Predicts cell detections for a whole stream at once, in order.
+    /// `frames` and `sources` are parallel slices.
+    ///
+    /// The default delegates to [`InferenceMethod::predict`] frame by frame.
+    /// Stateless methods override it with one forward pass per involved
+    /// network; the matmul kernel accumulates each output element
+    /// identically for any batch size, so overrides return detections
+    /// bit-identical to the per-frame path. Streaming methods (the online
+    /// engine) keep the default — their model selection is stateful and
+    /// must see frames one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if any frame's feature width is wrong.
+    fn predict_batch(
+        &mut self,
+        frames: &[&Frame],
+        sources: &[DatasetSource],
+    ) -> Result<Vec<Vec<bool>>, AnoleError> {
+        frames
+            .iter()
+            .zip(sources)
+            .map(|(frame, &source)| self.predict(frame, source))
+            .collect()
+    }
 }
 
 fn train_detector(
@@ -91,6 +117,59 @@ fn train_detector(
 fn detect(net: &Mlp, frame: &Frame, threshold: f32) -> Result<Vec<bool>, AnoleError> {
     let probs = sigmoid(&net.forward(&Matrix::row_vector(&frame.features))?);
     Ok(anole_detect::threshold_probs(probs.row(0), threshold))
+}
+
+/// One forward pass over a stack of frames; detections match per-frame
+/// [`detect`] bit-for-bit (the matmul kernel's accumulation order per output
+/// element is batch-size independent).
+fn detect_batch(
+    net: &Mlp,
+    frames: &[&Frame],
+    threshold: f32,
+) -> Result<Vec<Vec<bool>>, AnoleError> {
+    let Some(first) = frames.first() else {
+        return Ok(Vec::new());
+    };
+    let width = first.features.len();
+    if frames.iter().any(|f| f.features.len() != width) {
+        // Ragged widths cannot stack; fall back so whichever frame is
+        // actually wrong produces its canonical error.
+        return frames.iter().map(|f| detect(net, f, threshold)).collect();
+    }
+    let mut x = Matrix::zeros(frames.len(), width);
+    for (i, f) in frames.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(&f.features);
+    }
+    let probs = sigmoid(&net.forward(&x)?);
+    Ok((0..frames.len())
+        .map(|i| anole_detect::threshold_probs(probs.row(i), threshold))
+        .collect())
+}
+
+/// Batches frames by the model each will run, scores each group with one
+/// forward pass, and reassembles predictions in input order.
+fn detect_grouped(
+    models: &[&Mlp],
+    assignment: &[usize],
+    frames: &[&Frame],
+    threshold: f32,
+) -> Result<Vec<Vec<bool>>, AnoleError> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); models.len()];
+    for (i, &m) in assignment.iter().enumerate() {
+        groups[m].push(i);
+    }
+    let mut out: Vec<Vec<bool>> = vec![Vec::new(); frames.len()];
+    for (m, idxs) in groups.iter().enumerate() {
+        if idxs.is_empty() {
+            continue;
+        }
+        let group: Vec<&Frame> = idxs.iter().map(|&i| frames[i]).collect();
+        let preds = detect_batch(models[m], &group, threshold)?;
+        for (&i, pred) in idxs.iter().zip(preds) {
+            out[i] = pred;
+        }
+    }
+    Ok(out)
 }
 
 /// Single Deep Model: the fully-fledged YOLOv3 stand-in trained on all
@@ -139,6 +218,14 @@ impl InferenceMethod for Sdm {
     fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
         detect(&self.net, frame, self.threshold)
     }
+
+    fn predict_batch(
+        &mut self,
+        frames: &[&Frame],
+        _sources: &[DatasetSource],
+    ) -> Result<Vec<Vec<bool>>, AnoleError> {
+        detect_batch(&self.net, frames, self.threshold)
+    }
 }
 
 /// Single Shallow Model: one compressed model trained on everything.
@@ -185,6 +272,14 @@ impl InferenceMethod for Ssm {
 
     fn predict(&mut self, frame: &Frame, _source: DatasetSource) -> Result<Vec<bool>, AnoleError> {
         detect(&self.net, frame, self.threshold)
+    }
+
+    fn predict_batch(
+        &mut self,
+        frames: &[&Frame],
+        _sources: &[DatasetSource],
+    ) -> Result<Vec<Vec<bool>>, AnoleError> {
+        detect_batch(&self.net, frames, self.threshold)
     }
 }
 
@@ -254,6 +349,19 @@ impl InferenceMethod for Cdg {
         let cluster = self.clustering.predict(&frame.features);
         detect(&self.models[cluster], frame, self.threshold)
     }
+
+    fn predict_batch(
+        &mut self,
+        frames: &[&Frame],
+        _sources: &[DatasetSource],
+    ) -> Result<Vec<Vec<bool>>, AnoleError> {
+        let assignment: Vec<usize> = frames
+            .iter()
+            .map(|f| self.clustering.predict(&f.features))
+            .collect();
+        let models: Vec<&Mlp> = self.models.iter().collect();
+        detect_grouped(&models, &assignment, frames, self.threshold)
+    }
 }
 
 /// Dataset-based Multiple Models: one compressed model per source dataset,
@@ -320,6 +428,25 @@ impl InferenceMethod for Dmm {
             .map(|(_, net)| net)
             .expect("DMM trained with at least one source");
         detect(net, frame, self.threshold)
+    }
+
+    fn predict_batch(
+        &mut self,
+        frames: &[&Frame],
+        sources: &[DatasetSource],
+    ) -> Result<Vec<Vec<bool>>, AnoleError> {
+        assert!(!self.models.is_empty(), "DMM trained with at least one source");
+        let assignment: Vec<usize> = sources
+            .iter()
+            .map(|source| {
+                self.models
+                    .iter()
+                    .position(|(s, _)| s == source)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let models: Vec<&Mlp> = self.models.iter().map(|(_, net)| net).collect();
+        detect_grouped(&models, &assignment, frames, self.threshold)
     }
 }
 
@@ -439,5 +566,27 @@ mod tests {
         assert_eq!(ssm.kind(), MethodKind::Ssm);
         assert_eq!(cdg.kind(), MethodKind::Cdg);
         assert_eq!(dmm.kind(), MethodKind::Dmm);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_frame_predictions() {
+        let (dataset, config, train) = setup();
+        let (mut sdm, mut ssm, mut cdg, mut dmm) =
+            train_baselines(&dataset, &train, 3, &config, Seed(99)).unwrap();
+        let split = dataset.split();
+        let refs: Vec<FrameRef> = split.val.iter().take(60).copied().collect();
+        let frames: Vec<&Frame> = refs.iter().map(|r| dataset.frame(*r)).collect();
+        let sources: Vec<DatasetSource> =
+            refs.iter().map(|r| dataset.clips()[r.clip].source).collect();
+
+        let methods: &mut [&mut dyn InferenceMethod] = &mut [&mut sdm, &mut ssm, &mut cdg, &mut dmm];
+        for method in methods.iter_mut() {
+            let batched = method.predict_batch(&frames, &sources).unwrap();
+            assert_eq!(batched.len(), frames.len(), "{}", method.kind());
+            for ((frame, &source), batch_row) in frames.iter().zip(&sources).zip(&batched) {
+                let single = method.predict(frame, source).unwrap();
+                assert_eq!(&single, batch_row, "{} batched != per-frame", method.kind());
+            }
+        }
     }
 }

@@ -14,6 +14,7 @@ use anole_nn::ReferenceModel;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::omi::FaultInjector;
 use crate::{AnoleError, AnoleSystem};
 
 /// One artifact in a deployment bundle.
@@ -213,6 +214,146 @@ pub fn simulate_download<R: Rng + ?Sized>(
     }
 }
 
+/// Report of a resumable bundle download (see [`download_resumable`]).
+///
+/// Byte accounting is exact: on success,
+/// `transferred_bytes == payload_bytes + wasted_bytes` — every byte sent
+/// over the link either landed in a verified artifact or is accounted as
+/// waste (in-flight progress lost to a link death, or a whole artifact that
+/// arrived checksum-corrupt and was re-fetched). Completed artifacts are
+/// never re-sent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumableDownloadReport {
+    /// Wall-clock milliseconds including retries and reconnect backoff.
+    pub total_ms: f64,
+    /// Chunks transferred successfully (including later-wasted ones).
+    pub chunks: usize,
+    /// Chunks that timed out and were retried within a session.
+    pub retries: usize,
+    /// Mid-bundle link deaths survived by reconnecting.
+    pub link_deaths: usize,
+    /// Artifacts that arrived checksum-corrupt and were re-fetched.
+    pub corrupt_arrivals: usize,
+    /// Download sessions used (1 = the link never died).
+    pub sessions: usize,
+    /// Paper-scale payload of the manifest, in bytes.
+    pub payload_bytes: u64,
+    /// Bytes actually sent over the link, re-sent bytes included.
+    pub transferred_bytes: u64,
+    /// Re-sent bytes: in-flight progress lost to link deaths plus corrupt
+    /// arrivals.
+    pub wasted_bytes: u64,
+    /// Reconnect backoff milliseconds (already included in `total_ms`).
+    pub backoff_ms: f64,
+}
+
+/// Downloads a bundle over an unstable uplink with per-artifact resume.
+///
+/// Unlike [`simulate_download`], which models an ideal session, this models
+/// the §II-A reality: the link can die mid-bundle (injected via
+/// [`FaultKind::LinkDeath`](crate::omi::FaultKind::LinkDeath)) and artifacts
+/// can arrive checksum-corrupt
+/// ([`FaultKind::TruncatedArtifact`](crate::omi::FaultKind::TruncatedArtifact)).
+/// Completion is tracked per manifest entry, so each reconnect session —
+/// priced with exponential backoff — re-transfers only the artifacts still
+/// missing or checksum-failed; verified artifacts are never re-sent.
+///
+/// With `injector` `None` (or a zero-fault plan) the link and `rng` are
+/// driven through exactly the same call sequence as [`simulate_download`],
+/// so `total_ms`/`chunks`/`retries` match it bit-for-bit.
+///
+/// # Errors
+///
+/// [`AnoleError::DownloadIncomplete`] when artifacts are still missing
+/// after `max_sessions` sessions.
+pub fn download_resumable<R: Rng + ?Sized>(
+    manifest: &Manifest,
+    link: &mut UnstableLink,
+    rng: &mut R,
+    mut injector: Option<&mut FaultInjector>,
+    max_sessions: usize,
+) -> Result<ResumableDownloadReport, AnoleError> {
+    const CHUNK: u64 = 256 * 1024;
+    const BASE_BACKOFF_MS: f64 = 200.0;
+
+    let mut report = ResumableDownloadReport {
+        total_ms: 0.0,
+        chunks: 0,
+        retries: 0,
+        link_deaths: 0,
+        corrupt_arrivals: 0,
+        sessions: 0,
+        payload_bytes: manifest.total_transfer_bytes(),
+        transferred_bytes: 0,
+        wasted_bytes: 0,
+        backoff_ms: 0.0,
+    };
+    let mut complete = vec![false; manifest.entries.len()];
+
+    'sessions: for session in 0..max_sessions.max(1) {
+        report.sessions = session + 1;
+        if session > 0 {
+            // Priced exponential backoff before reconnecting (capped so the
+            // simulated wait stays finite under long fault bursts).
+            let backoff = BASE_BACKOFF_MS * f64::from(1u32 << (session - 1).min(6) as u32);
+            report.backoff_ms += backoff;
+            report.total_ms += backoff;
+        }
+        for (i, entry) in manifest.entries.iter().enumerate() {
+            if complete[i] {
+                continue;
+            }
+            // Partial progress does not survive a link death: the in-flight
+            // artifact restarts from zero next session (its bytes are waste).
+            let mut entry_bytes = 0u64;
+            let mut remaining = entry.transfer_bytes;
+            while remaining > 0 {
+                if injector.as_deref_mut().is_some_and(FaultInjector::link_dies) {
+                    report.link_deaths += 1;
+                    report.wasted_bytes += entry_bytes;
+                    continue 'sessions;
+                }
+                let size = remaining.min(CHUNK);
+                match link.round_trip_ms(size, rng) {
+                    Ok(ms) => {
+                        report.total_ms += ms as f64;
+                        remaining -= size;
+                        entry_bytes += size;
+                        report.transferred_bytes += size;
+                        report.chunks += 1;
+                    }
+                    Err(timeout) => {
+                        report.total_ms += timeout as f64;
+                        report.retries += 1;
+                    }
+                }
+            }
+            // The device verifies the manifest checksum on arrival; a corrupt
+            // artifact stays incomplete and is re-fetched next session.
+            if injector
+                .as_deref_mut()
+                .is_some_and(FaultInjector::artifact_arrives_corrupt)
+            {
+                report.corrupt_arrivals += 1;
+                report.wasted_bytes += entry.transfer_bytes;
+            } else {
+                complete[i] = true;
+            }
+        }
+        if complete.iter().all(|&c| c) {
+            debug_assert_eq!(
+                report.transferred_bytes,
+                report.payload_bytes + report.wasted_bytes
+            );
+            return Ok(report);
+        }
+    }
+    Err(AnoleError::DownloadIncomplete {
+        missing: complete.iter().filter(|&&c| !c).count(),
+        attempts: report.sessions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,5 +444,94 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a(b"anole"), fnv1a(b"anolf"));
         assert_eq!(fnv1a(b"anole"), fnv1a(b"anole"));
+    }
+
+    #[test]
+    fn resumable_download_matches_ideal_session_with_zero_faults() {
+        let system = system();
+        let dir = temp_dir("resume-eq");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let ideal = {
+            let mut link = UnstableLink::new(UnstableLinkConfig::default());
+            let mut rng = rng_from_seed(Seed(134));
+            simulate_download(&manifest, &mut link, &mut rng)
+        };
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(134));
+        let report = download_resumable(&manifest, &mut link, &mut rng, None, 4).unwrap();
+        assert_eq!(report.total_ms, ideal.total_ms);
+        assert_eq!(report.chunks, ideal.chunks);
+        assert_eq!(report.retries, ideal.retries);
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.link_deaths, 0);
+        assert_eq!(report.wasted_bytes, 0);
+        assert_eq!(report.transferred_bytes, report.payload_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn link_death_retransfers_only_the_inflight_artifact() {
+        use crate::omi::{FaultKind, FaultPlan};
+
+        let system = system();
+        let dir = temp_dir("resume-death");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(135));
+        // Die a few chunk draws into the first artifact (it spans ~180
+        // chunks, so draw 3 is mid-entry).
+        let mut injector = FaultPlan::new(Seed(136)).at(3, FaultKind::LinkDeath).injector();
+        let report =
+            download_resumable(&manifest, &mut link, &mut rng, Some(&mut injector), 6).unwrap();
+        assert_eq!(report.link_deaths, 1);
+        assert_eq!(report.sessions, 2);
+        assert!(report.backoff_ms > 0.0);
+        // Only the in-flight artifact's partial progress was re-sent: at
+        // most 3 chunks of waste, never the completed artifacts.
+        assert_eq!(report.transferred_bytes, report.payload_bytes + report.wasted_bytes);
+        assert!(report.wasted_bytes <= 3 * 256 * 1024, "wasted {}", report.wasted_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_arrival_is_refetched_whole() {
+        use crate::omi::{FaultKind, FaultPlan};
+
+        let system = system();
+        let dir = temp_dir("resume-corrupt");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(137));
+        // The first artifact arrives checksum-corrupt once.
+        let mut injector =
+            FaultPlan::new(Seed(138)).at(0, FaultKind::TruncatedArtifact).injector();
+        let report =
+            download_resumable(&manifest, &mut link, &mut rng, Some(&mut injector), 6).unwrap();
+        assert_eq!(report.corrupt_arrivals, 1);
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.wasted_bytes, manifest.entries[0].transfer_bytes);
+        assert_eq!(report.transferred_bytes, report.payload_bytes + report.wasted_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_sessions_report_missing_artifacts() {
+        use crate::omi::FaultPlan;
+
+        let system = system();
+        let dir = temp_dir("resume-exhaust");
+        let manifest = save_bundle(&system, &dir).unwrap();
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(Seed(139));
+        // Every arrival corrupt: no artifact can ever verify.
+        let mut injector =
+            FaultPlan::new(Seed(140)).with_truncated_artifact_rate(1.0).injector();
+        let err = download_resumable(&manifest, &mut link, &mut rng, Some(&mut injector), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AnoleError::DownloadIncomplete { missing: manifest.entries.len(), attempts: 2 }
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

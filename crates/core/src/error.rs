@@ -56,6 +56,28 @@ pub enum AnoleError {
         /// Diagnostic detail.
         detail: String,
     },
+    /// A checkpoint-store operation failed (I/O or serialization). Invalid
+    /// checkpoints are *not* reported this way — they are silently discarded
+    /// and the stage retrains.
+    Checkpoint {
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// Training was killed right after this stage completed (injected crash;
+    /// the checkpoint for the stage was already durable). Resume by calling
+    /// the resumable trainer again with the same store.
+    Aborted {
+        /// Name of the last completed stage.
+        stage: &'static str,
+    },
+    /// A resumable bundle download gave up with artifacts still missing
+    /// after the bounded reconnect attempts.
+    DownloadIncomplete {
+        /// Manifest entries still missing or checksum-failed.
+        missing: usize,
+        /// Download sessions attempted.
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for AnoleError {
@@ -79,6 +101,16 @@ impl std::fmt::Display for AnoleError {
             }
             AnoleError::FaultExhausted { detail } => {
                 write!(f, "all fallback tiers exhausted: {detail}")
+            }
+            AnoleError::Checkpoint { detail } => write!(f, "checkpoint store error: {detail}"),
+            AnoleError::Aborted { stage } => {
+                write!(f, "training aborted after stage '{stage}' (resume to continue)")
+            }
+            AnoleError::DownloadIncomplete { missing, attempts } => {
+                write!(
+                    f,
+                    "bundle download incomplete: {missing} artifacts missing after {attempts} attempts"
+                )
             }
         }
     }
@@ -151,6 +183,19 @@ mod tests {
 
         let e = AnoleError::FaultExhausted { detail: "no resident model".into() };
         assert!(e.to_string().contains("exhausted"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn recovery_variants_display() {
+        let e = AnoleError::Checkpoint { detail: "unwritable dir".into() };
+        assert!(e.to_string().contains("checkpoint store"));
+        let e = AnoleError::Aborted { stage: "scene model" };
+        assert!(e.to_string().contains("scene model"));
+        assert!(e.to_string().contains("resume"));
+        let e = AnoleError::DownloadIncomplete { missing: 3, attempts: 5 };
+        assert!(e.to_string().contains("3 artifacts"));
+        assert!(e.to_string().contains("5 attempts"));
         assert!(e.source().is_none());
     }
 }

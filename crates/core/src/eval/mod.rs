@@ -47,12 +47,15 @@ pub fn evaluate_refs(
     refs: &[FrameRef],
     window: usize,
 ) -> Result<StreamResult, AnoleError> {
+    let frames: Vec<&Frame> = refs.iter().map(|&r| dataset.frame(r)).collect();
+    let sources: Vec<DatasetSource> = refs
+        .iter()
+        .map(|r| dataset.clips()[r.clip].source)
+        .collect();
+    let preds = method.predict_batch(&frames, &sources)?;
     let mut pairs = Vec::with_capacity(refs.len());
     let mut counts = DetectionCounts::default();
-    for &r in refs {
-        let frame = dataset.frame(r);
-        let source = dataset.clips()[r.clip].source;
-        let pred = method.predict(frame, source)?;
+    for (frame, pred) in frames.iter().zip(preds) {
         counts.accumulate(&pred, &frame.truth);
         pairs.push((pred, frame.truth.clone()));
     }
@@ -73,10 +76,12 @@ pub fn evaluate_frames(
     source: DatasetSource,
     window: usize,
 ) -> Result<StreamResult, AnoleError> {
+    let frame_refs: Vec<&Frame> = frames.iter().collect();
+    let sources = vec![source; frames.len()];
+    let preds = method.predict_batch(&frame_refs, &sources)?;
     let mut pairs = Vec::with_capacity(frames.len());
     let mut counts = DetectionCounts::default();
-    for frame in frames {
-        let pred = method.predict(frame, source)?;
+    for (frame, pred) in frames.iter().zip(preds) {
         counts.accumulate(&pred, &frame.truth);
         pairs.push((pred, frame.truth.clone()));
     }

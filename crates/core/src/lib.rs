@@ -44,6 +44,7 @@
 //! ```
 
 mod baselines;
+pub mod checkpoint;
 mod config;
 pub mod deploy;
 mod error;
@@ -54,6 +55,9 @@ pub mod osp;
 mod system;
 
 pub use baselines::{train_baselines, Cdg, Dmm, InferenceMethod, MethodKind, Sdm, Ssm};
+pub use checkpoint::{
+    context_key, CheckpointStats, CheckpointStore, OspStage, RecoveryReport, TrainRecovery,
+};
 pub use config::{
     AnoleConfig, CacheConfig, DecisionConfig, DetectorConfig, RepositoryConfig, SamplingConfig,
     SceneModelConfig,

@@ -16,7 +16,7 @@ use anole_tensor::{split_seed, Seed};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use crate::omi::{DriftState, SceneDistanceScorer};
+use crate::omi::{DriftState, FaultInjector, SceneDistanceScorer};
 use crate::{AnoleError, AnoleSystem};
 
 /// Configuration of a fleet-lifecycle run.
@@ -34,6 +34,14 @@ pub struct FleetConfig {
     pub min_footage: usize,
     /// The device model the fleet runs on.
     pub device: DeviceKind,
+    /// How many times a panicked device's daily run is retried before the
+    /// device is quarantined for the rest of the run.
+    #[serde(default = "default_device_retries")]
+    pub max_device_retries: usize,
+}
+
+fn default_device_retries() -> usize {
+    1
 }
 
 impl Default for FleetConfig {
@@ -45,6 +53,7 @@ impl Default for FleetConfig {
             drift_quantile: 0.1,
             min_footage: 60,
             device: DeviceKind::JetsonTx2Nx,
+            max_device_retries: default_device_retries(),
         }
     }
 }
@@ -66,6 +75,13 @@ pub struct DayReport {
     pub expanded_model: Option<usize>,
     /// Repository size at the end of the day (post-expansion).
     pub repository_size: usize,
+    /// Device runs that panicked this day (initial attempts and retries).
+    #[serde(default)]
+    pub device_panics: usize,
+    /// Devices that completed their daily run (quarantined devices and
+    /// retry-exhausted panickers excluded); the F1/drift denominators.
+    #[serde(default)]
+    pub active_devices: usize,
 }
 
 /// Full lifecycle report.
@@ -73,6 +89,11 @@ pub struct DayReport {
 pub struct FleetReport {
     /// One report per day, in order.
     pub days: Vec<DayReport>,
+    /// Devices quarantined after exhausting their panic retries, in the
+    /// order they were quarantined. A quarantined device stops running for
+    /// the rest of the fleet run; the others are unaffected.
+    #[serde(default)]
+    pub quarantined: Vec<usize>,
 }
 
 impl FleetReport {
@@ -111,6 +132,40 @@ pub fn run_fleet(
     config: &FleetConfig,
     seed: Seed,
 ) -> Result<(FleetReport, AnoleSystem), AnoleError> {
+    run_fleet_supervised(dataset, system, schedule, config, seed, None)
+}
+
+/// [`run_fleet`] under a supervisor: every device's daily run executes
+/// inside `catch_unwind`, so one panicking device cannot take down the
+/// fan-out. A panicked device is retried up to
+/// [`FleetConfig::max_device_retries`] times (sequentially, after the
+/// parallel pass); a device that exhausts its retries is quarantined for
+/// the rest of the run and listed in [`FleetReport::quarantined`], while
+/// the remaining devices keep driving and the schedule completes.
+///
+/// Panics can be injected deterministically via a [`FaultInjector`] with a
+/// [`FaultKind::DevicePanic`](crate::omi::FaultKind::DevicePanic) schedule
+/// or rate: the supervisor draws one panic decision per device attempt, on
+/// the coordinator thread in device order, so the outcome is identical for
+/// any worker count. With `injector` `None` or a zero-fault plan the run is
+/// bit-identical to [`run_fleet`].
+///
+/// # Errors
+///
+/// As [`run_fleet`]. Device *errors* (as opposed to panics) still surface
+/// immediately — a typed failure is a bug to report, not a crash to absorb.
+///
+/// # Panics
+///
+/// Panics if `config.devices == 0` or the schedule is empty.
+pub fn run_fleet_supervised(
+    dataset: &DrivingDataset,
+    system: AnoleSystem,
+    schedule: &[SceneAttributes],
+    config: &FleetConfig,
+    seed: Seed,
+    mut injector: Option<FaultInjector>,
+) -> Result<(FleetReport, AnoleSystem), AnoleError> {
     assert!(config.devices > 0, "fleet needs at least one device");
     assert!(!schedule.is_empty(), "schedule is empty");
 
@@ -123,6 +178,7 @@ pub fn run_fleet(
     let shared = RwLock::new(system);
     let mut footage_pool: Vec<Frame> = Vec::new();
     let mut days = Vec::with_capacity(schedule.len());
+    let mut quarantined: Vec<usize> = Vec::new();
 
     for (day, &scenario) in schedule.iter().enumerate() {
         // Daily operation: devices in parallel under the read lock, bounded
@@ -130,7 +186,16 @@ pub fn run_fleet(
         // from (day, device_idx) and results are collected in device order,
         // so the report is identical for any worker count.
         type DeviceDay = Result<(DetectionCounts, usize, Vec<Frame>), AnoleError>;
-        let results: Vec<DeviceDay> = {
+        let roster: Vec<usize> =
+            (0..config.devices).filter(|i| !quarantined.contains(i)).collect();
+        // Panic decisions are drawn on the coordinator thread, one per
+        // first attempt in device order, so worker interleaving cannot
+        // shift the fault stream.
+        let panic_flags: Vec<bool> = roster
+            .iter()
+            .map(|_| injector.as_mut().is_some_and(FaultInjector::device_panics))
+            .collect();
+        let (results, day_panics, newly_quarantined) = {
             let guard = shared.read();
             let system_ref: &AnoleSystem = &guard;
             let scorer_ref = &scorer;
@@ -164,32 +229,75 @@ pub fn run_fleet(
                 }
                 Ok((counts, drifting, collected))
             };
+            // One supervised attempt: the device's whole day runs inside
+            // catch_unwind, so a panic is isolated to that device.
+            let attempt = |device_idx: usize, inject_panic: bool| -> Result<DeviceDay, ()> {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected device panic (device {device_idx})");
+                    }
+                    run_device(device_idx)
+                }))
+                .map_err(|_| ())
+            };
+            let jobs: Vec<(usize, bool)> =
+                roster.iter().copied().zip(panic_flags.iter().copied()).collect();
             let threads = anole_tensor::parallel_config()
                 .effective_threads()
-                .clamp(1, config.devices);
-            if threads <= 1 {
-                (0..config.devices).map(run_device).collect()
+                .clamp(1, jobs.len().max(1));
+            let first_pass: Vec<(usize, Result<DeviceDay, ()>)> = if threads <= 1 {
+                jobs.iter().map(|&(i, p)| (i, attempt(i, p))).collect()
             } else {
-                let indices: Vec<usize> = (0..config.devices).collect();
-                let per_worker = config.devices.div_ceil(threads);
+                let per_worker = jobs.len().div_ceil(threads);
                 std::thread::scope(|scope| {
-                    let run_device = &run_device;
-                    let handles: Vec<_> = indices
+                    let attempt = &attempt;
+                    let handles: Vec<_> = jobs
                         .chunks(per_worker)
                         .map(|chunk| {
                             scope.spawn(move || {
-                                chunk.iter().map(|&i| run_device(i)).collect::<Vec<_>>()
+                                chunk
+                                    .iter()
+                                    .map(|&(i, p)| (i, attempt(i, p)))
+                                    .collect::<Vec<_>>()
                             })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .flat_map(|h| h.join().expect("device thread panicked"))
+                        .flat_map(|h| h.join().expect("supervisor thread panicked"))
                         .collect()
                 })
+            };
+            // Bounded retries, sequentially in device order; exhausted
+            // devices are quarantined and the rest of the fleet drives on.
+            let mut day_panics = 0usize;
+            let mut newly_quarantined = Vec::new();
+            let mut completed: Vec<DeviceDay> = Vec::new();
+            for (device_idx, first) in first_pass {
+                let mut outcome = first;
+                if outcome.is_err() {
+                    day_panics += 1;
+                }
+                let mut retries = 0;
+                while outcome.is_err() && retries < config.max_device_retries {
+                    retries += 1;
+                    let inject =
+                        injector.as_mut().is_some_and(FaultInjector::device_panics);
+                    outcome = attempt(device_idx, inject);
+                    if outcome.is_err() {
+                        day_panics += 1;
+                    }
+                }
+                match outcome {
+                    Ok(result) => completed.push(result),
+                    Err(()) => newly_quarantined.push(device_idx),
+                }
             }
+            (completed, day_panics, newly_quarantined)
         };
+        quarantined.extend(&newly_quarantined);
 
+        let active_devices = results.len();
         let mut day_counts = DetectionCounts::default();
         let mut drifting = 0usize;
         let mut collected_today = 0usize;
@@ -217,7 +325,7 @@ pub fn run_fleet(
             None
         };
 
-        let total_frames = config.devices * config.frames_per_day;
+        let total_frames = active_devices * config.frames_per_day;
         days.push(DayReport {
             day,
             scenario,
@@ -226,10 +334,12 @@ pub fn run_fleet(
             collected_frames: collected_today,
             expanded_model,
             repository_size: shared.read().repository().len(),
+            device_panics: day_panics,
+            active_devices,
         });
     }
 
-    Ok((FleetReport { days }, shared.into_inner()))
+    Ok((FleetReport { days, quarantined }, shared.into_inner()))
 }
 
 #[cfg(test)]
@@ -320,7 +430,10 @@ mod tests {
                 collected_frames: 0,
                 expanded_model: None,
                 repository_size: 5,
+                device_panics: 0,
+                active_devices: 3,
             }],
+            quarantined: Vec::new(),
         };
         assert!(report
             .improvement_on(SceneAttributes::from_scene_index(0))
@@ -328,5 +441,37 @@ mod tests {
         assert!(report
             .improvement_on(SceneAttributes::from_scene_index(1))
             .is_none());
+    }
+
+    #[test]
+    fn supervised_run_with_zero_faults_matches_unsupervised() {
+        use crate::omi::FaultPlan;
+
+        let (dataset, system) = world();
+        let familiar = dataset.clips()[0].attributes;
+        let schedule = [familiar, familiar];
+        let config = FleetConfig {
+            devices: 2,
+            frames_per_day: 40,
+            min_footage: 100_000,
+            ..FleetConfig::default()
+        };
+        let (plain, plain_system) =
+            run_fleet(&dataset, system.clone(), &schedule, &config, Seed(186)).unwrap();
+        let injector = FaultPlan::new(Seed(187)).injector();
+        let (supervised, supervised_system) = run_fleet_supervised(
+            &dataset,
+            system,
+            &schedule,
+            &config,
+            Seed(186),
+            Some(injector),
+        )
+        .unwrap();
+        assert_eq!(plain, supervised);
+        assert_eq!(plain_system, supervised_system);
+        assert!(supervised.quarantined.is_empty());
+        assert!(supervised.days.iter().all(|d| d.device_panics == 0));
+        assert!(supervised.days.iter().all(|d| d.active_devices == 2));
     }
 }

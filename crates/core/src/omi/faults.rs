@@ -100,6 +100,35 @@ pub enum FaultKind {
     },
     /// The decision model emits garbage suitability scores this frame.
     DecisionAnomaly,
+    /// Server-side: the next checkpoint write fails with an I/O error (the
+    /// stage result stays in memory; only resume coverage is lost). The
+    /// event index counts checkpoint writes, not frames.
+    CheckpointWriteFailure,
+    /// Server-side: the next written or downloaded artifact is silently
+    /// truncated/corrupted at rest; its checksum must catch it on load.
+    /// The event index counts artifacts per context (checkpoint writes or
+    /// download arrivals), not frames.
+    TruncatedArtifact,
+    /// Server-side: the device's download link dies mid-bundle; the session
+    /// must reconnect with priced backoff and resume. The event index counts
+    /// download chunks, not frames.
+    LinkDeath,
+    /// Server-side: a fleet device panics during its daily run. The event
+    /// index counts device-attempt draws, not frames.
+    DevicePanic,
+    /// Server-side: the training process is killed right after the stage
+    /// with this index completes (and its checkpoint is written). The event
+    /// index is the OSP stage index (0 = scene model … 3 = decision model).
+    TrainAbort,
+}
+
+/// How a server-side checkpoint write fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointFault {
+    /// The write itself fails (I/O error); no file is produced.
+    WriteFailure,
+    /// The file is written but truncated — a corrupt artifact at rest.
+    Truncated,
 }
 
 /// A fault pinned to a specific frame index.
@@ -142,6 +171,14 @@ pub struct FaultPlan {
     sensor_dropout_rate: f32,
     nan_frame_rate: f32,
     decision_anomaly_rate: f32,
+    #[serde(default)]
+    checkpoint_write_rate: f32,
+    #[serde(default)]
+    truncated_artifact_rate: f32,
+    #[serde(default)]
+    link_death_rate: f32,
+    #[serde(default)]
+    device_panic_rate: f32,
     scheduled: Vec<FaultEvent>,
 }
 
@@ -155,6 +192,10 @@ impl FaultPlan {
             sensor_dropout_rate: 0.0,
             nan_frame_rate: 0.0,
             decision_anomaly_rate: 0.0,
+            checkpoint_write_rate: 0.0,
+            truncated_artifact_rate: 0.0,
+            link_death_rate: 0.0,
+            device_panic_rate: 0.0,
             scheduled: Vec::new(),
         }
     }
@@ -194,7 +235,44 @@ impl FaultPlan {
         self
     }
 
+    /// Per-write probability that a server-side checkpoint write fails.
+    #[must_use]
+    pub fn with_checkpoint_write_rate(mut self, rate: f32) -> Self {
+        self.checkpoint_write_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-artifact probability that a written or downloaded artifact is
+    /// silently truncated/corrupted.
+    #[must_use]
+    pub fn with_truncated_artifact_rate(mut self, rate: f32) -> Self {
+        self.truncated_artifact_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-chunk probability that the download link dies mid-bundle.
+    #[must_use]
+    pub fn with_link_death_rate(mut self, rate: f32) -> Self {
+        self.link_death_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-attempt probability that a fleet device panics during its run.
+    #[must_use]
+    pub fn with_device_panic_rate(mut self, rate: f32) -> Self {
+        self.device_panic_rate = clamp_rate(rate);
+        self
+    }
+
     /// Schedules `kind` at exact `frame`.
+    ///
+    /// For the server-side kinds the index counts occurrences of that
+    /// category instead of frames: checkpoint writes
+    /// ([`FaultKind::CheckpointWriteFailure`]), artifacts in the current
+    /// context ([`FaultKind::TruncatedArtifact`]), download chunks
+    /// ([`FaultKind::LinkDeath`]), device-attempt draws
+    /// ([`FaultKind::DevicePanic`]), or OSP stage indices
+    /// ([`FaultKind::TrainAbort`]).
     #[must_use]
     pub fn at(mut self, frame: usize, kind: FaultKind) -> Self {
         self.scheduled.push(FaultEvent { frame, kind });
@@ -215,6 +293,10 @@ impl FaultPlan {
             && self.sensor_dropout_rate == 0.0
             && self.nan_frame_rate == 0.0
             && self.decision_anomaly_rate == 0.0
+            && self.checkpoint_write_rate == 0.0
+            && self.truncated_artifact_rate == 0.0
+            && self.link_death_rate == 0.0
+            && self.device_panic_rate == 0.0
             && self.scheduled.is_empty()
     }
 
@@ -225,6 +307,10 @@ impl FaultPlan {
             plan: self,
             rng,
             frame: 0,
+            checkpoint_writes: 0,
+            artifacts: 0,
+            chunks: 0,
+            device_draws: 0,
         }
     }
 }
@@ -280,6 +366,10 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rng: StdRng,
     frame: usize,
+    checkpoint_writes: usize,
+    artifacts: usize,
+    chunks: usize,
+    device_draws: usize,
 }
 
 impl FaultInjector {
@@ -329,10 +419,104 @@ impl FaultInjector {
                     faults.memory_pressure = Some(capacity);
                 }
                 FaultKind::DecisionAnomaly => faults.decision_anomaly = true,
+                // Server-side kinds are drawn by their own category counters
+                // (`next_checkpoint_write`, `artifact_arrives_corrupt`,
+                // `link_dies`, `device_panics`, `train_abort_after`), never
+                // by the per-frame stream.
+                FaultKind::CheckpointWriteFailure
+                | FaultKind::TruncatedArtifact
+                | FaultKind::LinkDeath
+                | FaultKind::DevicePanic
+                | FaultKind::TrainAbort => {}
             }
         }
         self.frame += 1;
         faults
+    }
+
+    /// Draws the fate of the next checkpoint write. Two Bernoulli draws are
+    /// consumed per call regardless of rates; scheduled
+    /// [`FaultKind::CheckpointWriteFailure`] / [`FaultKind::TruncatedArtifact`]
+    /// events fire when their index equals the number of writes drawn so
+    /// far. A write failure dominates a truncation.
+    pub fn next_checkpoint_write(&mut self) -> Option<CheckpointFault> {
+        let write_fails = self.rng.gen::<f32>() < self.plan.checkpoint_write_rate;
+        let truncated = self.rng.gen::<f32>() < self.plan.truncated_artifact_rate;
+        let mut fault = if write_fails {
+            Some(CheckpointFault::WriteFailure)
+        } else if truncated {
+            Some(CheckpointFault::Truncated)
+        } else {
+            None
+        };
+        for event in &self.plan.scheduled {
+            if event.frame != self.checkpoint_writes {
+                continue;
+            }
+            match event.kind {
+                FaultKind::CheckpointWriteFailure => fault = Some(CheckpointFault::WriteFailure),
+                FaultKind::TruncatedArtifact => {
+                    if fault != Some(CheckpointFault::WriteFailure) {
+                        fault = Some(CheckpointFault::Truncated);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.checkpoint_writes += 1;
+        fault
+    }
+
+    /// Whether the next downloaded artifact arrives corrupt (fails its
+    /// manifest checksum on the device). One draw per call; scheduled
+    /// [`FaultKind::TruncatedArtifact`] events fire by arrival index.
+    pub fn artifact_arrives_corrupt(&mut self) -> bool {
+        let corrupt = self.rng.gen::<f32>() < self.plan.truncated_artifact_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.artifacts && e.kind == FaultKind::TruncatedArtifact);
+        self.artifacts += 1;
+        corrupt || scheduled
+    }
+
+    /// Whether the download link dies before the next chunk transfer. One
+    /// draw per call; scheduled [`FaultKind::LinkDeath`] events fire by
+    /// chunk index.
+    pub fn link_dies(&mut self) -> bool {
+        let dies = self.rng.gen::<f32>() < self.plan.link_death_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.chunks && e.kind == FaultKind::LinkDeath);
+        self.chunks += 1;
+        dies || scheduled
+    }
+
+    /// Whether the next fleet device attempt panics. One draw per call;
+    /// scheduled [`FaultKind::DevicePanic`] events fire by draw index (the
+    /// supervisor draws once per device attempt in a fixed order).
+    pub fn device_panics(&mut self) -> bool {
+        let panics = self.rng.gen::<f32>() < self.plan.device_panic_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.device_draws && e.kind == FaultKind::DevicePanic);
+        self.device_draws += 1;
+        panics || scheduled
+    }
+
+    /// Whether a [`FaultKind::TrainAbort`] is scheduled right after the OSP
+    /// stage with this index. Purely scheduled — consumes no randomness —
+    /// so checking it never shifts any other fault stream.
+    pub fn train_abort_after(&self, stage_index: usize) -> bool {
+        self.plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == stage_index && e.kind == FaultKind::TrainAbort)
     }
 
     /// Whether one load retry also fails (drawn at the transient rate, so a
@@ -516,6 +700,62 @@ mod tests {
         // A saturated transient rate fires every frame.
         let mut injector = plan.injector();
         assert_eq!(injector.next_frame().load_fault, Some(LoadFault::Transient));
+    }
+
+    #[test]
+    fn server_side_categories_use_independent_counters() {
+        let plan = FaultPlan::new(Seed(11))
+            .at(0, FaultKind::CheckpointWriteFailure)
+            .at(1, FaultKind::TruncatedArtifact)
+            .at(2, FaultKind::LinkDeath)
+            .at(0, FaultKind::DevicePanic)
+            .at(3, FaultKind::TrainAbort);
+        assert!(!plan.is_zero_fault());
+        let mut injector = plan.injector();
+        // Checkpoint writes: failure at write 0, truncation at write 1.
+        assert_eq!(injector.next_checkpoint_write(), Some(CheckpointFault::WriteFailure));
+        assert_eq!(injector.next_checkpoint_write(), Some(CheckpointFault::Truncated));
+        assert_eq!(injector.next_checkpoint_write(), None);
+        // Download arrivals share the TruncatedArtifact kind on their own
+        // counter: arrival 1 is corrupt, others clean.
+        assert!(!injector.artifact_arrives_corrupt());
+        assert!(injector.artifact_arrives_corrupt());
+        assert!(!injector.artifact_arrives_corrupt());
+        // Chunks: death only at chunk 2.
+        assert!(!injector.link_dies());
+        assert!(!injector.link_dies());
+        assert!(injector.link_dies());
+        // Devices: panic only on draw 0.
+        assert!(injector.device_panics());
+        assert!(!injector.device_panics());
+        // Stage aborts consult the schedule without consuming randomness.
+        assert!(injector.train_abort_after(3));
+        assert!(!injector.train_abort_after(1));
+        // The per-frame stream is untouched by server-side schedules.
+        for frame in 0..6 {
+            assert!(!injector.next_frame().any(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn scheduled_write_failure_dominates_truncation() {
+        let mut injector = FaultPlan::new(Seed(12))
+            .at(0, FaultKind::TruncatedArtifact)
+            .at(0, FaultKind::CheckpointWriteFailure)
+            .injector();
+        assert_eq!(injector.next_checkpoint_write(), Some(CheckpointFault::WriteFailure));
+    }
+
+    #[test]
+    fn server_side_rates_draw_proportionally() {
+        let mut injector = FaultPlan::new(Seed(13))
+            .with_link_death_rate(0.25)
+            .injector();
+        let n = 2000;
+        let deaths = (0..n).filter(|_| injector.link_dies()).count();
+        let rate = deaths as f32 / n as f32;
+        assert!((rate - 0.25).abs() < 0.05, "observed {rate}");
+        assert!(!injector.plan().is_zero_fault());
     }
 
     #[test]

@@ -10,8 +10,8 @@ mod telemetry;
 pub use deployment::{OnlineEngine, StepOutcome};
 pub use drift::{DriftDetector, DriftState, SceneDistanceScorer};
 pub use faults::{
-    FaultCounts, FaultEvent, FaultInjector, FaultKind, FaultPlan, FrameFaults, HealthReport,
-    HealthState, LoadFault,
+    CheckpointFault, FaultCounts, FaultEvent, FaultInjector, FaultKind, FaultPlan, FrameFaults,
+    HealthReport, HealthState, LoadFault,
 };
 pub use realtime::{run_realtime, FrameProcessor, RealTimeReport, TimedMethod};
 pub use switching::{scene_durations, SwitchStats};

@@ -114,14 +114,25 @@ impl Telemetry {
     }
 
     /// Renders the log as CSV (header + one row per frame).
+    ///
+    /// The output buffer is preallocated from the record count and rows are
+    /// formatted straight into it (no per-row intermediate `String`s), so
+    /// exporting a long run is one allocation in the common case.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "frame,requested,used,cache_hit,models_executed,latency_ms,suitability,\
-             health,fallback_depth,faults,f1\n",
-        );
+        use std::fmt::Write as _;
+
+        const HEADER: &str = "frame,requested,used,cache_hit,models_executed,latency_ms,\
+                              suitability,health,fallback_depth,faults,f1\n";
+        // Generous per-row estimate: ten numeric/enum fields plus separators
+        // stay well under this for realistic runs, so growth is rare.
+        const ROW_ESTIMATE: usize = 96;
+        let mut out = String::with_capacity(HEADER.len() + self.records.len() * ROW_ESTIMATE);
+        out.push_str(HEADER);
         for r in &self.records {
-            out.push_str(&format!(
-                "{},{},{},{},{},{:.3},{:.4},{},{},{},{}\n",
+            // Infallible for String; keep the row loop panic-free.
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{:.3},{:.4},{},{},{},",
                 r.frame,
                 r.requested,
                 r.used,
@@ -132,8 +143,11 @@ impl Telemetry {
                 r.health,
                 r.fallback_depth,
                 r.faults,
-                r.f1.map(|v| format!("{v:.4}")).unwrap_or_default()
-            ));
+            );
+            if let Some(f1) = r.f1 {
+                let _ = write!(out, "{f1:.4}");
+            }
+            out.push('\n');
         }
         out
     }

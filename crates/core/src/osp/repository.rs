@@ -15,6 +15,7 @@ use anole_nn::{sigmoid, Activation, Mlp, ModelProfile, ReferenceModel, Trainer};
 use anole_tensor::{split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::TrainRecovery;
 use crate::osp::SceneModel;
 use crate::{AnoleConfig, AnoleError};
 
@@ -119,6 +120,32 @@ impl ModelRepository {
         val: &[FrameRef],
         config: &AnoleConfig,
         seed: Seed,
+    ) -> Result<Self, AnoleError> {
+        Self::train_with_recovery(dataset, scene_model, train, val, config, seed, None)
+    }
+
+    /// Runs Algorithm 1 with per-specialist crash recovery.
+    ///
+    /// With a [`TrainRecovery`], every trained candidate (model + validation
+    /// F1) is checkpointed under its `(k, cluster)` coordinates as it passes
+    /// the δ gate's evaluation, and candidates already checkpointed by an
+    /// earlier, interrupted run are reloaded instead of retrained. Candidate
+    /// seeds are keyed by the same coordinates, so a reloaded candidate is
+    /// bit-identical to a retrained one and the resumed repository matches an
+    /// uninterrupted run exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRepository::train`], plus [`AnoleError::Checkpoint`] on real
+    /// checkpoint I/O failures (injected write faults are absorbed).
+    pub fn train_with_recovery(
+        dataset: &DrivingDataset,
+        scene_model: &SceneModel,
+        train: &[FrameRef],
+        val: &[FrameRef],
+        config: &AnoleConfig,
+        seed: Seed,
+        mut recovery: Option<&mut TrainRecovery>,
     ) -> Result<Self, AnoleError> {
         // Mean embedding per semantic scene class: the H_i of Algorithm 1.
         let class_count = scene_model.class_count();
@@ -237,33 +264,62 @@ impl ModelRepository {
                 let f1 = candidate.evaluate_f1(dataset, &c.val, threshold)?;
                 Ok((candidate, f1))
             };
+            // Reload candidates checkpointed by an earlier, interrupted run
+            // (main thread only); the fan-out below trains just the misses.
+            let mut slots: Vec<Option<(CompressedModel, f32)>> =
+                (0..candidates.len()).map(|_| None).collect();
+            if let Some(rec) = recovery.as_mut() {
+                for (slot, c) in slots.iter_mut().zip(&candidates) {
+                    *slot = rec.load_specialist(level.k, c.cluster);
+                }
+            }
+            let misses: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_none().then_some(i))
+                .collect();
+
             let threads = anole_tensor::parallel_config()
                 .effective_threads()
-                .clamp(1, candidates.len().max(1));
-            let trained: Vec<Result<(CompressedModel, f32), AnoleError>> = if threads <= 1 {
-                candidates.iter().map(train_candidate).collect()
-            } else {
-                let per_worker = candidates.len().div_ceil(threads);
-                std::thread::scope(|scope| {
-                    let train_candidate = &train_candidate;
-                    let handles: Vec<_> = candidates
-                        .chunks(per_worker)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk.iter().map(train_candidate).collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("training thread panicked"))
+                .clamp(1, misses.len().max(1));
+            let trained: Vec<(usize, Result<(CompressedModel, f32), AnoleError>)> =
+                if threads <= 1 {
+                    misses
+                        .iter()
+                        .map(|&i| (i, train_candidate(&candidates[i])))
                         .collect()
-                })
-            };
+                } else {
+                    let per_worker = misses.len().div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        let train_candidate = &train_candidate;
+                        let candidates = &candidates;
+                        let handles: Vec<_> = misses
+                            .chunks(per_worker)
+                            .map(|chunk| {
+                                scope.spawn(move || {
+                                    chunk
+                                        .iter()
+                                        .map(|&i| (i, train_candidate(&candidates[i])))
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("training thread panicked"))
+                            .collect()
+                    })
+                };
+            for (i, result) in trained {
+                let pair = result?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_specialist(level.k, candidates[i].cluster, &pair)?;
+                }
+                slots[i] = Some(pair);
+            }
 
             // Accept sequentially, in cluster order, until the target.
-            for result in trained {
-                let (candidate, f1) = result?;
+            for (candidate, f1) in slots.into_iter().flatten() {
                 if models.len() >= config.repository.target_models {
                     break;
                 }

@@ -5,6 +5,7 @@ use anole_device::DeviceKind;
 use anole_tensor::{split_seed, Seed};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{OspStage, TrainRecovery};
 use crate::omi::OnlineEngine;
 use crate::osp::{AdaptiveSampler, DecisionModel, ModelRepository, SceneModel, SuitabilitySets};
 use crate::{AnoleConfig, AnoleError};
@@ -33,27 +34,121 @@ impl AnoleSystem {
         config: &AnoleConfig,
         seed: Seed,
     ) -> Result<Self, AnoleError> {
+        Self::train_inner(dataset, config, seed, None)
+    }
+
+    /// Crash-safe variant of [`AnoleSystem::train`]: each completed stage
+    /// (and each specialist candidate inside Algorithm 1) is checkpointed
+    /// through `recovery`, and stages already checkpointed by an earlier,
+    /// interrupted run are reloaded instead of retrained.
+    ///
+    /// Every stage trainer is deterministic given its `split_seed` stream,
+    /// so a resumed run produces a system bit-identical to an uninterrupted
+    /// run with the same seed — with zero faults injected the two are
+    /// `==`. Invalid checkpoints (corrupt, version-mismatched, or written
+    /// under a different config/seed/dataset) are discarded, never trusted.
+    ///
+    /// # Errors
+    ///
+    /// As [`AnoleSystem::train`], plus [`AnoleError::Checkpoint`] on real
+    /// checkpoint I/O failures and [`AnoleError::Aborted`] when the
+    /// recovery's fault plan kills training at a stage boundary (call again
+    /// with the same store to resume).
+    pub fn train_resumable(
+        dataset: &DrivingDataset,
+        config: &AnoleConfig,
+        seed: Seed,
+        recovery: &mut TrainRecovery,
+    ) -> Result<Self, AnoleError> {
+        let system = Self::train_inner(dataset, config, seed, Some(recovery))?;
+        recovery.finish();
+        Ok(system)
+    }
+
+    fn train_inner(
+        dataset: &DrivingDataset,
+        config: &AnoleConfig,
+        seed: Seed,
+        mut recovery: Option<&mut TrainRecovery>,
+    ) -> Result<Self, AnoleError> {
         let split = dataset.split();
-        let scene_model =
-            SceneModel::train(dataset, &split.train, &config.scene, split_seed(seed, 0))?;
-        let repository = ModelRepository::train(
-            dataset,
-            &scene_model,
-            &split.train,
-            &split.val,
-            config,
-            split_seed(seed, 1),
-        )?;
-        let sampler = AdaptiveSampler::new(config.sampling, config.detector.threshold);
-        let suitability_sets = sampler.collect(dataset, &repository, split_seed(seed, 2))?;
-        let decision = DecisionModel::train(
-            dataset,
-            &scene_model,
-            &suitability_sets,
-            repository.len(),
-            &config.decision,
-            split_seed(seed, 3),
-        )?;
+        // Each stage: reload a valid checkpoint, or train and checkpoint.
+        // The abort point sits *after* the save, so an injected kill always
+        // lands at a stage boundary with that stage's checkpoint durable;
+        // resumed stages skip their abort point (the kill already happened).
+        let scene_model = match recovery
+            .as_mut()
+            .and_then(|r| r.load_stage::<SceneModel>(OspStage::SceneModel))
+        {
+            Some(model) => model,
+            None => {
+                let model =
+                    SceneModel::train(dataset, &split.train, &config.scene, split_seed(seed, 0))?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_stage(OspStage::SceneModel, &model)?;
+                    rec.abort_point(OspStage::SceneModel)?;
+                }
+                model
+            }
+        };
+        let repository = match recovery
+            .as_mut()
+            .and_then(|r| r.load_stage::<ModelRepository>(OspStage::Repository))
+        {
+            Some(repo) => repo,
+            None => {
+                let repo = ModelRepository::train_with_recovery(
+                    dataset,
+                    &scene_model,
+                    &split.train,
+                    &split.val,
+                    config,
+                    split_seed(seed, 1),
+                    recovery.as_deref_mut(),
+                )?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_stage(OspStage::Repository, &repo)?;
+                    rec.abort_point(OspStage::Repository)?;
+                }
+                repo
+            }
+        };
+        let suitability_sets = match recovery
+            .as_mut()
+            .and_then(|r| r.load_stage::<SuitabilitySets>(OspStage::Suitability))
+        {
+            Some(sets) => sets,
+            None => {
+                let sampler = AdaptiveSampler::new(config.sampling, config.detector.threshold);
+                let sets = sampler.collect(dataset, &repository, split_seed(seed, 2))?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_stage(OspStage::Suitability, &sets)?;
+                    rec.abort_point(OspStage::Suitability)?;
+                }
+                sets
+            }
+        };
+        let decision = match recovery
+            .as_mut()
+            .and_then(|r| r.load_stage::<DecisionModel>(OspStage::Decision))
+        {
+            Some(decision) => decision,
+            None => {
+                let decision = DecisionModel::train(
+                    dataset,
+                    &scene_model,
+                    &suitability_sets,
+                    repository.len(),
+                    &config.decision,
+                    split_seed(seed, 3),
+                )?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_stage(OspStage::Decision, &decision)?;
+                    rec.abort_point(OspStage::Decision)?;
+                }
+                decision
+            }
+        };
         Ok(Self {
             config: *config,
             scene_model,
@@ -173,9 +268,16 @@ impl AnoleSystem {
         };
         let threshold = self.config.detector.threshold;
         let mut counts = anole_detect::DetectionCounts::default();
-        for frame in val_frames {
-            let pred = candidate.detect(&frame.features, threshold)?;
-            counts.accumulate(&pred, &frame.truth);
+        if !val_frames.is_empty() {
+            // One batched forward over the stacked validation frames; the
+            // matmul kernel accumulates each output element identically for
+            // any batch size, so scores match the per-frame path exactly.
+            let (x_val, _) = stack(val_frames);
+            let probs = candidate.detect_probs(&x_val)?;
+            for (i, frame) in val_frames.iter().enumerate() {
+                let pred = anole_detect::threshold_probs(probs.row(i), threshold);
+                counts.accumulate(&pred, &frame.truth);
+            }
         }
         candidate.validation_f1 = counts.f1();
         let new_id = self.repository.push(candidate);
