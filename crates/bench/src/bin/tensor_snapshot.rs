@@ -4,8 +4,9 @@
 //! Unlike the criterion benches (statistical, human-oriented), this emits a
 //! small JSON file suitable for diffing across commits and machines: wall
 //! times for the naive/tiled-serial/tiled-parallel matmul kernels, the
-//! k-means assignment fan-out, and the Algorithm 1 repository training loop
-//! at threads = 1 vs auto.
+//! transpose-fused variants, the fused-vs-reference optimizer steps, one
+//! workspace-reused training epoch, the k-means assignment fan-out, and the
+//! Algorithm 1 repository training loop at threads = 1 vs auto.
 //!
 //! Usage:
 //!
@@ -21,6 +22,7 @@ use anole_cluster::KMeans;
 use anole_core::osp::{ModelRepository, SceneModel};
 use anole_core::{AnoleConfig, SceneModelConfig};
 use anole_data::{DatasetConfig, DrivingDataset};
+use anole_nn::{Activation, Mlp, OptimizerKind, TrainConfig, Trainer, Workspace};
 use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
 
 fn serial() -> ParallelConfig {
@@ -142,6 +144,74 @@ fn main() -> ExitCode {
         }
     }
 
+    // Fused vs reference optimizer steps on a 256->512->256 model.
+    {
+        let mut rng = rng_from_seed(Seed(6_600));
+        let mut model = Mlp::builder(256)
+            .hidden(512, Activation::Relu)
+            .output(256)
+            .build(Seed(6));
+        let grads: Vec<(Matrix, Matrix)> = model
+            .layers()
+            .iter()
+            .map(|l| {
+                let w = l.weights();
+                (
+                    Matrix::random_normal(w.rows(), w.cols(), 0.1, &mut rng),
+                    Matrix::random_normal(1, l.bias().cols(), 0.1, &mut rng),
+                )
+            })
+            .collect();
+        set_parallel_config(serial());
+        let kinds = [
+            ("optim_step_sgd", OptimizerKind::Sgd { lr: 0.01, momentum: 0.9 }),
+            ("optim_step_adam", OptimizerKind::Adam { lr: 0.01 }),
+        ];
+        for (name, kind) in kinds {
+            let mut fused = kind.build();
+            record(name, "fused", 1, time_ms(reps.max(50), || {
+                fused.step(&mut model, &grads).unwrap();
+            }));
+            let mut reference = kind.build();
+            record(name, "reference", 1, time_ms(reps.max(50), || {
+                reference.step_reference(&mut model, &grads).unwrap();
+            }));
+        }
+    }
+
+    // One epoch of the workspace-reusing trainer: 512 samples x 32 features,
+    // 8 classes, batch 128 (chunked gradient path), warm workspace. The
+    // warm-up call inside `time_ms` performs all buffer allocation; the
+    // measured epochs run allocation-free.
+    {
+        let mut rng = rng_from_seed(Seed(6_700));
+        let tx = Matrix::random_normal(512, 32, 1.0, &mut rng);
+        let tlabels: Vec<usize> = (0..512).map(|i| i % 8).collect();
+        let tcfg = TrainConfig {
+            epochs: 1,
+            batch_size: 128,
+            ..TrainConfig::default()
+        };
+        for (cfg, variant, threads) in
+            [(serial(), "serial", 1), (parallel(), "parallel", auto_threads)]
+        {
+            set_parallel_config(cfg);
+            let mut net = Mlp::builder(32)
+                .hidden(64, Activation::Relu)
+                .output(8)
+                .build(Seed(7));
+            let trainer = Trainer::new(tcfg);
+            let mut ws = Workspace::new();
+            record("train_epoch_512x32", variant, threads, time_ms(reps, || {
+                black_box(
+                    trainer
+                        .fit_classifier_ws(&mut net, &tx, &tlabels, Seed(8), &mut ws)
+                        .unwrap(),
+                );
+            }));
+        }
+    }
+
     // K-means assignment fan-out.
     let mut rng = rng_from_seed(Seed(5_500));
     let mut pts = Matrix::random_normal(4096, 16, 1.0, &mut rng);
@@ -212,6 +282,15 @@ fn main() -> ExitCode {
             "matmul_256_tiled_serial_vs_naive": ratio("matmul_256", "naive", "tiled_serial"),
             "matmul_256_parallel_vs_naive": ratio("matmul_256", "naive", "tiled_parallel"),
             "matmul_256_parallel_vs_serial": ratio("matmul_256", "tiled_serial", "tiled_parallel"),
+            // ISSUE acceptance gate: must stay within 1.5x of plain matmul.
+            "matmul_nt_256_over_matmul_256_serial":
+                match (find("matmul_nt_256", "serial"), find("matmul_256", "tiled_serial")) {
+                    (Some(nt), Some(mm)) if mm > 0.0 => Some(nt / mm),
+                    _ => None,
+                },
+            "optim_step_sgd_reference_vs_fused": ratio("optim_step_sgd", "reference", "fused"),
+            "optim_step_adam_reference_vs_fused": ratio("optim_step_adam", "reference", "fused"),
+            "train_epoch_parallel_vs_serial": ratio("train_epoch_512x32", "serial", "parallel"),
             "kmeans_parallel_vs_serial": ratio("kmeans_4096x16_k8", "serial", "parallel"),
             "osp_train_parallel_vs_serial":
                 ratio("osp_repository_train_small", "serial", "parallel"),

@@ -3,7 +3,7 @@
 
 use anole_cluster::{KMeans, KMeansFit};
 use anole_data::{DatasetSource, DrivingDataset, Frame, FrameRef};
-use anole_nn::{sigmoid, Activation, Mlp, ReferenceModel, Trainer};
+use anole_nn::{sigmoid, Activation, Mlp, ReferenceModel, Trainer, Workspace};
 use anole_tensor::{split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +98,7 @@ fn train_detector(
     hidden: &[usize],
     config: &AnoleConfig,
     seed: Seed,
+    ws: &mut Workspace,
 ) -> Result<Mlp, AnoleError> {
     let x = dataset.features_matrix(refs);
     let y = dataset.truth_matrix(refs);
@@ -110,7 +111,7 @@ fn train_detector(
         .build(split_seed(seed, 0));
     let mut train_cfg = config.detector.train;
     train_cfg.pos_weight = config.detector.pos_weight;
-    Trainer::new(train_cfg).fit_multilabel(&mut net, &x, &y, split_seed(seed, 1))?;
+    Trainer::new(train_cfg).fit_multilabel_ws(&mut net, &x, &y, split_seed(seed, 1), ws)?;
     Ok(net)
 }
 
@@ -193,7 +194,7 @@ impl Sdm {
         seed: Seed,
     ) -> Result<Self, AnoleError> {
         let hidden = vec![config.detector.deep_hidden; config.detector.deep_layers];
-        let net = train_detector(dataset, refs, &hidden, config, seed)?;
+        let net = train_detector(dataset, refs, &hidden, config, seed, &mut Workspace::new())?;
         Ok(Self {
             net,
             threshold: config.detector.threshold,
@@ -253,6 +254,7 @@ impl Ssm {
             &[config.detector.compressed_hidden],
             config,
             seed,
+            &mut Workspace::new(),
         )?;
         Ok(Self {
             net,
@@ -308,6 +310,8 @@ impl Cdg {
         let x = dataset.features_matrix(refs);
         let clustering = KMeans::new(k).fit(&x, split_seed(seed, 0))?;
         let mut models = Vec::with_capacity(k);
+        // One workspace amortises training buffers across all k domains.
+        let mut ws = Workspace::new();
         for cluster in 0..k {
             let members: Vec<FrameRef> = clustering
                 .members_of(cluster)
@@ -320,6 +324,7 @@ impl Cdg {
                 &[config.detector.compressed_hidden],
                 config,
                 split_seed(seed, 1 + cluster as u64),
+                &mut ws,
             )?;
             models.push(net);
         }
@@ -385,6 +390,8 @@ impl Dmm {
         seed: Seed,
     ) -> Result<Self, AnoleError> {
         let mut models = Vec::new();
+        // One workspace amortises training buffers across all sources.
+        let mut ws = Workspace::new();
         for (i, source) in DatasetSource::ALL.iter().enumerate() {
             let subset: Vec<FrameRef> = refs
                 .iter()
@@ -400,6 +407,7 @@ impl Dmm {
                 &[config.detector.compressed_hidden],
                 config,
                 split_seed(seed, i as u64),
+                &mut ws,
             )?;
             models.push((*source, net));
         }

@@ -11,7 +11,7 @@ use std::collections::HashSet;
 use anole_cluster::MultiLevelClustering;
 use anole_data::{DrivingDataset, FrameRef};
 use anole_detect::{threshold_probs, DetectionCounts};
-use anole_nn::{sigmoid, Activation, Mlp, ModelProfile, ReferenceModel, Trainer};
+use anole_nn::{sigmoid, Activation, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
 use anole_tensor::{split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
@@ -247,7 +247,9 @@ impl ModelRepository {
             // order, and results are collected in cluster order, so the
             // output is identical to a sequential run for any thread count.
             let threshold = config.detector.threshold;
-            let train_candidate = |c: &Candidate| -> Result<(CompressedModel, f32), AnoleError> {
+            let train_candidate = |c: &Candidate,
+                                   ws: &mut Workspace|
+             -> Result<(CompressedModel, f32), AnoleError> {
                 let model_seed = split_seed(seed, 100 + level.k as u64 * 131 + c.cluster as u64);
                 let candidate = train_compressed(
                     dataset,
@@ -260,6 +262,7 @@ impl ModelRepository {
                         scenes: c.scenes.clone(),
                     },
                     model_seed,
+                    ws,
                 )?;
                 let f1 = candidate.evaluate_f1(dataset, &c.val, threshold)?;
                 Ok((candidate, f1))
@@ -282,11 +285,15 @@ impl ModelRepository {
             let threads = anole_tensor::parallel_config()
                 .effective_threads()
                 .clamp(1, misses.len().max(1));
+            // Each worker reuses one training workspace across its whole
+            // candidate share, so warm-up allocations happen once per worker
+            // rather than once per candidate.
             let trained: Vec<(usize, Result<(CompressedModel, f32), AnoleError>)> =
                 if threads <= 1 {
+                    let mut ws = Workspace::new();
                     misses
                         .iter()
-                        .map(|&i| (i, train_candidate(&candidates[i])))
+                        .map(|&i| (i, train_candidate(&candidates[i], &mut ws)))
                         .collect()
                 } else {
                     let per_worker = misses.len().div_ceil(threads);
@@ -297,9 +304,10 @@ impl ModelRepository {
                             .chunks(per_worker)
                             .map(|chunk| {
                                 scope.spawn(move || {
+                                    let mut ws = Workspace::new();
                                     chunk
                                         .iter()
-                                        .map(|&i| (i, train_candidate(&candidates[i])))
+                                        .map(|&i| (i, train_candidate(&candidates[i], &mut ws)))
                                         .collect::<Vec<_>>()
                                 })
                             })
@@ -390,6 +398,7 @@ fn train_compressed(
     id: usize,
     origin: ClusterOrigin,
     seed: Seed,
+    ws: &mut Workspace,
 ) -> Result<CompressedModel, AnoleError> {
     let x = dataset.features_matrix(refs);
     let y = dataset.truth_matrix(refs);
@@ -399,7 +408,7 @@ fn train_compressed(
         .build(split_seed(seed, 0));
     let mut train_cfg = config.detector.train;
     train_cfg.pos_weight = config.detector.pos_weight;
-    Trainer::new(train_cfg).fit_multilabel(&mut net, &x, &y, split_seed(seed, 1))?;
+    Trainer::new(train_cfg).fit_multilabel_ws(&mut net, &x, &y, split_seed(seed, 1), ws)?;
     let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
     Ok(CompressedModel {
         id,

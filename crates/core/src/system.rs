@@ -215,7 +215,7 @@ impl AnoleSystem {
         frames: &[anole_data::Frame],
         seed: Seed,
     ) -> Result<usize, AnoleError> {
-        use anole_nn::{Activation, Mlp, ModelProfile, ReferenceModel, Trainer};
+        use anole_nn::{Activation, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
         use anole_tensor::Matrix;
 
         if frames.len() < 10 {
@@ -251,7 +251,8 @@ impl AnoleSystem {
             .build(split_seed(seed, 0));
         let mut train_cfg = self.config.detector.train;
         train_cfg.pos_weight = self.config.detector.pos_weight;
-        Trainer::new(train_cfg).fit_multilabel(&mut net, &x_fit, &y_fit, split_seed(seed, 1))?;
+        let mut ws = Workspace::new();
+        Trainer::new(train_cfg).fit_multilabel_ws(&mut net, &x_fit, &y_fit, split_seed(seed, 1), &mut ws)?;
 
         let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
         let mut candidate = crate::osp::CompressedModel {

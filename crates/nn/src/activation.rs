@@ -38,6 +38,34 @@ impl Activation {
         }
     }
 
+    /// [`Activation::forward`] writing into a caller-provided buffer.
+    ///
+    /// `out` is reshaped with [`Matrix::resize_scratch`] and fully
+    /// overwritten; values are bit-identical to the allocating variant.
+    pub fn forward_into(&self, z: &Matrix, out: &mut Matrix) {
+        out.resize_scratch(z.rows(), z.cols());
+        let src = z.as_slice();
+        let dst = out.as_mut_slice();
+        match self {
+            Activation::Relu => {
+                for (o, &v) in dst.iter_mut().zip(src.iter()) {
+                    *o = v.max(0.0);
+                }
+            }
+            Activation::Sigmoid => {
+                for (o, &v) in dst.iter_mut().zip(src.iter()) {
+                    *o = stable_sigmoid(v);
+                }
+            }
+            Activation::Tanh => {
+                for (o, &v) in dst.iter_mut().zip(src.iter()) {
+                    *o = v.tanh();
+                }
+            }
+            Activation::Identity => dst.copy_from_slice(src),
+        }
+    }
+
     /// Computes `d activation / d z` given the pre-activation `z` and the
     /// post-activation `a` (some derivatives are cheaper from one or the
     /// other).
@@ -47,6 +75,42 @@ impl Activation {
             Activation::Sigmoid => a.map(|s| s * (1.0 - s)),
             Activation::Tanh => a.map(|t| 1.0 - t * t),
             Activation::Identity => Matrix::filled(z.rows(), z.cols(), 1.0),
+        }
+    }
+
+    /// Multiplies `d` element-wise by the derivative, in place.
+    ///
+    /// Equivalent to `d.hadamard(&self.derivative(z, a))` without the two
+    /// intermediate matrices, and bit-identical to it: each element computes
+    /// the same `d · d'` product (for ReLU the masked factor is the literal
+    /// `1.0`/`0.0` the allocating path produced, preserving `-0.0` results
+    /// where `d` is negative and the unit is inactive; for Identity the
+    /// factor `1.0` is exact, so the pass is skipped entirely).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `d`, `z`, and `a` share a shape.
+    pub fn apply_derivative_inplace(&self, z: &Matrix, a: &Matrix, d: &mut Matrix) {
+        debug_assert_eq!(z.shape(), d.shape(), "derivative shape mismatch");
+        debug_assert_eq!(a.shape(), d.shape(), "derivative shape mismatch");
+        let dst = d.as_mut_slice();
+        match self {
+            Activation::Relu => {
+                for (dv, &zv) in dst.iter_mut().zip(z.as_slice().iter()) {
+                    *dv *= if zv > 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+            Activation::Sigmoid => {
+                for (dv, &av) in dst.iter_mut().zip(a.as_slice().iter()) {
+                    *dv *= av * (1.0 - av);
+                }
+            }
+            Activation::Tanh => {
+                for (dv, &av) in dst.iter_mut().zip(a.as_slice().iter()) {
+                    *dv *= 1.0 - av * av;
+                }
+            }
+            Activation::Identity => {}
         }
     }
 }

@@ -1,0 +1,87 @@
+//! Thread-aware heap-allocation counting for the zero-allocation tests.
+//!
+//! Only compiled under the `alloc-count` feature. A test binary installs
+//! [`CountingAllocator`] as its `#[global_allocator]` and brackets the code
+//! under test with [`measure`]; every `alloc`/`alloc_zeroed`/`realloc` issued
+//! *by that thread* while the bracket is active is counted. Worker threads
+//! spawned inside the bracket are deliberately not counted — the zero-alloc
+//! contract covers the training thread's steady state, and the thread-local
+//! counters keep concurrently running tests from polluting each other.
+//!
+//! `dealloc` is never counted: freeing warm buffers is not an allocation, and
+//! counting it would double-bill reallocation.
+//!
+//! ```ignore
+//! use anole_nn::alloc_count::{measure, CountingAllocator};
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let (result, allocs) = measure(|| expensive_training_step());
+//! assert_eq!(allocs, 0);
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    /// Whether this thread is inside a [`measure`] bracket.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    /// Allocations observed on this thread while tracking was on.
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`System`]-delegating allocator that counts allocations made by threads
+/// inside a [`measure`] bracket.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    #[inline]
+    fn record() {
+        // Const-initialised thread-locals have no destructor, so this is safe
+        // to call even during thread teardown.
+        if TRACKING.get() {
+            COUNT.set(COUNT.get() + 1);
+        }
+    }
+}
+
+// SAFETY: every method delegates verbatim to `System`; the bookkeeping
+// around the delegation performs no allocation itself (Cell reads/writes on
+// const-initialised thread-locals).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Runs `f` with allocation counting enabled on the current thread and
+/// returns `(f's result, allocations observed)`.
+///
+/// Only meaningful in a binary whose `#[global_allocator]` is
+/// [`CountingAllocator`]; under any other allocator the count is always 0.
+/// Nested brackets are allowed — the inner bracket reports its own span and
+/// the outer bracket's total includes it.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let was_tracking = TRACKING.replace(true);
+    let before = COUNT.get();
+    let result = f();
+    let after = COUNT.get();
+    TRACKING.set(was_tracking);
+    (result, after - before)
+}

@@ -93,15 +93,33 @@ impl Dense {
     ///
     /// Returns [`NnError::InputWidth`] if `x` is not `n × in_dim`.
     pub fn forward(&self, x: &Matrix) -> Result<(Matrix, Matrix), NnError> {
+        let mut z = Matrix::default();
+        let mut a = Matrix::default();
+        self.forward_into(x, &mut z, &mut a)?;
+        Ok((z, a))
+    }
+
+    /// [`Dense::forward`] writing into caller-provided buffers.
+    ///
+    /// `z` and `a` are reshaped with [`Matrix::resize_scratch`] and fully
+    /// overwritten, so the pass is allocation-free once they have warm
+    /// capacity. Bit-identical to the allocating wrapper (which is this
+    /// method on fresh matrices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidth`] if `x` is not `n × in_dim`.
+    pub fn forward_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix) -> Result<(), NnError> {
         if x.cols() != self.in_dim() {
             return Err(NnError::InputWidth {
                 expected: self.in_dim(),
                 actual: x.cols(),
             });
         }
-        let z = x.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
-        let a = self.activation.forward(&z);
-        Ok((z, a))
+        x.matmul_into(&self.weights, z)?;
+        z.add_row_broadcast_assign(&self.bias)?;
+        self.activation.forward_into(z, a);
+        Ok(())
     }
 
     /// Backward pass.
@@ -130,6 +148,40 @@ impl Dense {
         })
     }
 
+    /// [`Dense::backward`] writing into caller-provided buffers.
+    ///
+    /// `d_out` arrives as `dL/da` and is turned into `dL/dz` **in place**
+    /// (the hadamard with the activation derivative fuses into one pass);
+    /// `d_weights`/`d_bias` receive the parameter gradients. When
+    /// `d_input` is `Some((d_in, nt_pack))`, the input gradient is written
+    /// to `d_in` using `nt_pack` as the [`Matrix::matmul_nt_into`] transpose
+    /// scratch; the first layer passes `None` and skips the product whose
+    /// result backprop would discard anyway.
+    ///
+    /// Bit-identical to [`Dense::backward`] output-for-output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the cached matrices are inconsistent.
+    pub(crate) fn backward_ws(
+        &self,
+        x: &Matrix,
+        z: &Matrix,
+        a: &Matrix,
+        d_out: &mut Matrix,
+        d_weights: &mut Matrix,
+        d_bias: &mut Matrix,
+        d_input: Option<(&mut Matrix, &mut Matrix)>,
+    ) -> Result<(), NnError> {
+        self.activation.apply_derivative_inplace(z, a, d_out);
+        x.matmul_tn_into(d_out, d_weights)?;
+        d_out.sum_rows_into(d_bias);
+        if let Some((d_in, nt_pack)) = d_input {
+            d_out.matmul_nt_into(&self.weights, nt_pack, d_in)?;
+        }
+        Ok(())
+    }
+
     /// Applies a parameter update: `W += dw`, `b += db` (caller pre-scales).
     ///
     /// # Errors
@@ -141,10 +193,18 @@ impl Dense {
         Ok(())
     }
 
+    /// Mutable access to `(weights, bias)` for the fused optimizer kernels.
+    pub(crate) fn params_mut(&mut self) -> (&mut Matrix, &mut Matrix) {
+        (&mut self.weights, &mut self.bias)
+    }
+
     /// Scales all parameters by `s` (used in tests and weight decay).
+    ///
+    /// In place — the trainer calls this every mini-batch when weight decay
+    /// is on, so it must not touch the allocator.
     pub fn scale_parameters(&mut self, s: f32) {
-        self.weights = self.weights.scale(s);
-        self.bias = self.bias.scale(s);
+        self.weights.map_inplace(|v| v * s);
+        self.bias.map_inplace(|v| v * s);
     }
 }
 

@@ -31,6 +31,8 @@
 //! ```
 
 mod activation;
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 mod error;
 mod layer;
 mod loss;
@@ -38,12 +40,18 @@ mod mlp;
 mod optim;
 mod profile;
 mod trainer;
+mod workspace;
 
 pub use activation::Activation;
 pub use error::NnError;
 pub use layer::Dense;
-pub use loss::{bce_with_logits, sigmoid, soft_cross_entropy, softmax, softmax_cross_entropy, LossValue};
+pub use loss::{
+    bce_with_logits, bce_with_logits_into, sigmoid, sigmoid_into, soft_cross_entropy,
+    soft_cross_entropy_into, softmax, softmax_cross_entropy, softmax_cross_entropy_into,
+    softmax_into, LossValue,
+};
 pub use mlp::{Mlp, MlpBuilder};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use profile::{ModelProfile, ReferenceModel};
 pub use trainer::{TrainConfig, TrainReport, Trainer, GRAD_CHUNK_ROWS};
+pub use workspace::Workspace;

@@ -25,7 +25,18 @@ pub struct LossValue {
 /// assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
 /// ```
 pub fn softmax(logits: &Matrix) -> Matrix {
-    let mut out = logits.clone();
+    let mut out = Matrix::default();
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// [`softmax`] writing into a caller-provided buffer.
+///
+/// `out` is reshaped with [`Matrix::resize_scratch`] and fully overwritten;
+/// values are bit-identical to the allocating variant (which is this function
+/// on a fresh matrix).
+pub fn softmax_into(logits: &Matrix, out: &mut Matrix) {
+    out.copy_from(logits);
     for i in 0..out.rows() {
         let row = out.row_mut(i);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -38,19 +49,29 @@ pub fn softmax(logits: &Matrix) -> Matrix {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Element-wise logistic sigmoid of a matrix.
 pub fn sigmoid(logits: &Matrix) -> Matrix {
-    logits.map(|x| {
-        if x >= 0.0 {
+    let mut out = Matrix::default();
+    sigmoid_into(logits, &mut out);
+    out
+}
+
+/// [`sigmoid`] writing into a caller-provided buffer.
+///
+/// Same reshape-and-overwrite contract (and bit-identity guarantee) as
+/// [`softmax_into`].
+pub fn sigmoid_into(logits: &Matrix, out: &mut Matrix) {
+    out.resize_scratch(logits.rows(), logits.cols());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(logits.as_slice().iter()) {
+        *o = if x >= 0.0 {
             1.0 / (1.0 + (-x).exp())
         } else {
             let e = x.exp();
             e / (1.0 + e)
-        }
-    })
+        };
+    }
 }
 
 /// Softmax cross-entropy against integer class labels (the paper's §IV-C
@@ -64,6 +85,26 @@ pub fn sigmoid(logits: &Matrix) -> Matrix {
 /// * [`NnError::SampleCount`] if `labels.len() != logits.rows()`.
 /// * [`NnError::LabelOutOfRange`] if any label `>= logits.cols()`.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<LossValue, NnError> {
+    let mut d = Matrix::default();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut d)?;
+    Ok(LossValue { loss, d_logits: d })
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into a caller-provided
+/// buffer and returning only the scalar loss.
+///
+/// `d_logits` doubles as the softmax scratch, so the whole loss runs without
+/// allocating once the buffer has warm capacity. Bit-identical to the
+/// allocating variant, which is this function on a fresh matrix.
+///
+/// # Errors
+///
+/// Same as [`softmax_cross_entropy`].
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    d_logits: &mut Matrix,
+) -> Result<f32, NnError> {
     if labels.len() != logits.rows() {
         return Err(NnError::SampleCount {
             samples: logits.rows(),
@@ -76,19 +117,17 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<LossVa
             return Err(NnError::LabelOutOfRange { label: l, classes });
         }
     }
-    let probs = softmax(logits);
+    softmax_into(logits, d_logits);
     let batch = logits.rows().max(1) as f32;
     let mut loss = 0.0;
-    let mut d = probs;
     for (i, &label) in labels.iter().enumerate() {
-        let p = d.get(i, label).max(1e-12);
+        let p = d_logits.get(i, label).max(1e-12);
         loss -= p.ln();
-        d.set(i, label, d.get(i, label) - 1.0);
+        d_logits.set(i, label, d_logits.get(i, label) - 1.0);
     }
-    Ok(LossValue {
-        loss: loss / batch,
-        d_logits: d.scale(1.0 / batch),
-    })
+    let inv_batch = 1.0 / batch;
+    d_logits.map_inplace(|v| v * inv_batch);
+    Ok(loss / batch)
 }
 
 /// Softmax cross-entropy against *soft* target distributions (rows of
@@ -99,30 +138,47 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<LossVa
 ///
 /// Returns an error if `targets` and `logits` have different shapes.
 pub fn soft_cross_entropy(logits: &Matrix, targets: &Matrix) -> Result<LossValue, NnError> {
+    let mut d = Matrix::default();
+    let loss = soft_cross_entropy_into(logits, targets, &mut d)?;
+    Ok(LossValue { loss, d_logits: d })
+}
+
+/// [`soft_cross_entropy`] writing the gradient into a caller-provided buffer
+/// and returning only the scalar loss.
+///
+/// `d_logits` holds the softmax probabilities first, then each element is
+/// read once and replaced by its gradient `(p − t)/batch` — one buffer, no
+/// allocation with warm capacity, bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// Same as [`soft_cross_entropy`].
+pub fn soft_cross_entropy_into(
+    logits: &Matrix,
+    targets: &Matrix,
+    d_logits: &mut Matrix,
+) -> Result<f32, NnError> {
     if logits.shape() != targets.shape() {
         return Err(NnError::SampleCount {
             samples: logits.rows(),
             labels: targets.rows(),
         });
     }
-    let probs = softmax(logits);
+    softmax_into(logits, d_logits);
     let batch = logits.rows().max(1) as f32;
     let mut loss = 0.0;
-    let mut d = Matrix::zeros(logits.rows(), logits.cols());
     for i in 0..logits.rows() {
         for j in 0..logits.cols() {
             let t = targets.get(i, j);
-            let p = probs.get(i, j).max(1e-12);
+            let raw = d_logits.get(i, j);
+            let p = raw.max(1e-12);
             if t > 0.0 {
                 loss -= t * p.ln();
             }
-            d.set(i, j, (probs.get(i, j) - t) / batch);
+            d_logits.set(i, j, (raw - t) / batch);
         }
     }
-    Ok(LossValue {
-        loss: loss / batch,
-        d_logits: d,
-    })
+    Ok(loss / batch)
 }
 
 /// Binary cross-entropy with logits against dense 0/1 targets, used by the
@@ -137,29 +193,46 @@ pub fn bce_with_logits(
     targets: &Matrix,
     pos_weight: f32,
 ) -> Result<LossValue, NnError> {
+    let mut d = Matrix::default();
+    let loss = bce_with_logits_into(logits, targets, pos_weight, &mut d)?;
+    Ok(LossValue { loss, d_logits: d })
+}
+
+/// [`bce_with_logits`] writing the gradient into a caller-provided buffer
+/// and returning only the scalar loss.
+///
+/// Like [`soft_cross_entropy_into`], `d_logits` holds the sigmoid
+/// probabilities first and is rewritten element-by-element into the
+/// gradient. Bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// Same as [`bce_with_logits`].
+pub fn bce_with_logits_into(
+    logits: &Matrix,
+    targets: &Matrix,
+    pos_weight: f32,
+    d_logits: &mut Matrix,
+) -> Result<f32, NnError> {
     if logits.shape() != targets.shape() {
         return Err(NnError::SampleCount {
             samples: logits.rows(),
             labels: targets.rows(),
         });
     }
-    let probs = sigmoid(logits);
+    sigmoid_into(logits, d_logits);
     let n = logits.len().max(1) as f32;
     let mut loss = 0.0;
-    let mut d = Matrix::zeros(logits.rows(), logits.cols());
     for i in 0..logits.rows() {
         for j in 0..logits.cols() {
-            let p = probs.get(i, j).clamp(1e-7, 1.0 - 1e-7);
+            let p = d_logits.get(i, j).clamp(1e-7, 1.0 - 1e-7);
             let t = targets.get(i, j);
             let w = if t > 0.5 { pos_weight } else { 1.0 };
             loss -= w * (t * p.ln() + (1.0 - t) * (1.0 - p).ln());
-            d.set(i, j, w * (p - t) / n);
+            d_logits.set(i, j, w * (p - t) / n);
         }
     }
-    Ok(LossValue {
-        loss: loss / n,
-        d_logits: d,
-    })
+    Ok(loss / n)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use anole_tensor::{rng_from_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
+use crate::workspace::BatchWorkspace;
 use crate::{Activation, Dense, NnError};
 
 /// A feed-forward network of dense layers.
@@ -246,6 +247,67 @@ impl Mlp {
             d = g.d_input;
         }
         Ok(grads)
+    }
+
+    /// Workspace-backed forward pass over the batch staged in `ws.x`.
+    ///
+    /// Writes per-layer pre/post-activations into `ws.zs`/`ws.acts`
+    /// (the last entry of `ws.acts` is the logits) without allocating once
+    /// the buffers are warm. Bit-identical to [`Mlp::forward_cached`]: each
+    /// layer consumes the previous layer's post-activation buffer, exactly
+    /// the matrix the allocating path moves into `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidth`] when `ws.x` has the wrong width.
+    pub(crate) fn forward_ws(&self, ws: &mut BatchWorkspace) -> Result<(), NnError> {
+        ws.ensure_layers(self.layers.len());
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let (before, rest) = ws.acts.split_at_mut(idx);
+            let input = if idx == 0 { &ws.x } else { &before[idx - 1] };
+            layer.forward_into(input, &mut ws.zs[idx], &mut rest[0])?;
+        }
+        Ok(())
+    }
+
+    /// Workspace-backed backprop of the gradient staged in `ws.d_logits`.
+    ///
+    /// Consumes `ws.d_logits` (via buffer swap — its contents are stale
+    /// afterwards) and leaves per-layer `(d_weights, d_bias)` in `ws.grads`.
+    /// The upstream gradient ping-pongs between `ws.d_next` and `ws.d_prev`
+    /// so the whole pass reuses two buffers regardless of depth.
+    ///
+    /// Bit-identical to [`Mlp::backward`] for every gradient entry; the one
+    /// intentional difference is that the input gradient of layer 0 — which
+    /// the allocating path computes and immediately discards — is skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the staged buffers are inconsistent.
+    pub(crate) fn backward_ws(&self, ws: &mut BatchWorkspace) -> Result<(), NnError> {
+        std::mem::swap(&mut ws.d_next, &mut ws.d_logits);
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let input = if idx == 0 { &ws.x } else { &ws.acts[idx - 1] };
+            let (dw, db) = &mut ws.grads[idx];
+            let d_input = if idx > 0 {
+                Some((&mut ws.d_prev, &mut ws.nt_pack))
+            } else {
+                None
+            };
+            layer.backward_ws(
+                input,
+                &ws.zs[idx],
+                &ws.acts[idx],
+                &mut ws.d_next,
+                dw,
+                db,
+                d_input,
+            )?;
+            if idx > 0 {
+                std::mem::swap(&mut ws.d_next, &mut ws.d_prev);
+            }
+        }
+        Ok(())
     }
 
     /// Embedding of each sample: the activation feeding the final layer.

@@ -1,6 +1,13 @@
 //! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Each optimizer has two update paths that produce bit-identical weights:
+//! the fused `step` used by the trainer — a single pass over `[parameters,
+//! optimizer state]` slices in lockstep, allocation-free after the lazy
+//! state initialisation — and the historical `step_reference` kept as the
+//! plainly-auditable specification the property tests compare against.
 
-use anole_tensor::Matrix;
+use anole_tensor::parallel::for_each_row_chunk_n;
+use anole_tensor::{parallel_config, Matrix, ShapeError};
 use serde::{Deserialize, Serialize};
 
 use crate::{Mlp, NnError};
@@ -52,7 +59,9 @@ pub enum Optimizer {
 impl Optimizer {
     /// Applies one update step given per-layer `(d_weights, d_bias)` grads.
     ///
-    /// Layers within the model's frozen prefix are left untouched.
+    /// Layers within the model's frozen prefix are left untouched. Uses the
+    /// fused single-pass kernels; allocation-free after the first call's
+    /// lazy state initialisation.
     ///
     /// # Errors
     ///
@@ -63,6 +72,111 @@ impl Optimizer {
             Optimizer::Adam(a) => a.step(model, grads),
         }
     }
+
+    /// The original multi-pass update, kept as the bit-identity reference
+    /// for [`Optimizer::step`]. Same state, same results, more allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step_reference(
+        &mut self,
+        model: &mut Mlp,
+        grads: &[(Matrix, Matrix)],
+    ) -> Result<(), NnError> {
+        match self {
+            Optimizer::Sgd(s) => s.step_reference(model, grads),
+            Optimizer::Adam(a) => a.step_reference(model, grads),
+        }
+    }
+}
+
+/// Fused SGD-with-momentum update on one parameter matrix:
+/// `v ← μv + (−lr)·g; θ ← θ + v` in a single pass over `[θ, v]`.
+///
+/// Rounds identically to the reference scale-then-axpy sequence: both
+/// evaluate `round(round(v·μ) + round((−lr)·g))` per element, and the
+/// reference's `apply_update` adds `1.0·v` which is exact.
+fn fused_sgd(
+    param: &mut Matrix,
+    velocity: &mut Matrix,
+    grad: &Matrix,
+    lr: f32,
+    momentum: f32,
+) -> Result<(), NnError> {
+    if grad.shape() != param.shape() || velocity.shape() != param.shape() {
+        return Err(ShapeError::new("fused_sgd", param.shape(), grad.shape()).into());
+    }
+    let cols = param.cols();
+    let rows = param.rows();
+    let threads = parallel_config().threads_for(param.len());
+    let g = grad.as_slice();
+    for_each_row_chunk_n(
+        [param.as_mut_slice(), velocity.as_mut_slice()],
+        cols,
+        rows,
+        threads,
+        |range, [w, v]| {
+            let g = &g[range.start * cols..range.end * cols];
+            for ((wv, vv), &gv) in w.iter_mut().zip(v.iter_mut()).zip(g.iter()) {
+                let vn = *vv * momentum + (-lr) * gv;
+                *vv = vn;
+                *wv += vn;
+            }
+        },
+    );
+    Ok(())
+}
+
+/// Fused Adam update on one parameter matrix: moment updates, bias
+/// correction, and the parameter step in a single pass over `[θ, m, v]`.
+///
+/// Per-element arithmetic is copied verbatim from the reference
+/// `moment_update`, so results are bit-identical (the reference's final
+/// `apply_update` adds `1.0·update`, which is exact).
+#[allow(clippy::too_many_arguments)]
+fn fused_adam(
+    param: &mut Matrix,
+    first: &mut Matrix,
+    second: &mut Matrix,
+    grad: &Matrix,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) -> Result<(), NnError> {
+    if grad.shape() != param.shape()
+        || first.shape() != param.shape()
+        || second.shape() != param.shape()
+    {
+        return Err(ShapeError::new("fused_adam", param.shape(), grad.shape()).into());
+    }
+    let cols = param.cols();
+    let rows = param.rows();
+    let threads = parallel_config().threads_for(param.len());
+    let g = grad.as_slice();
+    for_each_row_chunk_n(
+        [param.as_mut_slice(), first.as_mut_slice(), second.as_mut_slice()],
+        cols,
+        rows,
+        threads,
+        |range, [w, m, v]| {
+            let g = &g[range.start * cols..range.end * cols];
+            for i in 0..g.len() {
+                let gi = g[i];
+                let mi = beta1 * m[i] + (1.0 - beta1) * gi;
+                let vi = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+                m[i] = mi;
+                v[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                w[i] += -lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        },
+    );
+    Ok(())
 }
 
 /// SGD with classical momentum: `v ← μv − lr·g`, `θ ← θ + v`.
@@ -83,18 +197,38 @@ impl Sgd {
         }
     }
 
-    /// Applies one SGD step; see [`Optimizer::step`].
+    /// Applies one fused SGD step; see [`Optimizer::step`].
     ///
     /// # Errors
     ///
     /// Returns a shape error if gradient shapes disagree with the parameters.
     pub fn step(&mut self, model: &mut Mlp, grads: &[(Matrix, Matrix)]) -> Result<(), NnError> {
-        if self.velocity.is_empty() {
-            self.velocity = grads
-                .iter()
-                .map(|(dw, db)| (Matrix::zeros(dw.rows(), dw.cols()), Matrix::zeros(db.rows(), db.cols())))
-                .collect();
+        self.ensure_velocity(grads);
+        let frozen = model.frozen_prefix();
+        for (idx, layer) in model.layers_mut().iter_mut().enumerate() {
+            if idx < frozen {
+                continue;
+            }
+            let (dw, db) = &grads[idx];
+            let (vw, vb) = &mut self.velocity[idx];
+            let (w, b) = layer.params_mut();
+            fused_sgd(w, vw, dw, self.lr, self.momentum)?;
+            fused_sgd(b, vb, db, self.lr, self.momentum)?;
         }
+        Ok(())
+    }
+
+    /// The original scale/axpy/clone update; see [`Optimizer::step_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step_reference(
+        &mut self,
+        model: &mut Mlp,
+        grads: &[(Matrix, Matrix)],
+    ) -> Result<(), NnError> {
+        self.ensure_velocity(grads);
         let frozen = model.frozen_prefix();
         for (idx, layer) in model.layers_mut().iter_mut().enumerate() {
             if idx < frozen {
@@ -109,6 +243,17 @@ impl Sgd {
             layer.apply_update(&vw.clone(), &vb.clone())?;
         }
         Ok(())
+    }
+
+    /// Lazily sizes the velocity state to the gradient shapes (warm-up
+    /// allocation; every later step reuses it).
+    fn ensure_velocity(&mut self, grads: &[(Matrix, Matrix)]) {
+        if self.velocity.is_empty() {
+            self.velocity = grads
+                .iter()
+                .map(|(dw, db)| (Matrix::zeros(dw.rows(), dw.cols()), Matrix::zeros(db.rows(), db.cols())))
+                .collect();
+        }
     }
 }
 
@@ -138,17 +283,43 @@ impl Adam {
         }
     }
 
-    /// Applies one Adam step; see [`Optimizer::step`].
+    /// Applies one fused Adam step; see [`Optimizer::step`].
     ///
     /// # Errors
     ///
     /// Returns a shape error if gradient shapes disagree with the parameters.
     pub fn step(&mut self, model: &mut Mlp, grads: &[(Matrix, Matrix)]) -> Result<(), NnError> {
-        if self.first.is_empty() {
-            let zeros = |m: &Matrix| Matrix::zeros(m.rows(), m.cols());
-            self.first = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
-            self.second = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
+        self.ensure_moments(grads);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let frozen = model.frozen_prefix();
+        for (idx, layer) in model.layers_mut().iter_mut().enumerate() {
+            if idx < frozen {
+                continue;
+            }
+            let (dw, db) = &grads[idx];
+            let (mw, mb) = &mut self.first[idx];
+            let (vw, vb) = &mut self.second[idx];
+            let (w, b) = layer.params_mut();
+            fused_adam(w, mw, vw, dw, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2)?;
+            fused_adam(b, mb, vb, db, self.lr, self.beta1, self.beta2, self.eps, bc1, bc2)?;
         }
+        Ok(())
+    }
+
+    /// The original allocate-an-update-matrix step; see
+    /// [`Optimizer::step_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradient shapes disagree with the parameters.
+    pub fn step_reference(
+        &mut self,
+        model: &mut Mlp,
+        grads: &[(Matrix, Matrix)],
+    ) -> Result<(), NnError> {
+        self.ensure_moments(grads);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -163,6 +334,16 @@ impl Adam {
             layer.apply_update(&update_w, &update_b)?;
         }
         Ok(())
+    }
+
+    /// Lazily sizes the moment state to the gradient shapes (warm-up
+    /// allocation; every later step reuses it).
+    fn ensure_moments(&mut self, grads: &[(Matrix, Matrix)]) {
+        if self.first.is_empty() {
+            let zeros = |m: &Matrix| Matrix::zeros(m.rows(), m.cols());
+            self.first = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
+            self.second = grads.iter().map(|(dw, db)| (zeros(dw), zeros(db))).collect();
+        }
     }
 
     fn moment_update(&mut self, idx: usize, weights: bool, g: &Matrix, bc1: f32, bc2: f32) -> Matrix {
@@ -251,5 +432,30 @@ mod tests {
     #[test]
     fn default_kind_is_adam() {
         assert!(matches!(OptimizerKind::default(), OptimizerKind::Adam { .. }));
+    }
+
+    #[test]
+    fn fused_step_matches_reference_bitwise() {
+        for kind in [
+            OptimizerKind::Sgd { lr: 0.1, momentum: 0.9 },
+            OptimizerKind::Adam { lr: 0.01 },
+        ] {
+            let (mut m_fused, x, y) = tiny_problem();
+            let mut m_ref = m_fused.clone();
+            let mut opt_fused = kind.build();
+            let mut opt_ref = kind.build();
+            for _ in 0..25 {
+                let cache = m_fused.forward_cached(&x).unwrap();
+                let lv = softmax_cross_entropy(cache.output(), &y).unwrap();
+                let grads = m_fused.backward(&cache, &lv.d_logits).unwrap();
+                opt_fused.step(&mut m_fused, &grads).unwrap();
+
+                let cache = m_ref.forward_cached(&x).unwrap();
+                let lv = softmax_cross_entropy(cache.output(), &y).unwrap();
+                let grads = m_ref.backward(&cache, &lv.d_logits).unwrap();
+                opt_ref.step_reference(&mut m_ref, &grads).unwrap();
+            }
+            assert_eq!(m_fused, m_ref, "{kind:?} fused vs reference diverged");
+        }
     }
 }

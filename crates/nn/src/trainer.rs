@@ -1,11 +1,20 @@
 //! Mini-batch training loops for classifiers and multi-label heads.
+//!
+//! The inner loop is allocation-free after warm-up: every per-batch buffer
+//! (gathered batch, activations, loss gradient, per-layer gradients) lives in
+//! a [`Workspace`] that is reused across batches and epochs. The convenience
+//! `fit_*` methods create a workspace internally; the `fit_*_ws` variants
+//! accept one from the caller so repeated training runs (e.g. the OSP
+//! repository's candidate fan-out) can amortise warm-up across runs. Both are
+//! bit-identical — buffer reuse never changes results.
 
 use anole_tensor::{parallel_config, rng_from_seed, Matrix, Seed};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 
+use crate::workspace::{BatchWorkspace, Workspace};
 use crate::{
-    bce_with_logits, soft_cross_entropy, softmax_cross_entropy, LossValue, Mlp, NnError,
+    bce_with_logits_into, soft_cross_entropy_into, softmax_cross_entropy_into, Mlp, NnError,
     OptimizerKind,
 };
 
@@ -13,12 +22,13 @@ use crate::{
 ///
 /// Batches of at least `2 * GRAD_CHUNK_ROWS` rows are split into chunks of
 /// this size whose loss/gradient contributions are computed independently
-/// (possibly on different threads) and combined with a pairwise tree
-/// reduction. Both the chunk boundaries and the reduction order depend only
-/// on the batch size — never on the thread count — so training is
-/// bit-identical for any [`anole_tensor::ParallelConfig`]. Smaller batches
-/// keep the classic single-pass path, which preserves the exact numerics of
-/// earlier releases for every configuration shipped in this repository.
+/// (possibly on different threads, each into its own per-chunk workspace) and
+/// combined with a pairwise tree reduction. Both the chunk boundaries and the
+/// reduction order depend only on the batch size — never on the thread count
+/// — so training is bit-identical for any [`anole_tensor::ParallelConfig`].
+/// Smaller batches keep the classic single-pass path, which preserves the
+/// exact numerics of earlier releases for every configuration shipped in this
+/// repository.
 pub const GRAD_CHUNK_ROWS: usize = 64;
 
 /// Hyper-parameters of a training run.
@@ -64,6 +74,45 @@ pub struct TrainReport {
     pub epochs_run: usize,
 }
 
+/// Which supervision signal a training run optimises.
+///
+/// Borrowed views into the caller's dataset; `Copy` so the chunked path can
+/// hand one to each worker thread.
+#[derive(Clone, Copy)]
+enum LossSource<'a> {
+    /// Hard class labels → softmax cross-entropy.
+    Hard { labels: &'a [usize] },
+    /// Soft target distributions → soft cross-entropy.
+    Soft { targets: &'a Matrix },
+    /// Dense 0/1 targets → sigmoid BCE with a positive-cell weight.
+    Multi { targets: &'a Matrix, pos_weight: f32 },
+}
+
+impl LossSource<'_> {
+    /// Gathers this batch's supervision into the workspace, evaluates the
+    /// loss against `bws`'s logits, and leaves `dL/d(logits)` in
+    /// `bws.d_logits`. Bit-identical to the historical closure-based path
+    /// (gather + allocating loss call) for each variant.
+    fn loss_into(&self, idx: &[usize], bws: &mut BatchWorkspace) -> Result<f32, NnError> {
+        let (logits, d_logits, labels_buf, targets_buf) = bws.loss_parts();
+        match self {
+            LossSource::Hard { labels } => {
+                labels_buf.clear();
+                labels_buf.extend(idx.iter().map(|&i| labels[i]));
+                softmax_cross_entropy_into(logits, labels_buf, d_logits)
+            }
+            LossSource::Soft { targets } => {
+                targets.gather_rows_into(idx, targets_buf);
+                soft_cross_entropy_into(logits, targets_buf, d_logits)
+            }
+            LossSource::Multi { targets, pos_weight } => {
+                targets.gather_rows_into(idx, targets_buf);
+                bce_with_logits_into(logits, targets_buf, *pos_weight, d_logits)
+            }
+        }
+    }
+}
+
 /// Mini-batch trainer driving an [`Mlp`] with a [`TrainConfig`].
 ///
 /// # Examples
@@ -99,6 +148,22 @@ impl Trainer {
         labels: &[usize],
         seed: Seed,
     ) -> Result<TrainReport, NnError> {
+        self.fit_classifier_ws(model, x, labels, seed, &mut Workspace::new())
+    }
+
+    /// [`Trainer::fit_classifier`] reusing a caller-provided [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::fit_classifier`].
+    pub fn fit_classifier_ws(
+        &self,
+        model: &mut Mlp,
+        x: &Matrix,
+        labels: &[usize],
+        seed: Seed,
+        ws: &mut Workspace,
+    ) -> Result<TrainReport, NnError> {
         if x.rows() == 0 {
             return Err(NnError::EmptyDataset);
         }
@@ -108,10 +173,7 @@ impl Trainer {
                 labels: labels.len(),
             });
         }
-        self.run(model, x, seed, |logits, batch_idx| {
-            let batch_labels: Vec<usize> = batch_idx.iter().map(|&i| labels[i]).collect();
-            softmax_cross_entropy(logits, &batch_labels)
-        })
+        self.run(model, x, seed, LossSource::Hard { labels }, ws)
     }
 
     /// Trains `model` as a classifier against *soft* target distributions
@@ -128,6 +190,23 @@ impl Trainer {
         targets: &Matrix,
         seed: Seed,
     ) -> Result<TrainReport, NnError> {
+        self.fit_soft_classifier_ws(model, x, targets, seed, &mut Workspace::new())
+    }
+
+    /// [`Trainer::fit_soft_classifier`] reusing a caller-provided
+    /// [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::fit_soft_classifier`].
+    pub fn fit_soft_classifier_ws(
+        &self,
+        model: &mut Mlp,
+        x: &Matrix,
+        targets: &Matrix,
+        seed: Seed,
+        ws: &mut Workspace,
+    ) -> Result<TrainReport, NnError> {
         if x.rows() == 0 {
             return Err(NnError::EmptyDataset);
         }
@@ -137,10 +216,7 @@ impl Trainer {
                 labels: targets.rows(),
             });
         }
-        self.run(model, x, seed, |logits, batch_idx| {
-            let batch_targets = targets.select_rows(batch_idx);
-            soft_cross_entropy(logits, &batch_targets)
-        })
+        self.run(model, x, seed, LossSource::Soft { targets }, ws)
     }
 
     /// Trains `model` as a multi-label (sigmoid) predictor against dense 0/1
@@ -157,6 +233,22 @@ impl Trainer {
         targets: &Matrix,
         seed: Seed,
     ) -> Result<TrainReport, NnError> {
+        self.fit_multilabel_ws(model, x, targets, seed, &mut Workspace::new())
+    }
+
+    /// [`Trainer::fit_multilabel`] reusing a caller-provided [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Trainer::fit_multilabel`].
+    pub fn fit_multilabel_ws(
+        &self,
+        model: &mut Mlp,
+        x: &Matrix,
+        targets: &Matrix,
+        seed: Seed,
+        ws: &mut Workspace,
+    ) -> Result<TrainReport, NnError> {
         if x.rows() == 0 {
             return Err(NnError::EmptyDataset);
         }
@@ -167,22 +259,17 @@ impl Trainer {
             });
         }
         let pos_weight = self.config.pos_weight;
-        self.run(model, x, seed, |logits, batch_idx| {
-            let batch_targets = targets.select_rows(batch_idx);
-            bce_with_logits(logits, &batch_targets, pos_weight)
-        })
+        self.run(model, x, seed, LossSource::Multi { targets, pos_weight }, ws)
     }
 
-    fn run<F>(
+    fn run(
         &self,
         model: &mut Mlp,
         x: &Matrix,
         seed: Seed,
-        loss_fn: F,
-    ) -> Result<TrainReport, NnError>
-    where
-        F: Fn(&Matrix, &[usize]) -> Result<crate::LossValue, NnError> + Sync,
-    {
+        src: LossSource<'_>,
+        ws: &mut Workspace,
+    ) -> Result<TrainReport, NnError> {
         let mut rng = rng_from_seed(seed);
         let mut optimizer = self.config.optimizer.build();
         let n = x.rows();
@@ -195,14 +282,16 @@ impl Trainer {
             let mut epoch_loss = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(batch) {
-                let (loss, grads) = if chunk.len() >= 2 * GRAD_CHUNK_ROWS {
-                    accumulate_grads_chunked(model, x, chunk, &loss_fn)?
+                let use_chunked = chunk.len() >= 2 * GRAD_CHUNK_ROWS;
+                let loss = if use_chunked {
+                    accumulate_grads_chunked_ws(model, x, chunk, src, ws)?
                 } else {
-                    let bx = x.select_rows(chunk);
-                    let cache = model.forward_cached(&bx)?;
-                    let lv = loss_fn(cache.output(), chunk)?;
-                    let grads = model.backward(&cache, &lv.d_logits)?;
-                    (lv.loss, grads)
+                    let bws = &mut ws.main;
+                    x.gather_rows_into(chunk, &mut bws.x);
+                    model.forward_ws(bws)?;
+                    let loss = src.loss_into(chunk, bws)?;
+                    model.backward_ws(bws)?;
+                    loss
                 };
                 if self.config.weight_decay > 0.0 {
                     let keep = 1.0 - self.config.weight_decay;
@@ -211,7 +300,12 @@ impl Trainer {
                         layer.scale_parameters(keep);
                     }
                 }
-                optimizer.step(model, &grads)?;
+                let grads: &[(Matrix, Matrix)] = if use_chunked {
+                    &ws.chunks[0].grads
+                } else {
+                    &ws.main.grads
+                };
+                optimizer.step(model, grads)?;
                 epoch_loss += loss;
                 batches += 1;
             }
@@ -231,95 +325,111 @@ impl Trainer {
     }
 }
 
-/// Loss and per-layer gradients of one fixed-size sub-chunk, pre-scaled by
-/// `chunk_rows / batch_rows` so the per-chunk contributions sum to the
-/// batch-mean loss and gradient.
-fn chunk_grad<F>(
+/// Loss and per-layer gradients (left in `bws.grads`) of one fixed-size
+/// sub-chunk, pre-scaled by `chunk_rows / batch_rows` so the per-chunk
+/// contributions sum to the batch-mean loss and gradient.
+fn chunk_grad_ws(
     model: &Mlp,
     x: &Matrix,
     idx: &[usize],
-    loss_fn: &F,
+    src: LossSource<'_>,
     batch_rows: f32,
-) -> Result<(f32, Vec<(Matrix, Matrix)>), NnError>
-where
-    F: Fn(&Matrix, &[usize]) -> Result<LossValue, NnError> + Sync,
-{
-    let bx = x.select_rows(idx);
-    let cache = model.forward_cached(&bx)?;
-    let lv = loss_fn(cache.output(), idx)?;
+    bws: &mut BatchWorkspace,
+) -> Result<f32, NnError> {
+    x.gather_rows_into(idx, &mut bws.x);
+    model.forward_ws(bws)?;
+    let loss = src.loss_into(idx, bws)?;
     let weight = idx.len() as f32 / batch_rows;
-    let d_logits = lv.d_logits.scale(weight);
-    let grads = model.backward(&cache, &d_logits)?;
-    Ok((lv.loss * weight, grads))
+    bws.d_logits.map_inplace(|v| v * weight);
+    model.backward_ws(bws)?;
+    Ok(loss * weight)
 }
 
 /// Splits `batch_idx` into [`GRAD_CHUNK_ROWS`]-row chunks, computes each
-/// chunk's loss/gradients independently (fanning out to the
-/// [`anole_tensor::parallel_config`] thread pool when it pays), and combines
-/// them with a pairwise tree reduction in fixed chunk order.
+/// chunk's loss/gradients independently into its per-chunk workspace (fanning
+/// out to the [`anole_tensor::parallel_config`] thread pool when it pays),
+/// and combines them with a pairwise tree reduction in fixed chunk order.
+/// The reduced gradients end up in `ws.chunks[0].grads`; the batch-mean loss
+/// is returned.
 ///
 /// Chunk boundaries and the reduction tree depend only on `batch_idx.len()`,
 /// so the result is bit-identical for every thread count; only scheduling
-/// changes.
-fn accumulate_grads_chunked<F>(
+/// changes. The serial path (1 thread) performs no allocations once the
+/// chunk workspaces are warm; the fan-out path allocates only for thread
+/// scaffolding, never for numerics.
+fn accumulate_grads_chunked_ws(
     model: &Mlp,
     x: &Matrix,
     batch_idx: &[usize],
-    loss_fn: &F,
-) -> Result<(f32, Vec<(Matrix, Matrix)>), NnError>
-where
-    F: Fn(&Matrix, &[usize]) -> Result<LossValue, NnError> + Sync,
-{
+    src: LossSource<'_>,
+    ws: &mut Workspace,
+) -> Result<f32, NnError> {
     let batch_rows = batch_idx.len() as f32;
-    let chunks: Vec<&[usize]> = batch_idx.chunks(GRAD_CHUNK_ROWS).collect();
+    let n_chunks = batch_idx.len().div_ceil(GRAD_CHUNK_ROWS);
+    ws.ensure_chunks(n_chunks);
     let work = batch_idx.len().saturating_mul(model.parameter_count());
-    let threads = parallel_config().threads_for(work).min(chunks.len());
+    let threads = parallel_config().threads_for(work).min(n_chunks);
 
-    let results: Vec<Result<(f32, Vec<(Matrix, Matrix)>), NnError>> = if threads <= 1 {
-        chunks
-            .iter()
-            .map(|idx| chunk_grad(model, x, idx, loss_fn, batch_rows))
-            .collect()
+    if threads <= 1 {
+        for (i, idx) in batch_idx.chunks(GRAD_CHUNK_ROWS).enumerate() {
+            ws.chunk_losses[i] = chunk_grad_ws(model, x, idx, src, batch_rows, &mut ws.chunks[i])?;
+        }
     } else {
-        let per_worker = chunks.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .chunks(per_worker)
-                .map(|group| {
-                    scope.spawn(move || {
-                        group
-                            .iter()
-                            .map(|idx| chunk_grad(model, x, idx, loss_fn, batch_rows))
-                            .collect::<Vec<_>>()
+        let idx_chunks: Vec<&[usize]> = batch_idx.chunks(GRAD_CHUNK_ROWS).collect();
+        let per_worker = n_chunks.div_ceil(threads);
+        let chunk_ws = &mut ws.chunks[..n_chunks];
+        let losses = &mut ws.chunk_losses[..n_chunks];
+        // Workers own contiguous chunk groups in order; each reports its
+        // first error, and the first erroring worker wins — i.e. the error of
+        // the lowest-indexed failing chunk, matching the serial path.
+        let first_err = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_ws
+                .chunks_mut(per_worker)
+                .zip(losses.chunks_mut(per_worker))
+                .zip(idx_chunks.chunks(per_worker))
+                .map(|((ws_group, loss_group), idx_group)| {
+                    scope.spawn(move || -> Result<(), NnError> {
+                        for ((bws, loss_slot), idx) in
+                            ws_group.iter_mut().zip(loss_group.iter_mut()).zip(idx_group)
+                        {
+                            *loss_slot = chunk_grad_ws(model, x, idx, src, batch_rows, bws)?;
+                        }
+                        Ok(())
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("gradient worker panicked"))
-                .collect()
-        })
-    };
-
-    let mut partials: Vec<(f32, Vec<(Matrix, Matrix)>)> =
-        results.into_iter().collect::<Result<_, _>>()?;
-    // Pairwise tree reduction: (0,1), (2,3), … then again over the survivors.
-    while partials.len() > 1 {
-        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
-        let mut it = partials.into_iter();
-        while let Some(mut left) = it.next() {
-            if let Some(right) = it.next() {
-                left.0 += right.0;
-                for ((lw, lb), (rw, rb)) in left.1.iter_mut().zip(right.1) {
-                    *lw += &rw;
-                    *lb += &rb;
+            let mut err = None;
+            for h in handles {
+                let r = h.join().expect("gradient worker panicked");
+                if let (None, Err(e)) = (&err, r) {
+                    err = Some(e);
                 }
             }
-            next.push(left);
+            err
+        });
+        if let Some(e) = first_err {
+            return Err(e);
         }
-        partials = next;
     }
-    Ok(partials.pop().expect("at least one gradient chunk"))
+
+    // In-place pairwise tree reduction: stride 1 combines (0,1), (2,3), …;
+    // stride 2 combines the survivors, and so on — the same tree the
+    // historical round-based reduction built, for any chunk count.
+    let mut stride = 1;
+    while stride < n_chunks {
+        let mut i = 0;
+        while i + stride < n_chunks {
+            let (left, right) = ws.chunks.split_at_mut(i + stride);
+            for ((lw, lb), (rw, rb)) in left[i].grads.iter_mut().zip(right[0].grads.iter()) {
+                *lw += rw;
+                *lb += rb;
+            }
+            ws.chunk_losses[i] += ws.chunk_losses[i + stride];
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    Ok(ws.chunk_losses[0])
 }
 
 #[cfg(test)]
@@ -519,5 +629,37 @@ mod tests {
         let r2 = Trainer::new(cfg).fit_classifier(&mut m2, &x, &y, Seed(43)).unwrap();
         assert_eq!(r1, r2);
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // A workspace recycled across runs (even across loss kinds and the
+        // chunked path) must train exactly like a fresh one.
+        let (x, y) = blobs(80, Seed(71)); // 160 rows → batch 160 hits the chunked path
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 160,
+            ..TrainConfig::default()
+        };
+        let build = || Mlp::builder(2).hidden(6, Activation::Relu).output(2).build(Seed(72));
+        let mut ws = Workspace::new();
+
+        // Warm the workspace on an unrelated multilabel run.
+        let mut warm = Mlp::builder(2).hidden(3, Activation::Tanh).output(2).build(Seed(73));
+        let t = Matrix::zeros(x.rows(), 2);
+        Trainer::new(TrainConfig { epochs: 1, ..cfg })
+            .fit_multilabel_ws(&mut warm, &x, &t, Seed(74), &mut ws)
+            .unwrap();
+
+        let mut fresh_model = build();
+        let fresh = Trainer::new(cfg)
+            .fit_classifier(&mut fresh_model, &x, &y, Seed(75))
+            .unwrap();
+        let mut reused_model = build();
+        let reused = Trainer::new(cfg)
+            .fit_classifier_ws(&mut reused_model, &x, &y, Seed(75), &mut ws)
+            .unwrap();
+        assert_eq!(fresh, reused);
+        assert_eq!(fresh_model, reused_model);
     }
 }

@@ -1,0 +1,138 @@
+//! Reusable scratch buffers backing the zero-allocation training hot path.
+//!
+//! A [`Workspace`] owns every intermediate buffer one trainer needs — the
+//! gathered mini-batch, per-layer pre/post-activations, the loss gradient,
+//! backprop ping-pong buffers, and per-layer weight/bias gradients — so the
+//! inner loop can run arbitrarily many mini-batches without touching the heap
+//! once the buffers have grown to their steady-state sizes (the *warm-up*
+//! allocations of the first batch of each shape).
+//!
+//! Buffers are reshaped per batch with [`Matrix::resize_scratch`], which
+//! reuses capacity; every kernel writing into them fully overwrites its
+//! output, so stale contents can never leak into results. Reuse is purely an
+//! allocator-traffic optimisation: the workspace-threaded forward/backward
+//! paths produce bit-identical results to the allocating reference paths
+//! (`Mlp::forward_cached` / `Mlp::backward` / `Optimizer::step_reference`),
+//! which is asserted by property tests.
+
+use anole_tensor::Matrix;
+
+/// Scratch buffers for one forward/backward pass over one mini-batch.
+///
+/// The chunked gradient-accumulation path owns one of these per
+/// [`GRAD_CHUNK_ROWS`](crate::GRAD_CHUNK_ROWS)-row chunk so chunks can be
+/// processed on independent threads without sharing mutable state.
+#[derive(Debug, Default)]
+pub(crate) struct BatchWorkspace {
+    /// Gathered input rows of the current mini-batch.
+    pub x: Matrix,
+    /// Gathered hard labels (classification path).
+    pub labels: Vec<usize>,
+    /// Gathered dense target rows (soft / multi-label paths).
+    pub targets: Matrix,
+    /// Per-layer pre-activations (`z = x·W + b`).
+    pub zs: Vec<Matrix>,
+    /// Per-layer post-activations; the last entry is the logits.
+    pub acts: Vec<Matrix>,
+    /// Loss gradient w.r.t. the logits, produced by the loss-into functions.
+    pub d_logits: Matrix,
+    /// Backprop's running upstream gradient (swapped with `d_logits` on
+    /// entry, then ping-ponged with `d_prev` per layer).
+    pub d_next: Matrix,
+    /// Ping-pong partner of `d_next` holding the next layer-input gradient.
+    pub d_prev: Matrix,
+    /// Packed `rhsᵀ` scratch for [`Matrix::matmul_nt_into`] in backprop.
+    pub nt_pack: Matrix,
+    /// Per-layer `(d_weights, d_bias)` written by the backward pass.
+    pub grads: Vec<(Matrix, Matrix)>,
+}
+
+impl BatchWorkspace {
+    /// Sizes the per-layer buffer vectors for an `n`-layer model.
+    ///
+    /// Growing pushes default (empty) matrices — a warm-up allocation the
+    /// first time a model shape is seen; shrinking truncates so `grads`
+    /// always lines up 1:1 with the model's layers.
+    pub fn ensure_layers(&mut self, n: usize) {
+        self.zs.resize_with(n, Matrix::default);
+        self.acts.resize_with(n, Matrix::default);
+        self.grads.resize_with(n, Default::default);
+    }
+
+    /// The network output of the last [`Mlp::forward_ws`](crate::Mlp) pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated the workspace.
+    pub fn logits(&self) -> &Matrix {
+        self.acts.last().expect("forward_ws must run before logits()")
+    }
+
+    /// Disjoint borrows of the buffers the loss functions need: the logits,
+    /// the `d_logits` output, and the label/target gather scratch.
+    pub fn loss_parts(&mut self) -> (&Matrix, &mut Matrix, &mut Vec<usize>, &mut Matrix) {
+        (
+            self.acts.last().expect("forward_ws must run before the loss"),
+            &mut self.d_logits,
+            &mut self.labels,
+            &mut self.targets,
+        )
+    }
+}
+
+/// Reusable scratch arena for [`Trainer`](crate::Trainer) runs.
+///
+/// Create one per training thread and pass it to the `_ws` fit variants
+/// ([`Trainer::fit_classifier_ws`](crate::Trainer::fit_classifier_ws) and
+/// friends) to amortise every per-batch buffer across batches, epochs, and
+/// whole training runs. The convenience fit methods without a workspace
+/// argument create a fresh one internally, so results never depend on reuse
+/// — a recycled workspace trains bit-identically to a fresh one.
+///
+/// A workspace may be reused across models of different shapes; buffers grow
+/// to the largest shape seen (per-layer vectors shrink to keep gradient
+/// indices aligned).
+///
+/// # Examples
+///
+/// ```
+/// use anole_nn::{Activation, Mlp, TrainConfig, Trainer, Workspace};
+/// use anole_tensor::{Matrix, Seed};
+///
+/// let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]])?;
+/// let y = vec![0, 1, 1, 1];
+/// let trainer = Trainer::new(TrainConfig { epochs: 50, batch_size: 4, ..TrainConfig::default() });
+/// let mut ws = Workspace::new();
+/// // One warm-up, then both runs reuse the same buffers.
+/// for seed in [1, 2] {
+///     let mut model = Mlp::builder(2).hidden(8, Activation::Relu).output(2).build(Seed(seed));
+///     trainer.fit_classifier_ws(&mut model, &x, &y, Seed(seed + 10), &mut ws)?;
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Scratch for the classic (single-pass) batch path.
+    pub(crate) main: BatchWorkspace,
+    /// One scratch per gradient-accumulation chunk; `chunks[0]` also holds
+    /// the reduced gradients after the in-place tree reduction.
+    pub(crate) chunks: Vec<BatchWorkspace>,
+    /// Per-chunk pre-scaled losses, reduced alongside the gradients.
+    pub(crate) chunk_losses: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the chunk pool to at least `n` entries (warm-up only).
+    pub(crate) fn ensure_chunks(&mut self, n: usize) {
+        if self.chunks.len() < n {
+            self.chunks.resize_with(n, BatchWorkspace::default);
+        }
+        self.chunk_losses.clear();
+        self.chunk_losses.resize(n, 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Zero-allocation contract of the training hot path.
+//!
+//! Runs only with `--features alloc-count`: this binary installs the
+//! counting global allocator and measures training differentially. Two fits
+//! on a warm [`Workspace`] that differ only in epoch count must allocate the
+//! *same* number of times — the per-fit allocations (index order vector,
+//! epoch-loss vector, optimizer state warm-up) cancel, so any difference
+//! would be a per-batch allocation in the inner loop. With E vs E+4 epochs
+//! over many mini-batches each, equality proves the steady-state loop never
+//! touches the heap.
+//!
+//! Threads are pinned to 1: spawning scoped workers allocates on the
+//! spawning thread by design, so the zero-alloc contract covers the serial
+//! hot path (the parallel path allocates only thread scaffolding).
+#![cfg(feature = "alloc-count")]
+
+use anole_nn::alloc_count::{measure, CountingAllocator};
+use anole_nn::{Activation, Mlp, TrainConfig, Trainer, Workspace};
+use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn dataset(n: usize, dim: usize, classes: usize) -> (Matrix, Vec<usize>, Matrix) {
+    let mut rng = rng_from_seed(Seed(80));
+    let x = Matrix::random_normal(n, dim, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    let mut targets = Matrix::zeros(n, classes);
+    for (i, &l) in labels.iter().enumerate() {
+        targets.set(i, l, 1.0);
+    }
+    (x, labels, targets)
+}
+
+fn build_model() -> Mlp {
+    Mlp::builder(7)
+        .hidden(10, Activation::Relu)
+        .output(3)
+        .build(Seed(81))
+}
+
+fn classifier_allocs(epochs: usize, batch_size: usize, ws: &mut Workspace, x: &Matrix, y: &[usize]) -> u64 {
+    let mut model = build_model();
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size,
+        ..TrainConfig::default()
+    });
+    let (result, allocs) = measure(|| trainer.fit_classifier_ws(&mut model, x, y, Seed(82), ws));
+    result.unwrap();
+    allocs
+}
+
+fn multilabel_allocs(epochs: usize, batch_size: usize, ws: &mut Workspace, x: &Matrix, t: &Matrix) -> u64 {
+    let mut model = build_model();
+    let trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size,
+        ..TrainConfig::default()
+    });
+    let (result, allocs) = measure(|| trainer.fit_multilabel_ws(&mut model, x, t, Seed(82), ws));
+    result.unwrap();
+    allocs
+}
+
+#[test]
+fn steady_state_mini_batches_allocate_nothing() {
+    set_parallel_config(ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    });
+    let (x, labels, targets) = dataset(200, 7, 3);
+
+    // Classic path (batch 25 < 2 * GRAD_CHUNK_ROWS) and chunked path
+    // (batch 160), for both a gather-labels and a gather-targets loss.
+    for batch_size in [25usize, 160] {
+        let mut ws = Workspace::new();
+        classifier_allocs(2, batch_size, &mut ws, &x, &labels); // warm-up
+        let base = classifier_allocs(2, batch_size, &mut ws, &x, &labels);
+        assert!(base > 0, "counting allocator is not measuring");
+        let longer = classifier_allocs(6, batch_size, &mut ws, &x, &labels);
+        assert_eq!(
+            longer, base,
+            "classifier batch={batch_size}: 4 extra epochs allocated {} extra times",
+            longer as i64 - base as i64
+        );
+
+        let mut ws = Workspace::new();
+        multilabel_allocs(2, batch_size, &mut ws, &x, &targets); // warm-up
+        let base = multilabel_allocs(2, batch_size, &mut ws, &x, &targets);
+        let longer = multilabel_allocs(6, batch_size, &mut ws, &x, &targets);
+        assert_eq!(
+            longer, base,
+            "multilabel batch={batch_size}: 4 extra epochs allocated {} extra times",
+            longer as i64 - base as i64
+        );
+    }
+}

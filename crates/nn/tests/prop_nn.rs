@@ -1,7 +1,8 @@
 //! Property-based tests of the neural-network substrate.
 
 use anole_nn::{
-    bce_with_logits, sigmoid, soft_cross_entropy, softmax, softmax_cross_entropy, Activation, Mlp,
+    bce_with_logits, bce_with_logits_into, sigmoid, soft_cross_entropy, soft_cross_entropy_into,
+    softmax, softmax_cross_entropy, softmax_cross_entropy_into, Activation, Mlp,
 };
 use anole_tensor::{Matrix, Seed};
 use proptest::prelude::*;
@@ -115,6 +116,35 @@ proptest! {
         let fm = softmax_cross_entropy(&minus.forward(&x).unwrap(), &labels).unwrap().loss;
         let numeric = (fp - fm) / (2.0 * eps);
         prop_assert!((numeric - grads[0].0.get(wi, wj)).abs() < 5e-2);
+    }
+
+    /// The `_into` losses reuse a warm, wrong-shaped gradient buffer and must
+    /// still match the allocating paths bit for bit (loss and gradient).
+    #[test]
+    fn into_losses_match_allocating_bitwise(
+        logits in logits_strategy(4, 5),
+        labels in proptest::collection::vec(0usize..5, 4),
+        stale_rows in 0usize..7,
+    ) {
+        let mut d = Matrix::filled(stale_rows, 3, f32::NAN);
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        let lv = softmax_cross_entropy(&logits, &labels).unwrap();
+        let loss = softmax_cross_entropy_into(&logits, &labels, &mut d).unwrap();
+        prop_assert_eq!(loss.to_bits(), lv.loss.to_bits());
+        prop_assert_eq!(bits(&d), bits(&lv.d_logits));
+
+        let targets = softmax(&logits);
+        let lv = soft_cross_entropy(&logits, &targets).unwrap();
+        let loss = soft_cross_entropy_into(&logits, &targets, &mut d).unwrap();
+        prop_assert_eq!(loss.to_bits(), lv.loss.to_bits());
+        prop_assert_eq!(bits(&d), bits(&lv.d_logits));
+
+        let hard = logits.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let lv = bce_with_logits(&logits, &hard, 1.5).unwrap();
+        let loss = bce_with_logits_into(&logits, &hard, 1.5, &mut d).unwrap();
+        prop_assert_eq!(loss.to_bits(), lv.loss.to_bits());
+        prop_assert_eq!(bits(&d), bits(&lv.d_logits));
     }
 
     /// Parameter/FLOP accounting is consistent with architecture arithmetic.

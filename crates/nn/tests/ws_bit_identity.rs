@@ -1,0 +1,257 @@
+//! Bit-identity of the workspace-reusing training hot path against a
+//! reference trainer reimplemented from the allocating public APIs.
+//!
+//! The reference loop below replays the historical trainer verbatim —
+//! `select_rows` gathers, `forward_cached`, the allocating loss functions,
+//! `Mlp::backward`, the round-based pairwise tree reduction, and
+//! `Optimizer::step_reference` — using the same seed discipline. The real
+//! trainer must match it bit for bit (`f32::to_bits`, not `==`) across loss
+//! kinds, batch sizes (classic and chunked paths), optimizers, frozen
+//! prefixes, and thread counts.
+
+use anole_nn::{
+    bce_with_logits, soft_cross_entropy, softmax_cross_entropy, Activation, LossValue, Mlp,
+    OptimizerKind, TrainConfig, Trainer, Workspace, GRAD_CHUNK_ROWS,
+};
+use anole_tensor::{
+    parallel_config, rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed,
+};
+use rand::seq::SliceRandom;
+
+#[derive(Clone, Copy)]
+enum RefLoss<'a> {
+    Hard(&'a [usize]),
+    Soft(&'a Matrix),
+    Multi(&'a Matrix, f32),
+}
+
+fn loss_of(logits: &Matrix, idx: &[usize], src: RefLoss<'_>) -> LossValue {
+    match src {
+        RefLoss::Hard(labels) => {
+            let batch_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            softmax_cross_entropy(logits, &batch_labels).unwrap()
+        }
+        RefLoss::Soft(targets) => soft_cross_entropy(logits, &targets.select_rows(idx)).unwrap(),
+        RefLoss::Multi(targets, pos_weight) => {
+            bce_with_logits(logits, &targets.select_rows(idx), pos_weight).unwrap()
+        }
+    }
+}
+
+fn chunked_grads(
+    model: &Mlp,
+    x: &Matrix,
+    batch_idx: &[usize],
+    src: RefLoss<'_>,
+) -> (f32, Vec<(Matrix, Matrix)>) {
+    let batch_rows = batch_idx.len() as f32;
+    let mut partials: Vec<(f32, Vec<(Matrix, Matrix)>)> = batch_idx
+        .chunks(GRAD_CHUNK_ROWS)
+        .map(|idx| {
+            let bx = x.select_rows(idx);
+            let cache = model.forward_cached(&bx).unwrap();
+            let lv = loss_of(cache.output(), idx, src);
+            let weight = idx.len() as f32 / batch_rows;
+            let d_logits = lv.d_logits.scale(weight);
+            let grads = model.backward(&cache, &d_logits).unwrap();
+            (lv.loss * weight, grads)
+        })
+        .collect();
+    // Round-based pairwise tree reduction, exactly as the historical trainer.
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                left.0 += right.0;
+                for ((lw, lb), (rw, rb)) in left.1.iter_mut().zip(right.1) {
+                    *lw += &rw;
+                    *lb += &rb;
+                }
+            }
+            next.push(left);
+        }
+        partials = next;
+    }
+    partials.pop().unwrap()
+}
+
+/// The historical training loop, rebuilt on the allocating public APIs.
+fn reference_fit(
+    cfg: &TrainConfig,
+    model: &mut Mlp,
+    x: &Matrix,
+    src: RefLoss<'_>,
+    seed: Seed,
+) -> Vec<f32> {
+    let mut rng = rng_from_seed(seed);
+    let mut optimizer = cfg.optimizer.build();
+    let n = x.rows();
+    let batch = cfg.batch_size.clamp(1, n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut epoch_losses = Vec::new();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(batch) {
+            let (loss, grads) = if chunk.len() >= 2 * GRAD_CHUNK_ROWS {
+                chunked_grads(model, x, chunk, src)
+            } else {
+                let bx = x.select_rows(chunk);
+                let cache = model.forward_cached(&bx).unwrap();
+                let lv = loss_of(cache.output(), chunk, src);
+                let grads = model.backward(&cache, &lv.d_logits).unwrap();
+                (lv.loss, grads)
+            };
+            if cfg.weight_decay > 0.0 {
+                let keep = 1.0 - cfg.weight_decay;
+                let frozen = model.frozen_prefix();
+                for layer in model.layers_mut().iter_mut().skip(frozen) {
+                    layer.scale_parameters(keep);
+                }
+            }
+            optimizer.step_reference(model, &grads).unwrap();
+            epoch_loss += loss;
+            batches += 1;
+        }
+        let mean = epoch_loss / batches.max(1) as f32;
+        epoch_losses.push(mean);
+        if cfg.target_loss > 0.0 && mean < cfg.target_loss {
+            break;
+        }
+    }
+    epoch_losses
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_bitwise_eq(a: &Mlp, b: &Mlp, context: &str) {
+    for (i, (la, lb)) in a.layers().iter().zip(b.layers()).enumerate() {
+        assert_eq!(bits(la.weights()), bits(lb.weights()), "{context}: layer {i} weights");
+        assert_eq!(bits(la.bias()), bits(lb.bias()), "{context}: layer {i} bias");
+    }
+}
+
+fn dataset(n: usize, dim: usize, classes: usize, seed: Seed) -> (Matrix, Vec<usize>, Matrix) {
+    let mut rng = rng_from_seed(seed);
+    let x = Matrix::random_normal(n, dim, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    let mut targets = Matrix::zeros(n, classes);
+    for (i, &l) in labels.iter().enumerate() {
+        targets.set(i, l, 1.0);
+    }
+    (x, labels, targets)
+}
+
+fn build_model(dim: usize, classes: usize, seed: u64) -> Mlp {
+    Mlp::builder(dim)
+        .hidden(10, Activation::Relu)
+        .hidden(6, Activation::Tanh)
+        .output(classes)
+        .build(Seed(seed))
+}
+
+#[test]
+fn workspace_trainer_matches_reference_across_losses_batches_and_seeds() {
+    let (x, labels, targets) = dataset(200, 7, 3, Seed(90));
+    for seed in [5u64, 6] {
+        // Batch 24 stays on the classic path; 160 engages chunked
+        // accumulation (≥ 2 * GRAD_CHUNK_ROWS).
+        for batch_size in [24usize, 160] {
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size,
+                ..TrainConfig::default()
+            };
+            let cases: [(&str, RefLoss<'_>); 3] = [
+                ("hard", RefLoss::Hard(&labels)),
+                ("soft", RefLoss::Soft(&targets)),
+                ("multi", RefLoss::Multi(&targets, 1.5)),
+            ];
+            for (name, src) in cases {
+                let mut expect = build_model(7, 3, seed);
+                let ref_losses = reference_fit(&cfg, &mut expect, &x, src, Seed(seed + 50));
+
+                let mut got = build_model(7, 3, seed);
+                let trainer = Trainer::new(TrainConfig {
+                    pos_weight: 1.5,
+                    ..cfg
+                });
+                let report = match src {
+                    RefLoss::Hard(_) => trainer
+                        .fit_classifier(&mut got, &x, &labels, Seed(seed + 50))
+                        .unwrap(),
+                    RefLoss::Soft(_) => trainer
+                        .fit_soft_classifier(&mut got, &x, &targets, Seed(seed + 50))
+                        .unwrap(),
+                    RefLoss::Multi(..) => trainer
+                        .fit_multilabel(&mut got, &x, &targets, Seed(seed + 50))
+                        .unwrap(),
+                };
+                let ctx = format!("{name} seed={seed} batch={batch_size}");
+                let got_bits: Vec<u32> = report.epoch_losses.iter().map(|v| v.to_bits()).collect();
+                let ref_bits: Vec<u32> = ref_losses.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got_bits, ref_bits, "{ctx}: epoch losses");
+                assert_bitwise_eq(&got, &expect, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_trainer_matches_reference_across_thread_counts() {
+    // The config is process-global, but every training path is
+    // thread-count-invariant by contract, so concurrent tests mutating it
+    // cannot perturb this one.
+    let baseline = parallel_config();
+    let (x, labels, _) = dataset(200, 7, 3, Seed(91));
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 160,
+        optimizer: OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 },
+        weight_decay: 0.001,
+        ..TrainConfig::default()
+    };
+
+    let mut expect = build_model(7, 3, 11);
+    reference_fit(&cfg, &mut expect, &x, RefLoss::Hard(&labels), Seed(61));
+
+    for threads in [1usize, 2, 4] {
+        set_parallel_config(ParallelConfig {
+            threads,
+            tile: 32,
+            min_par_elems: 1,
+        });
+        let mut got = build_model(7, 3, 11);
+        Trainer::new(cfg)
+            .fit_classifier(&mut got, &x, &labels, Seed(61))
+            .unwrap();
+        assert_bitwise_eq(&got, &expect, &format!("threads={threads}"));
+    }
+    set_parallel_config(baseline);
+}
+
+#[test]
+fn workspace_trainer_matches_reference_with_frozen_prefix() {
+    let (x, _, targets) = dataset(96, 7, 3, Seed(92));
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+
+    let mut expect = build_model(7, 3, 13);
+    expect.set_frozen_prefix(1);
+    reference_fit(&cfg, &mut expect, &x, RefLoss::Soft(&targets), Seed(62));
+
+    let mut got = build_model(7, 3, 13);
+    got.set_frozen_prefix(1);
+    let mut ws = Workspace::new();
+    Trainer::new(cfg)
+        .fit_soft_classifier_ws(&mut got, &x, &targets, Seed(62), &mut ws)
+        .unwrap();
+    assert_bitwise_eq(&got, &expect, "frozen prefix");
+}

@@ -8,6 +8,26 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized vec"))
 }
 
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The historical `matmul_nt` kernel: per output element, a single
+/// accumulator over ascending k of `a[i,k] * b[j,k]`.
+fn naive_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0f32;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(j, k);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
 proptest! {
     #[test]
     fn matmul_is_associative(
@@ -100,5 +120,77 @@ proptest! {
     fn scale_then_norm_scales_norm(m in matrix_strategy(4, 4), s in 0.0f32..10.0) {
         let scaled = m.scale(s);
         prop_assert!((scaled.frobenius_norm() - s * m.frobenius_norm()).abs() < 1e-1);
+    }
+
+    /// The `_into` kernels write into warm scratch without reading it: a
+    /// buffer poisoned with NaN and a mismatched shape must yield results
+    /// bit-identical to the allocating paths.
+    #[test]
+    fn into_kernels_ignore_stale_scratch(
+        a in matrix_strategy(5, 4),
+        b in matrix_strategy(4, 3),
+        c in matrix_strategy(5, 6),
+        stale_rows in 0usize..9,
+        stale_cols in 0usize..9,
+    ) {
+        let mut out = Matrix::filled(stale_rows, stale_cols, f32::NAN);
+
+        a.matmul_into(&b, &mut out).unwrap();
+        prop_assert_eq!(bits(&out), bits(&a.matmul(&b).unwrap()));
+
+        a.matmul_tn_into(&c, &mut out).unwrap();
+        prop_assert_eq!(bits(&out), bits(&a.matmul_tn(&c).unwrap()));
+
+        let mut rhs_t = Matrix::filled(stale_cols, stale_rows, f32::NAN);
+        let bt = b.transpose();
+        a.matmul_nt_into(&bt, &mut rhs_t, &mut out).unwrap();
+        prop_assert_eq!(bits(&out), bits(&a.matmul_nt(&bt).unwrap()));
+
+        a.transpose_into(&mut out);
+        prop_assert_eq!(bits(&out), bits(&a.transpose()));
+    }
+
+    /// `matmul_nt` packs the right-hand side and reuses the tiled kernel,
+    /// which must reproduce the historical row-dot kernel bit for bit.
+    #[test]
+    fn matmul_nt_matches_row_dot_reference(
+        a in matrix_strategy(5, 6),
+        b in matrix_strategy(4, 6),
+    ) {
+        let got = a.matmul_nt(&b).unwrap();
+        prop_assert_eq!(bits(&got), bits(&naive_nt(&a, &b)));
+    }
+
+    /// The shared sparsity gate may skip zero lhs terms; skipping an exact
+    /// zero can only flip the sign of a zero sum, so values (under `==`,
+    /// which identifies -0.0 and 0.0) must survive a mostly-zero lhs.
+    #[test]
+    fn sparse_lhs_preserves_nt_values(
+        a in matrix_strategy(6, 8),
+        b in matrix_strategy(5, 8),
+        mask in proptest::collection::vec(proptest::bool::weighted(0.8), 48),
+    ) {
+        let mut sparse = a.clone();
+        for (i, zero) in mask.iter().enumerate() {
+            if *zero {
+                sparse.set(i / 8, i % 8, 0.0);
+            }
+        }
+        let got = sparse.matmul_nt(&b).unwrap();
+        let expect = naive_nt(&sparse, &b);
+        for (x, y) in got.iter().zip(expect.iter()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn gather_rows_into_matches_select_rows(
+        m in matrix_strategy(6, 5),
+        idx in proptest::collection::vec(0usize..6, 1..12),
+        stale_rows in 0usize..9,
+    ) {
+        let mut out = Matrix::filled(stale_rows, 2, f32::NAN);
+        m.gather_rows_into(&idx, &mut out);
+        prop_assert_eq!(bits(&out), bits(&m.select_rows(&idx)));
     }
 }

@@ -131,6 +131,37 @@ fn kill_after_any_stage_then_resume_is_bit_identical() {
     }
 }
 
+/// ISSUE acceptance: checkpoint resume stays bit-identical through the
+/// workspace-reusing trainer even when the thread count changes between the
+/// original run and the resume. Per-worker warm workspaces and the chunked
+/// gradient partitioning must never leak into the trained weights.
+#[test]
+fn resume_with_different_thread_count_is_bit_identical() {
+    use anole::tensor::{parallel_config, set_parallel_config, ParallelConfig};
+    let (dataset, config, baseline) = world();
+    let dir = temp_dir("threads");
+
+    let plan =
+        FaultPlan::new(Seed(chaos_seed().wrapping_add(750))).at(0, FaultKind::TrainAbort);
+    let mut killed = TrainRecovery::new(open_store(&dir)).with_injector(plan.injector());
+    AnoleSystem::train_resumable(dataset, config, TRAIN_SEED, &mut killed).unwrap_err();
+    assert!(killed.store().has(OspStage::ALL[0].key()));
+
+    // The config is process-global, but training is thread-count-invariant
+    // by contract, so neither this override nor concurrent tests can move
+    // the weights.
+    let prior = parallel_config();
+    set_parallel_config(ParallelConfig { threads: 3, ..prior });
+    let mut resumed = TrainRecovery::new(open_store(&dir));
+    let result = AnoleSystem::train_resumable(dataset, config, TRAIN_SEED, &mut resumed);
+    set_parallel_config(prior);
+    let system = result.unwrap();
+    assert_eq!(&system, baseline, "resume under threads=3 diverged");
+    assert_eq!(resumed.report.resumed_stages, vec!["scene model"]);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// A crash inside Algorithm 1 loses the repository stage but not the
 /// specialists already trained: with only the per-specialist checkpoints on
 /// disk, resume reloads them and still reproduces the baseline exactly.
