@@ -1,0 +1,114 @@
+//! `metrics_snapshot` — end-to-end observability snapshot, written to
+//! `BENCH_obs.json` plus a flamegraph-style `trace.txt`.
+//!
+//! Requires the `obs` feature (the bin is skipped by plain builds). Trains a
+//! fast Anole system, runs the online engine over held-out frames, then
+//! exports the full metrics registry: counters/gauges for every OSP stage
+//! (scene model, TCM, ASS, TDM), the trainer, the slot cache, the fault
+//! machinery, and the engine's latency/fallback histograms, together with
+//! the hierarchical span trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! metrics_snapshot [--out PATH] [--trace PATH] [--frames N] [--prometheus]
+//! ```
+
+use std::process::ExitCode;
+
+use anole_core::omi::Telemetry;
+use anole_core::{AnoleConfig, AnoleSystem};
+use anole_data::{DatasetConfig, DrivingDataset};
+use anole_device::DeviceKind;
+use anole_tensor::Seed;
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_obs.json");
+    let mut trace_path = String::from("trace.txt");
+    let mut frames = 200usize;
+    let mut prometheus = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match iter.next() {
+                Some(p) => trace_path = p,
+                None => {
+                    eprintln!("error: --trace needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => frames = n,
+                None => {
+                    eprintln!("error: --frames needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prometheus" => prometheus = true,
+            "--help" | "-h" => {
+                println!("metrics_snapshot [--out PATH] [--trace PATH] [--frames N] [--prometheus]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // OSP: every training stage records its spans, counters, and
+    // duration/rate gauges as a side effect.
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(1));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(2)).expect("training");
+
+    // OMI: run the engine over held-out frames so the cache, fallback, and
+    // latency metrics are live.
+    let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(3));
+    engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+    let split = dataset.split();
+    let mut telemetry = Telemetry::new();
+    for &r in split.test.iter().cycle().take(frames) {
+        let frame = dataset.frame(r);
+        let outcome = engine.step(&frame.features).expect("step");
+        telemetry.record(&outcome, Some(&frame.truth));
+    }
+
+    let snapshot = anole_obs::snapshot();
+    let metric_names = snapshot.metric_names();
+    eprintln!(
+        "[metrics_snapshot] {} distinct metrics, {} spans (dropped events: {})",
+        metric_names.len(),
+        snapshot.spans.len(),
+        snapshot.dropped_span_events
+    );
+    let summary = telemetry.summary();
+    let report = serde_json::json!({
+        "schema": "anole-obs-snapshot/1",
+        "frames": frames,
+        "metric_names": metric_names,
+        "engine_summary": summary,
+        "snapshot": snapshot,
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, pretty + "\n") {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[metrics_snapshot] wrote {out_path}");
+    if let Err(e) = std::fs::write(&trace_path, anole_obs::render_trace()) {
+        eprintln!("error: writing {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[metrics_snapshot] wrote {trace_path}");
+    if prometheus {
+        print!("{}", anole_obs::to_prometheus());
+    }
+    ExitCode::SUCCESS
+}

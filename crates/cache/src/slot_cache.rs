@@ -118,9 +118,11 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
             meta.last_used = self.clock;
             *self.lifetime_frequency.entry(key.clone()).or_insert(0) += 1;
             self.stats.record_hit();
+            anole_obs::counter_add!("cache.hits", 1);
             true
         } else {
             self.stats.record_miss();
+            anole_obs::counter_add!("cache.misses", 1);
             false
         }
     }
@@ -130,6 +132,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
     pub fn insert(&mut self, key: K) -> Option<K> {
         self.clock += 1;
         self.stats.insertions += 1;
+        anole_obs::counter_add!("cache.insertions", 1);
         let lifetime = *self
             .lifetime_frequency
             .entry(key.clone())
@@ -148,6 +151,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
             if let Some(victim) = self.pick_victim() {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                anole_obs::counter_add!("cache.evictions", 1);
                 evicted = Some(victim);
             }
         }
@@ -201,6 +205,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
                 Some(victim) => {
                     self.entries.remove(&victim);
                     self.stats.evictions += 1;
+                    anole_obs::counter_add!("cache.evictions", 1);
                     evicted.push(victim);
                 }
                 None => break,

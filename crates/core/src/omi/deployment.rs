@@ -18,8 +18,8 @@
 
 use anole_cache::{CacheStats, SlotCache};
 use anole_device::{DeviceKind, LatencyModel};
-use anole_nn::ReferenceModel;
-use anole_tensor::{rng_from_seed, Seed};
+use anole_nn::{ReferenceModel, Workspace};
+use anole_tensor::{rng_from_seed, Matrix, Seed};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +102,11 @@ pub struct OnlineEngine<'a> {
     retries: usize,
     strikes_total: usize,
     fallback_depths: [usize; 4],
+    /// Reusable inference workspace: decision scoring and detection share it
+    /// so the steady-state serving path never allocates.
+    ws: Workspace,
+    /// Staged single-row feature matrix feeding the workspace paths.
+    row: Matrix,
 }
 
 impl<'a> OnlineEngine<'a> {
@@ -134,6 +139,8 @@ impl<'a> OnlineEngine<'a> {
             retries: 0,
             strikes_total: 0,
             fallback_depths: [0; 4],
+            ws: Workspace::new(),
+            row: Matrix::default(),
         }
     }
 
@@ -311,6 +318,14 @@ impl<'a> OnlineEngine<'a> {
         self.cache.contains(&id) || self.pinned == Some(id)
     }
 
+    /// Stages `features` as the single-row matrix the workspace-backed
+    /// decision/detection paths read. Reuses the buffer; no allocation once
+    /// warm.
+    fn stage_row(&mut self, features: &[f32]) {
+        self.row.resize_scratch(1, features.len());
+        self.row.row_mut(0).copy_from_slice(features);
+    }
+
     /// Permanently excludes `id` from selection and loading. The pinned
     /// fallback is immune.
     fn exclude(&mut self, id: usize) {
@@ -328,20 +343,24 @@ impl<'a> OnlineEngine<'a> {
     /// (including retry backoff) are priced into `background_load_ms`.
     fn attempt_load(&mut self, id: usize) -> bool {
         let tiny = ReferenceModel::Yolov3Tiny;
+        anole_obs::counter_add!("omi.load.attempts", 1);
         match self.pending_load_fault.take() {
             None => {
                 self.cache.insert(id);
+                anole_obs::counter_add!("cache.cold_loads", 1);
                 self.background_load_ms += self.latency.load_ms(tiny);
                 true
             }
             Some(LoadFault::Permanent) => {
                 self.fault_counts.permanent_load += 1;
+                anole_obs::counter_add!("omi.faults.permanent_load", 1);
                 self.background_load_ms += self.latency.load_ms(tiny);
                 self.exclude(id);
                 false
             }
             Some(LoadFault::Corruption) => {
                 self.fault_counts.bundle_corruption += 1;
+                anole_obs::counter_add!("omi.faults.bundle_corruption", 1);
                 // The checksum check rejects the artifact after reading it.
                 self.background_load_ms += self.latency.load_ms(tiny);
                 self.exclude(id);
@@ -349,11 +368,13 @@ impl<'a> OnlineEngine<'a> {
             }
             Some(LoadFault::Transient) => {
                 self.fault_counts.transient_load += 1;
+                anole_obs::counter_add!("omi.faults.transient_load", 1);
                 let mut cost = self.latency.load_retry_ms(tiny, 0);
                 let mut attempt = 1u32;
                 let mut loaded = false;
                 while attempt < MAX_LOAD_ATTEMPTS {
                     self.retries += 1;
+                    anole_obs::counter_add!("omi.load.retries", 1);
                     cost += self.latency.load_retry_ms(tiny, attempt);
                     let fails_again =
                         self.injector.as_mut().map(FaultInjector::retry_fails).unwrap_or(false);
@@ -366,6 +387,7 @@ impl<'a> OnlineEngine<'a> {
                 self.background_load_ms += cost;
                 if loaded {
                     self.cache.insert(id);
+                    anole_obs::counter_add!("cache.cold_loads", 1);
                 } else {
                     self.strikes_total += 1;
                     if let Some(strikes) = self.load_strikes.get_mut(id) {
@@ -405,6 +427,7 @@ impl<'a> OnlineEngine<'a> {
     /// Advances the health ladder and per-run counters, stamping the final
     /// health state into the outcome.
     fn finish_step(&mut self, mut outcome: StepOutcome) -> StepOutcome {
+        let previous_health = self.health;
         if outcome.fallback_depth >= 2 {
             self.health = HealthState::Critical;
             self.clean_streak = 0;
@@ -431,6 +454,21 @@ impl<'a> OnlineEngine<'a> {
         self.frames_by_state[self.health.index()] += 1;
         self.fallback_depths[outcome.fallback_depth.min(3)] += 1;
         outcome.health = self.health;
+        anole_obs::counter_add!("omi.step.frames", 1);
+        anole_obs::histogram_record!(
+            "omi.step.latency_ms",
+            anole_obs::LATENCY_MS_BOUNDS,
+            f64::from(outcome.latency_ms)
+        );
+        anole_obs::histogram_record!(
+            "omi.fallback.depth",
+            anole_obs::DEPTH_BOUNDS,
+            outcome.fallback_depth as f64
+        );
+        if self.health != previous_health {
+            anole_obs::counter_add!("omi.health.transitions", 1);
+        }
+        anole_obs::gauge_set!("omi.health.state", self.health.index() as f64);
         outcome
     }
 
@@ -443,6 +481,7 @@ impl<'a> OnlineEngine<'a> {
     /// * [`AnoleError::FaultExhausted`] if every model is excluded and
     ///   neither a pinned fallback nor last-good detections exist.
     pub fn step(&mut self, features: &[f32]) -> Result<StepOutcome, AnoleError> {
+        let _span = anole_obs::span!("omi.engine.step");
         let expected = self.system.decision().network().input_dim();
         if features.len() != expected {
             return Err(AnoleError::InvalidFrame {
@@ -457,6 +496,7 @@ impl<'a> OnlineEngine<'a> {
                 detail: format!("non-finite value at feature {position}"),
             });
         }
+        self.stage_row(features);
 
         let faults = match self.injector.as_mut() {
             Some(injector) => injector.next_frame(),
@@ -467,6 +507,7 @@ impl<'a> OnlineEngine<'a> {
         // Memory pressure lands before anything touches the cache.
         if let Some(capacity) = faults.memory_pressure {
             self.fault_counts.memory_pressure += 1;
+            anole_obs::counter_add!("omi.faults.memory_pressure", 1);
             self.cache.set_capacity(capacity);
         }
         // A load fault arms the next load attempt, whenever that happens.
@@ -481,9 +522,11 @@ impl<'a> OnlineEngine<'a> {
         if faults.sensor_dropout || faults.nan_frame {
             if faults.sensor_dropout {
                 self.fault_counts.sensor_dropout += 1;
+                anole_obs::counter_add!("omi.faults.sensor_dropout", 1);
             }
             if faults.nan_frame {
                 self.fault_counts.nan_frames += 1;
+                anole_obs::counter_add!("omi.faults.nan_frames", 1);
             }
             return Ok(self.degraded_replay(injected));
         }
@@ -493,16 +536,14 @@ impl<'a> OnlineEngine<'a> {
         // smoothed vector instead of letting nonsense steer routing.
         let smoothed = if faults.decision_anomaly {
             self.fault_counts.decision_anomaly += 1;
+            anole_obs::counter_add!("omi.faults.decision_anomaly", 1);
             match self.smoothed_suitability.take() {
                 Some(previous) => previous,
                 // No trustworthy scores exist yet: serve degraded.
                 None => return Ok(self.degraded_replay(injected)),
             }
         } else {
-            let probs = self
-                .system
-                .decision()
-                .suitability(&anole_tensor::Matrix::row_vector(features))?;
+            let probs = self.system.decision().suitability_ws(&self.row, &mut self.ws)?;
             let alpha = self
                 .system
                 .config()
@@ -568,6 +609,7 @@ impl<'a> OnlineEngine<'a> {
                 }
                 None if loaded => {
                     // Nothing resident at all: stall on the load.
+                    anole_obs::counter_add!("omi.load.sync_stalls", 1);
                     sync_load_ms = self.latency.load_ms(ReferenceModel::Yolov3Tiny);
                     requested
                 }
@@ -598,13 +640,21 @@ impl<'a> OnlineEngine<'a> {
             }
         }
         let detections = if executed.len() == 1 {
-            self.system.repository().model(used).detect(features, threshold)?
+            let probs = self
+                .system
+                .repository()
+                .model(used)
+                .detect_probs_ws(&self.row, &mut self.ws)?;
+            anole_detect::threshold_probs(probs.row(0), threshold)
         } else {
-            let row = anole_tensor::Matrix::row_vector(features);
             let mut fused: Vec<f32> = Vec::new();
             let mut weight_sum = 0.0f32;
             for &id in &executed {
-                let probs = self.system.repository().model(id).detect_probs(&row)?;
+                let probs = self
+                    .system
+                    .repository()
+                    .model(id)
+                    .detect_probs_ws(&self.row, &mut self.ws)?;
                 let w = smoothed[id].max(1e-6);
                 if fused.is_empty() {
                     fused = vec![0.0; probs.cols()];
@@ -664,7 +714,13 @@ impl<'a> OnlineEngine<'a> {
         injected: u32,
     ) -> Result<StepOutcome, AnoleError> {
         let threshold = self.system.config().detector.threshold;
-        let detections = self.system.repository().model(pinned).detect(features, threshold)?;
+        self.stage_row(features);
+        let probs = self
+            .system
+            .repository()
+            .model(pinned)
+            .detect_probs_ws(&self.row, &mut self.ws)?;
+        let detections = anole_detect::threshold_probs(probs.row(0), threshold);
         let latency_ms = self.latency.inference_ms(ReferenceModel::Yolov3Tiny, &mut self.rng);
         self.usage_log.push(pinned);
         self.total_latency_ms += latency_ms as f64;

@@ -15,4 +15,4 @@ pub use faults::{
 };
 pub use realtime::{run_realtime, FrameProcessor, RealTimeReport, TimedMethod};
 pub use switching::{scene_durations, SwitchStats};
-pub use telemetry::{Telemetry, TelemetryRecord};
+pub use telemetry::{Telemetry, TelemetryRecord, TelemetrySummary};

@@ -8,6 +8,7 @@
 //! them as CSV for offline analysis.
 
 use anole_detect::DetectionCounts;
+use anole_obs::FixedHistogram;
 use serde::{Deserialize, Serialize};
 
 use crate::omi::{HealthState, StepOutcome};
@@ -37,6 +38,11 @@ pub struct TelemetryRecord {
     pub fallback_depth: usize,
     /// Faults injected into this frame.
     pub faults: u32,
+    /// Id of the engine's `omi.engine.step` span that served this frame
+    /// (0 when observability is disabled), linking the record to the span
+    /// trace. Defaults to 0 when deserializing logs from older runs.
+    #[serde(default)]
+    pub span_id: u64,
     /// Per-frame F1 against ground truth, when truth was supplied.
     pub f1: Option<f32>,
 }
@@ -96,6 +102,7 @@ impl Telemetry {
             health: outcome.health,
             fallback_depth: outcome.fallback_depth,
             faults: outcome.faults,
+            span_id: anole_obs::last_root_span_id(),
             f1,
         });
     }
@@ -122,17 +129,21 @@ impl Telemetry {
         use std::fmt::Write as _;
 
         const HEADER: &str = "frame,requested,used,cache_hit,models_executed,latency_ms,\
-                              suitability,health,fallback_depth,faults,f1\n";
-        // Generous per-row estimate: ten numeric/enum fields plus separators
-        // stay well under this for realistic runs, so growth is rare.
-        const ROW_ESTIMATE: usize = 96;
+                              suitability,health,fallback_depth,faults,span_id,f1\n";
+        // Generous per-row estimate: eleven numeric/enum fields plus
+        // separators stay well under this for realistic runs, so growth is
+        // rare.
+        const ROW_ESTIMATE: usize = 112;
         let mut out = String::with_capacity(HEADER.len() + self.records.len() * ROW_ESTIMATE);
         out.push_str(HEADER);
         for r in &self.records {
+            // Floats use `{:?}` (shortest round-trip representation), so a
+            // parsed CSV reproduces the recorded values bit-for-bit instead
+            // of rounding to a fixed number of decimals.
             // Infallible for String; keep the row loop panic-free.
             let _ = write!(
                 out,
-                "{},{},{},{},{},{:.3},{:.4},{},{},{},",
+                "{},{},{},{},{},{:?},{:?},{},{},{},{},",
                 r.frame,
                 r.requested,
                 r.used,
@@ -143,32 +154,73 @@ impl Telemetry {
                 r.health,
                 r.fallback_depth,
                 r.faults,
+                r.span_id,
             );
             if let Some(f1) = r.f1 {
-                let _ = write!(out, "{f1:.4}");
+                let _ = write!(out, "{f1:?}");
             }
             out.push('\n');
         }
         out
     }
 
-    /// Aggregate summary over the log: `(mean latency, hit rate, mean F1)`.
-    /// All zeros for an empty log; mean F1 covers only scored frames.
-    pub fn summary(&self) -> (f32, f32, f32) {
+    /// Aggregate summary over the log. All-zero for an empty log; mean F1
+    /// covers only scored frames. Latency percentiles come from a
+    /// [`FixedHistogram`] over [`anole_obs::LATENCY_MS_BOUNDS`], so they are
+    /// bucket upper bounds — the same resolution the live
+    /// `omi.step.latency_ms` histogram exports.
+    pub fn summary(&self) -> TelemetrySummary {
         if self.records.is_empty() {
-            return (0.0, 0.0, 0.0);
+            return TelemetrySummary::default();
         }
         let n = self.records.len() as f32;
-        let latency = self.records.iter().map(|r| r.latency_ms).sum::<f32>() / n;
-        let hits = self.records.iter().filter(|r| r.cache_hit).count() as f32 / n;
+        let mut latency = FixedHistogram::new(anole_obs::LATENCY_MS_BOUNDS);
+        for r in &self.records {
+            latency.record(f64::from(r.latency_ms));
+        }
+        let mean_latency_ms = self.records.iter().map(|r| r.latency_ms).sum::<f32>() / n;
+        let hit_rate = self.records.iter().filter(|r| r.cache_hit).count() as f32 / n;
+        let mean_fallback_depth =
+            self.records.iter().map(|r| r.fallback_depth as f32).sum::<f32>() / n;
         let scored: Vec<f32> = self.records.iter().filter_map(|r| r.f1).collect();
-        let f1 = if scored.is_empty() {
+        let mean_f1 = if scored.is_empty() {
             0.0
         } else {
             scored.iter().sum::<f32>() / scored.len() as f32
         };
-        (latency, hits, f1)
+        TelemetrySummary {
+            frames: self.records.len(),
+            mean_latency_ms,
+            p50_latency_ms: latency.quantile(0.5),
+            p95_latency_ms: latency.quantile(0.95),
+            p99_latency_ms: latency.quantile(0.99),
+            hit_rate,
+            mean_fallback_depth,
+            mean_f1,
+        }
     }
+}
+
+/// Aggregates produced by [`Telemetry::summary`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Frames recorded.
+    pub frames: usize,
+    /// Mean end-to-end frame latency (ms).
+    pub mean_latency_ms: f32,
+    /// Median frame latency (ms), as a histogram bucket upper bound.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile frame latency (ms), as a bucket upper bound.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile frame latency (ms), as a bucket upper bound.
+    pub p99_latency_ms: f64,
+    /// Fraction of frames whose requested model was cache-resident.
+    pub hit_rate: f32,
+    /// Mean fallback-chain tier that served the frames (0 = always the
+    /// requested model).
+    pub mean_fallback_depth: f32,
+    /// Mean per-frame F1 over the scored frames (0 when none were scored).
+    pub mean_f1: f32,
 }
 
 #[cfg(test)]
@@ -196,16 +248,20 @@ mod tests {
         assert_eq!(telemetry.len(), 25);
         let csv = telemetry.to_csv();
         assert_eq!(csv.lines().count(), 26);
-        assert!(csv.lines().nth(1).unwrap().split(',').count() == 11);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 12);
         // A fault-free run stays healthy throughout.
         assert_eq!(telemetry.degraded_frames(), 0);
         assert_eq!(telemetry.fault_total(), 0);
         assert!(csv.lines().nth(1).unwrap().contains("healthy"));
 
-        let (latency, hit_rate, f1) = telemetry.summary();
-        assert!(latency > 0.0);
-        assert!((0.0..=1.0).contains(&hit_rate));
-        assert!((0.0..=1.0).contains(&f1));
+        let summary = telemetry.summary();
+        assert_eq!(summary.frames, 25);
+        assert!(summary.mean_latency_ms > 0.0);
+        assert!(summary.p50_latency_ms <= summary.p95_latency_ms);
+        assert!(summary.p95_latency_ms <= summary.p99_latency_ms);
+        assert!((0.0..=1.0).contains(&summary.hit_rate));
+        assert!((0.0..=1.0).contains(&summary.mean_f1));
+        assert!(summary.mean_fallback_depth >= 0.0);
         // Frame indices are sequential.
         for (i, r) in telemetry.records().iter().enumerate() {
             assert_eq!(r.frame, i);
@@ -233,12 +289,34 @@ mod tests {
         assert!(t.to_csv().lines().nth(1).unwrap().contains("degraded"));
         assert_eq!(t.degraded_frames(), 1);
         assert_eq!(t.fault_total(), 2);
-        let (_, _, f1) = t.summary();
-        assert_eq!(f1, 0.0);
+        assert_eq!(t.summary().mean_f1, 0.0);
     }
 
     #[test]
     fn empty_log_summary_is_zero() {
-        assert_eq!(Telemetry::new().summary(), (0.0, 0.0, 0.0));
+        assert_eq!(Telemetry::new().summary(), TelemetrySummary::default());
+    }
+
+    #[test]
+    fn csv_floats_round_trip() {
+        let outcome = StepOutcome {
+            requested: 0,
+            used: 0,
+            cache_hit: true,
+            detections: vec![true],
+            models_executed: 1,
+            latency_ms: 12.345_678,
+            suitability: 0.123_456_79,
+            health: HealthState::Healthy,
+            fallback_depth: 0,
+            faults: 0,
+        };
+        let mut t = Telemetry::new();
+        t.record(&outcome, Some(&[true]));
+        let row = t.to_csv().lines().nth(1).unwrap().to_string();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[5].parse::<f32>().unwrap(), outcome.latency_ms);
+        assert_eq!(cols[6].parse::<f32>().unwrap(), outcome.suitability);
+        assert_eq!(cols[11].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
     }
 }

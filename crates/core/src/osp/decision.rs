@@ -3,7 +3,7 @@
 
 use anole_data::{DrivingDataset, FrameRef};
 use anole_detect::{threshold_probs, ConfusionMatrix, DetectionCounts};
-use anole_nn::{softmax, Activation, Dense, Mlp, ModelProfile, ReferenceModel, Trainer};
+use anole_nn::{softmax, Activation, Dense, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
 use anole_tensor::{argmax, split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +86,8 @@ impl DecisionModel {
         config: &DecisionConfig,
         seed: Seed,
     ) -> Result<Self, AnoleError> {
+        let _span = anole_obs::span!("osp.tdm.train");
+        let t0 = anole_obs::now();
         let n_models = targets.cols();
         // Backbone: every scene-model layer except its classification head.
         let backbone: Vec<Dense> = scene_model.network().layers()
@@ -118,7 +120,22 @@ impl DecisionModel {
             (x.clone(), targets.clone())
         };
 
-        Trainer::new(config.train).fit_soft_classifier(&mut net, &x, &targets, split_seed(seed, 1))?;
+        let report = Trainer::new(config.train).fit_soft_classifier(
+            &mut net,
+            &x,
+            &targets,
+            split_seed(seed, 1),
+        )?;
+        let dt_ms = anole_obs::elapsed_ms(t0);
+        anole_obs::gauge_set!("osp.tdm.duration_ms", dt_ms);
+        anole_obs::gauge_set!("osp.tdm.final_loss", f64::from(report.final_loss));
+        anole_obs::counter_add!("osp.tdm.epochs", report.epochs_run as u64);
+        if dt_ms > 0.0 {
+            anole_obs::gauge_set!(
+                "osp.tdm.epochs_per_sec",
+                report.epochs_run as f64 / (dt_ms / 1000.0)
+            );
+        }
         Ok(Self { net, n_models })
     }
 
@@ -146,6 +163,21 @@ impl DecisionModel {
     /// Returns a width error if `x` does not match the feature dimension.
     pub fn suitability(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
         Ok(softmax(&self.net.forward(x)?))
+    }
+
+    /// Workspace-backed variant of [`DecisionModel::suitability`]:
+    /// bit-identical probabilities with zero steady-state allocations once
+    /// the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn suitability_ws<'w>(
+        &self,
+        x: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w Matrix, AnoleError> {
+        Ok(self.net.predict_proba_batch(x, ws)?)
     }
 
     /// Model ids of one frame ranked by decreasing suitability.

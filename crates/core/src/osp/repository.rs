@@ -57,6 +57,21 @@ impl CompressedModel {
         Ok(sigmoid(&self.net.forward(x)?))
     }
 
+    /// Workspace-backed variant of [`CompressedModel::detect_probs`]:
+    /// bit-identical probabilities with zero steady-state allocations once
+    /// the workspace is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn detect_probs_ws<'w>(
+        &self,
+        x: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w Matrix, AnoleError> {
+        Ok(self.net.predict_sigmoid_batch(x, ws)?)
+    }
+
     /// Thresholded detections for one frame.
     ///
     /// # Errors
@@ -147,6 +162,9 @@ impl ModelRepository {
         seed: Seed,
         mut recovery: Option<&mut TrainRecovery>,
     ) -> Result<Self, AnoleError> {
+        let _span = anole_obs::span!("osp.tcm.train");
+        let t0 = anole_obs::now();
+        let mut candidates_trained = 0usize;
         // Mean embedding per semantic scene class: the H_i of Algorithm 1.
         let class_count = scene_model.class_count();
         let x_train = dataset.features_matrix(train);
@@ -250,6 +268,8 @@ impl ModelRepository {
             let train_candidate = |c: &Candidate,
                                    ws: &mut Workspace|
              -> Result<(CompressedModel, f32), AnoleError> {
+                let _span = anole_obs::span!("osp.tcm.train_candidate");
+                anole_obs::counter_add!("osp.tcm.candidates_trained", 1);
                 let model_seed = split_seed(seed, 100 + level.k as u64 * 131 + c.cluster as u64);
                 let candidate = train_compressed(
                     dataset,
@@ -281,6 +301,7 @@ impl ModelRepository {
                 .enumerate()
                 .filter_map(|(i, s)| s.is_none().then_some(i))
                 .collect();
+            candidates_trained += misses.len();
 
             let threads = anole_tensor::parallel_config()
                 .effective_threads()
@@ -332,6 +353,7 @@ impl ModelRepository {
                     break;
                 }
                 if f1 > config.repository.delta {
+                    anole_obs::counter_add!("osp.tcm.candidates_accepted", 1);
                     accepted_groups.insert(candidate.origin.scenes.clone());
                     models.push(CompressedModel {
                         id: models.len(),
@@ -344,6 +366,14 @@ impl ModelRepository {
 
         if models.is_empty() {
             return Err(AnoleError::EmptyRepository);
+        }
+        let dt_ms = anole_obs::elapsed_ms(t0);
+        anole_obs::gauge_set!("osp.tcm.duration_ms", dt_ms);
+        if dt_ms > 0.0 {
+            anole_obs::gauge_set!(
+                "osp.tcm.candidates_per_sec",
+                candidates_trained as f64 / (dt_ms / 1000.0)
+            );
         }
         Ok(Self {
             models,

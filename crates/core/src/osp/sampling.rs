@@ -103,6 +103,8 @@ impl AdaptiveSampler {
         repository: &ModelRepository,
         seed: Seed,
     ) -> Result<SuitabilitySets, AnoleError> {
+        let _span = anole_obs::span!("osp.ass.collect");
+        let t0 = anole_obs::now();
         let sizes = repository.training_set_sizes();
         let mut scheduler = ThompsonSampler::new(&sizes, self.config.theta);
         let mut rng = rng_from_seed(seed);
@@ -138,6 +140,15 @@ impl AdaptiveSampler {
             }
         }
 
+        let rounds: usize = scheduler.counts().iter().sum();
+        anole_obs::counter_add!("osp.ass.rounds", rounds as u64);
+        anole_obs::counter_add!("osp.ass.accepted", samples.len() as u64);
+        anole_obs::counter_add!("osp.ass.rejected", rejected as u64);
+        let dt_ms = anole_obs::elapsed_ms(t0);
+        anole_obs::gauge_set!("osp.ass.duration_ms", dt_ms);
+        if dt_ms > 0.0 {
+            anole_obs::gauge_set!("osp.ass.rounds_per_sec", rounds as f64 / (dt_ms / 1000.0));
+        }
         Ok(SuitabilitySets {
             samples,
             memberships,

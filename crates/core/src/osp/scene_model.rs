@@ -39,6 +39,9 @@ impl SceneModel {
         config: &SceneModelConfig,
         seed: Seed,
     ) -> Result<Self, AnoleError> {
+        let _span = anole_obs::span!("osp.scene.train");
+        let t0 = anole_obs::now();
+        anole_obs::counter_add!("osp.scene.frames", refs.len() as u64);
         let semantic = dataset.scene_indices(refs);
         let mut present: Vec<usize> = semantic.clone();
         present.sort_unstable();
@@ -68,6 +71,14 @@ impl SceneModel {
             anole_tensor::split_seed(seed, 1),
         )?;
 
+        let dt_ms = anole_obs::elapsed_ms(t0);
+        anole_obs::gauge_set!("osp.scene.duration_ms", dt_ms);
+        if dt_ms > 0.0 {
+            anole_obs::gauge_set!(
+                "osp.scene.frames_per_sec",
+                refs.len() as f64 / (dt_ms / 1000.0)
+            );
+        }
         Ok(Self {
             net,
             scene_of_class: present,

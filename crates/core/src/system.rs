@@ -71,6 +71,8 @@ impl AnoleSystem {
         seed: Seed,
         mut recovery: Option<&mut TrainRecovery>,
     ) -> Result<Self, AnoleError> {
+        let _span = anole_obs::span!("osp.train");
+        anole_obs::counter_add!("osp.train.runs", 1);
         let split = dataset.split();
         // Each stage: reload a valid checkpoint, or train and checkpoint.
         // The abort point sits *after* the save, so an injected kill always

@@ -83,5 +83,10 @@ pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
     let result = f();
     let after = COUNT.get();
     TRACKING.set(was_tracking);
-    (result, after - before)
+    let allocs = after - before;
+    // Bridge into the observability layer (no-op unless `obs` is enabled)
+    // so alloc regressions show up next to the rest of the metrics. Counted
+    // outside the bracket so the counter's own bookkeeping is not billed.
+    anole_obs::counter_add!("nn.alloc.measured_allocs", allocs);
+    (result, allocs)
 }

@@ -4,7 +4,7 @@
 use anole_tensor::{rng_from_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
-use crate::workspace::BatchWorkspace;
+use crate::workspace::{BatchWorkspace, Workspace};
 use crate::{Activation, Dense, NnError};
 
 /// A feed-forward network of dense layers.
@@ -352,6 +352,74 @@ impl Mlp {
             .map(|i| anole_tensor::argmax(logits.row(i)).expect("non-empty row"))
             .collect())
     }
+
+    /// Workspace-backed batch forward for serving: stages `x` into `ws`,
+    /// runs [`Mlp::forward_ws`], and returns the logits still owned by the
+    /// workspace. Allocation-free once `ws` is warm for this model shape,
+    /// and bit-identical to [`Mlp::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidth`] when `x` has the wrong width.
+    pub fn predict_batch<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> Result<&'w Matrix, NnError> {
+        let main = &mut ws.main;
+        main.x.copy_from(x);
+        self.forward_ws(main)?;
+        Ok(main.logits())
+    }
+
+    /// Workspace-backed [`Mlp::predict_proba`]: row-wise softmax of the
+    /// logits, written into the workspace's inference buffer. Bit-identical
+    /// to the allocating path and allocation-free once warm.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anole_nn::{Activation, Mlp, Workspace};
+    /// use anole_tensor::{Matrix, Seed};
+    ///
+    /// let model = Mlp::builder(4).hidden(8, Activation::Relu).output(3).build(Seed(0));
+    /// let x = Matrix::zeros(2, 4);
+    /// let mut ws = Workspace::new();
+    /// let from_ws = model.predict_proba_batch(&x, &mut ws)?.clone();
+    /// assert_eq!(from_ws, model.predict_proba(&x)?);
+    /// # Ok::<(), anole_nn::NnError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidth`] when `x` has the wrong width.
+    pub fn predict_proba_batch<'w>(
+        &self,
+        x: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w Matrix, NnError> {
+        let main = &mut ws.main;
+        main.x.copy_from(x);
+        self.forward_ws(main)?;
+        crate::softmax_into(main.logits(), &mut ws.infer_out);
+        Ok(&ws.infer_out)
+    }
+
+    /// Workspace-backed element-wise sigmoid of the logits (the detector
+    /// heads' activation), written into the workspace's inference buffer.
+    /// Bit-identical to `sigmoid(&self.forward(x)?)` and allocation-free
+    /// once warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InputWidth`] when `x` has the wrong width.
+    pub fn predict_sigmoid_batch<'w>(
+        &self,
+        x: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> Result<&'w Matrix, NnError> {
+        let main = &mut ws.main;
+        main.x.copy_from(x);
+        self.forward_ws(main)?;
+        crate::sigmoid_into(main.logits(), &mut ws.infer_out);
+        Ok(&ws.infer_out)
+    }
 }
 
 #[cfg(test)]
@@ -477,6 +545,45 @@ mod tests {
     fn wrong_input_width_is_reported() {
         let m = model();
         let err = m.forward(&Matrix::zeros(1, 7)).unwrap_err();
+        assert!(matches!(err, NnError::InputWidth { expected: 3, actual: 7 }));
+    }
+
+    #[test]
+    fn workspace_serving_paths_match_allocating_paths() {
+        let m = model();
+        let x = Matrix::random_normal(6, 3, 1.0, &mut rng_from_seed(Seed(9)));
+        let mut ws = Workspace::new();
+        let logits = m.forward(&x).unwrap();
+        assert_eq!(m.predict_batch(&x, &mut ws).unwrap(), &logits);
+        let proba = m.predict_proba(&x).unwrap();
+        assert_eq!(m.predict_proba_batch(&x, &mut ws).unwrap(), &proba);
+        let sig = crate::sigmoid(&logits);
+        assert_eq!(m.predict_sigmoid_batch(&x, &mut ws).unwrap(), &sig);
+    }
+
+    #[test]
+    fn one_workspace_serves_models_of_different_shapes() {
+        let a = model();
+        let b = Mlp::builder(5)
+            .hidden(7, Activation::Relu)
+            .output(4)
+            .build(Seed(11));
+        let xa = Matrix::random_normal(2, 3, 1.0, &mut rng_from_seed(Seed(12)));
+        let xb = Matrix::random_normal(3, 5, 1.0, &mut rng_from_seed(Seed(13)));
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let pa = a.predict_proba(&xa).unwrap();
+            assert_eq!(a.predict_proba_batch(&xa, &mut ws).unwrap(), &pa);
+            let pb = b.predict_proba(&xb).unwrap();
+            assert_eq!(b.predict_proba_batch(&xb, &mut ws).unwrap(), &pb);
+        }
+    }
+
+    #[test]
+    fn workspace_serving_reports_wrong_width() {
+        let m = model();
+        let mut ws = Workspace::new();
+        let err = m.predict_batch(&Matrix::zeros(1, 7), &mut ws).unwrap_err();
         assert!(matches!(err, NnError::InputWidth { expected: 3, actual: 7 }));
     }
 }

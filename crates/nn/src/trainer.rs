@@ -270,12 +270,15 @@ impl Trainer {
         src: LossSource<'_>,
         ws: &mut Workspace,
     ) -> Result<TrainReport, NnError> {
+        let _span = anole_obs::span!("nn.trainer.fit");
+        anole_obs::counter_add!("nn.train.runs", 1);
         let mut rng = rng_from_seed(seed);
         let mut optimizer = self.config.optimizer.build();
         let n = x.rows();
         let batch = self.config.batch_size.clamp(1, n);
         let mut order: Vec<usize> = (0..n).collect();
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut last_chunked = false;
 
         for _ in 0..self.config.epochs {
             order.shuffle(&mut rng);
@@ -283,6 +286,7 @@ impl Trainer {
             let mut batches = 0;
             for chunk in order.chunks(batch) {
                 let use_chunked = chunk.len() >= 2 * GRAD_CHUNK_ROWS;
+                last_chunked = use_chunked;
                 let loss = if use_chunked {
                     accumulate_grads_chunked_ws(model, x, chunk, src, ws)?
                 } else {
@@ -311,6 +315,19 @@ impl Trainer {
             }
             let mean_loss = epoch_loss / batches.max(1) as f32;
             epoch_losses.push(mean_loss);
+            anole_obs::counter_add!("nn.train.epochs", 1);
+            anole_obs::counter_add!("nn.train.batches", batches as u64);
+            anole_obs::gauge_set!("nn.train.epoch_loss", f64::from(mean_loss));
+            if anole_obs::enabled() {
+                // Gradient norm of the epoch's last batch — purely
+                // observational, never fed back into training.
+                let grads = if last_chunked {
+                    &ws.chunks[0].grads
+                } else {
+                    &ws.main.grads
+                };
+                anole_obs::gauge_set!("nn.train.grad_norm", grad_frobenius_norm(grads));
+            }
             if self.config.target_loss > 0.0 && mean_loss < self.config.target_loss {
                 break;
             }
@@ -323,6 +340,22 @@ impl Trainer {
             final_loss,
         })
     }
+}
+
+/// Frobenius norm over every `(d_weights, d_bias)` pair, accumulated in f64.
+/// Only evaluated when observability is enabled (feeds the
+/// `nn.train.grad_norm` gauge); never part of the training computation.
+fn grad_frobenius_norm(grads: &[(Matrix, Matrix)]) -> f64 {
+    let mut sum = 0.0f64;
+    for (dw, db) in grads {
+        for &v in dw.as_slice() {
+            sum += f64::from(v) * f64::from(v);
+        }
+        for &v in db.as_slice() {
+            sum += f64::from(v) * f64::from(v);
+        }
+    }
+    sum.sqrt()
 }
 
 /// Loss and per-layer gradients (left in `bws.grads`) of one fixed-size

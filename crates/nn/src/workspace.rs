@@ -119,11 +119,17 @@ pub struct Workspace {
     pub(crate) chunks: Vec<BatchWorkspace>,
     /// Per-chunk pre-scaled losses, reduced alongside the gradients.
     pub(crate) chunk_losses: Vec<f32>,
+    /// Output buffer for the workspace-backed serving paths
+    /// ([`Mlp::predict_proba_batch`](crate::Mlp::predict_proba_batch) and
+    /// friends): softmax/sigmoid results land here so inference allocates
+    /// nothing once warm.
+    pub(crate) infer_out: Matrix,
 }
 
 impl Workspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
+        anole_obs::counter_add!("nn.workspace.created", 1);
         Self::default()
     }
 

@@ -64,6 +64,37 @@ fn multilabel_allocs(epochs: usize, batch_size: usize, ws: &mut Workspace, x: &M
 }
 
 #[test]
+fn warm_workspace_serving_allocates_nothing() {
+    set_parallel_config(ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    });
+    let (x, _, _) = dataset(64, 7, 3);
+    let model = build_model();
+    let mut ws = Workspace::new();
+
+    // Warm up every buffer the serving paths touch, then the steady state
+    // must be allocation-free no matter how many calls follow.
+    model.predict_proba_batch(&x, &mut ws).unwrap();
+    model.predict_sigmoid_batch(&x, &mut ws).unwrap();
+    let (_, allocs) = measure(|| {
+        for _ in 0..8 {
+            model.predict_batch(&x, &mut ws).unwrap();
+            model.predict_proba_batch(&x, &mut ws).unwrap();
+            model.predict_sigmoid_batch(&x, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "warm workspace serving allocated {allocs} times");
+
+    // The allocating reference path really does hit the heap, so the
+    // counter is live and the workspace variant is a measured win.
+    let (_, ref_allocs) = measure(|| {
+        model.predict_proba(&x).unwrap();
+    });
+    assert!(ref_allocs > 0, "reference path should allocate");
+}
+
+#[test]
 fn steady_state_mini_batches_allocate_nothing() {
     set_parallel_config(ParallelConfig {
         threads: 1,

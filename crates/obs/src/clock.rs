@@ -1,0 +1,84 @@
+//! Injectable time sources for span timing.
+//!
+//! Spans never read the wall clock directly: they ask the registry's
+//! installed [`Clock`] for a `u64` tick. Production uses [`MonotonicClock`]
+//! (nanoseconds since process start); deterministic tests install a
+//! [`TickClock`] so traces are bit-stable across runs and machines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic tick source. Ticks are opaque `u64`s; only differences are
+/// meaningful. Implementations must be cheap and thread-safe.
+pub trait Clock: Send + Sync {
+    /// Current tick. Must be monotonically non-decreasing per thread.
+    fn now(&self) -> u64;
+}
+
+/// Wall-clock-backed monotonic source: nanoseconds since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic tick source: every `now()` call returns the next integer.
+/// With a `TickClock` installed, span enter/exit ticks depend only on the
+/// order of clock reads, so single-threaded traces are bit-identical across
+/// runs.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    next: AtomicU64,
+}
+
+impl TickClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for TickClock {
+    fn now(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_non_decreasing() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn tick_clock_counts_up_from_zero() {
+        let c = TickClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! No-op mirror of the registry API, compiled when the `enabled` feature is
+//! off. Every function is an inline empty body and every site type is
+//! zero-sized, so instrumented call sites cost nothing: no allocation, no
+//! atomics, no branches — engine and trainer outputs stay bit-identical to
+//! an uninstrumented build.
+
+use crate::clock::Clock;
+use crate::snapshot::MetricsSnapshot;
+
+/// Always `false` in this build: the `enabled` feature is off.
+pub const fn enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub fn counter_add(_name: &'static str, _v: u64) {}
+
+#[inline(always)]
+pub fn gauge_set(_name: &'static str, _v: f64) {}
+
+#[inline(always)]
+pub fn histogram_record(_name: &'static str, _bounds: &'static [f64], _v: f64) {}
+
+/// Zero-sized stand-in for the real RAII span guard.
+#[derive(Debug)]
+pub struct SpanGuard;
+
+impl SpanGuard {
+    pub fn id(&self) -> u64 {
+        0
+    }
+}
+
+#[inline(always)]
+pub fn span_enter(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+#[inline(always)]
+pub fn last_root_span_id() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub fn now() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub fn elapsed_ms(_t0: u64) -> f64 {
+    0.0
+}
+
+pub fn set_clock(_clock: Box<dyn Clock>) {}
+
+pub fn reset() {}
+
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot::default()
+}
+
+pub fn to_prometheus() -> String {
+    snapshot().to_prometheus()
+}
+
+pub fn to_json() -> String {
+    snapshot().to_json()
+}
+
+pub fn render_trace() -> String {
+    snapshot().render_trace()
+}
+
+#[derive(Debug, Default)]
+pub struct CounterSite;
+
+impl CounterSite {
+    pub const fn new() -> Self {
+        Self
+    }
+
+    #[inline(always)]
+    pub fn add(&self, _name: &'static str, _v: u64) {}
+}
+
+#[derive(Debug, Default)]
+pub struct GaugeSite;
+
+impl GaugeSite {
+    pub const fn new() -> Self {
+        Self
+    }
+
+    #[inline(always)]
+    pub fn set(&self, _name: &'static str, _v: f64) {}
+}
+
+#[derive(Debug, Default)]
+pub struct HistogramSite;
+
+impl HistogramSite {
+    pub const fn new() -> Self {
+        Self
+    }
+
+    #[inline(always)]
+    pub fn record(&self, _name: &'static str, _bounds: &'static [f64], _v: f64) {}
+}

@@ -1,0 +1,340 @@
+//! Plain-data metric types and exporters.
+//!
+//! Everything in this module is compiled regardless of the `enabled`
+//! feature: [`FixedHistogram`] doubles as the merge target for the sharded
+//! atomic histograms *and* as a standalone quantile estimator (used by
+//! `Telemetry::summary` in `anole-core`), and [`MetricsSnapshot`] is the
+//! serde-serializable export format shared by the JSON, Prometheus, and
+//! trace renderers.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Convert a metric value to integer micro-units. Histogram sums are stored
+/// as `i64` micro-units so concurrent accumulation is associative (integer
+/// addition commutes) and snapshots are deterministic across thread counts.
+pub fn to_micros(v: f64) -> i64 {
+    (v * 1e6).round() as i64
+}
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// plus one implicit overflow bucket. Counts and the micro-unit sum are plain
+/// integers, so merging shards (or telemetry records) in any order yields the
+/// same result bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum_micros: i64,
+}
+
+impl FixedHistogram {
+    /// Build an empty histogram. `bounds` must be finite and strictly
+    /// ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum_micros: 0,
+        }
+    }
+
+    /// Reassemble a histogram from raw bucket counts (e.g. merged atomic
+    /// shards). `counts` must have `bounds.len() + 1` entries.
+    pub fn from_parts(bounds: &[f64], counts: Vec<u64>, sum_micros: i64) -> Self {
+        assert_eq!(counts.len(), bounds.len() + 1, "bucket count mismatch");
+        let count = counts.iter().sum();
+        Self {
+            bounds: bounds.to_vec(),
+            counts,
+            count,
+            sum_micros,
+        }
+    }
+
+    /// Index of the bucket receiving `v` under `le` (inclusive upper bound)
+    /// semantics; `bounds.len()` is the overflow bucket.
+    pub fn bucket_index(bounds: &[f64], v: f64) -> usize {
+        bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+    }
+
+    pub fn record(&mut self, v: f64) {
+        let i = Self::bucket_index(&self.bounds, v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum_micros += to_micros(v);
+    }
+
+    /// Merge another histogram into this one. Returns `false` (and leaves
+    /// `self` untouched) when the bucket layouts differ.
+    pub fn merge(&mut self, other: &FixedHistogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        true
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum_micros as f64 / 1e6
+    }
+
+    pub fn sum_micros(&self) -> i64 {
+        self.sum_micros
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum() / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// rank-`ceil(q * count)` observation (values in the overflow bucket
+    /// report the last finite bound). Coarse by construction but
+    /// deterministic and monotone in `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds[i.min(self.bounds.len() - 1)];
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    pub name: String,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    pub name: String,
+    pub value: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    pub name: String,
+    pub histogram: FixedHistogram,
+}
+
+/// One span assembled from the enter/exit event ring. `exit_tick` is `None`
+/// for spans still open (or whose exit had not been recorded) at snapshot
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanSample {
+    pub id: u64,
+    /// 0 when the span is a root (no enclosing span on its thread).
+    pub parent: u64,
+    pub name: String,
+    pub depth: u32,
+    pub enter_tick: u64,
+    pub exit_tick: Option<u64>,
+}
+
+/// Point-in-time export of the whole registry: every counter, gauge, and
+/// histogram (sorted by name) plus the spans currently held in the bounded
+/// event ring.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+    pub spans: Vec<SpanSample>,
+    /// Enter/exit events evicted from the bounded ring before this snapshot.
+    pub dropped_span_events: u64,
+}
+
+impl MetricsSnapshot {
+    /// Distinct metric names (counters + gauges + histograms), sorted.
+    pub fn metric_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.gauges.iter().map(|g| g.name.as_str()))
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Pretty-printed JSON export (exact serde round-trip of `self`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("metrics snapshot serializes")
+    }
+
+    /// Prometheus text exposition format. Metric names have `.`/`-`
+    /// replaced with `_`; histograms emit cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let n = prom_name(&c.name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {}", c.value);
+        }
+        for g in &self.gauges {
+            let n = prom_name(&g.name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.value);
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (i, &b) in h.histogram.bounds().iter().enumerate() {
+                cumulative += h.histogram.counts()[i];
+                let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cumulative}");
+            }
+            cumulative += h.histogram.counts().last().copied().unwrap_or(0);
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{n}_sum {}", h.histogram.sum());
+            let _ = writeln!(out, "{n}_count {cumulative}");
+        }
+        out
+    }
+
+    /// Compact flamegraph-style text rendering of the span ring: one line
+    /// per span, indented two spaces per nesting level, sorted by enter
+    /// tick (ties broken by span id).
+    pub fn render_trace(&self) -> String {
+        let mut spans: Vec<&SpanSample> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (s.enter_tick, s.id));
+        let mut out = format!(
+            "# trace: {} spans (dropped events: {})\n",
+            spans.len(),
+            self.dropped_span_events
+        );
+        for s in spans {
+            let indent = "  ".repeat(s.depth as usize);
+            match s.exit_tick {
+                Some(exit) => {
+                    let _ = writeln!(
+                        out,
+                        "{indent}{} id={} parent={} ticks={}",
+                        s.name,
+                        s.id,
+                        s.parent,
+                        exit.saturating_sub(s.enter_tick)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{indent}{} id={} parent={} open",
+                        s.name, s.id, s.parent
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_uses_inclusive_upper_bounds() {
+        let bounds = [1.0, 2.0, 5.0];
+        assert_eq!(FixedHistogram::bucket_index(&bounds, 0.5), 0);
+        assert_eq!(FixedHistogram::bucket_index(&bounds, 1.0), 0);
+        assert_eq!(FixedHistogram::bucket_index(&bounds, 1.5), 1);
+        assert_eq!(FixedHistogram::bucket_index(&bounds, 5.0), 2);
+        assert_eq!(FixedHistogram::bucket_index(&bounds, 5.1), 3);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = FixedHistogram::new(&[1.0, 2.0, 5.0, 10.0]);
+        for _ in 0..50 {
+            h.record(0.5);
+        }
+        for _ in 0..45 {
+            h.record(1.5);
+        }
+        for _ in 0..5 {
+            h.record(7.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.95), 2.0);
+        assert_eq!(h.quantile(0.99), 10.0);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = FixedHistogram::new(&[1.0, 2.0]);
+        let b = FixedHistogram::new(&[1.0, 3.0]);
+        assert!(!a.merge(&b));
+        let mut c = FixedHistogram::new(&[1.0, 2.0]);
+        c.record(0.5);
+        assert!(a.merge(&c));
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let mut h = FixedHistogram::new(&[1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(9.0);
+        let snap = MetricsSnapshot {
+            histograms: vec![HistogramSample {
+                name: "omi.step.latency_ms".into(),
+                histogram: h,
+            }],
+            ..MetricsSnapshot::default()
+        };
+        let text = snap.to_prometheus();
+        assert!(text.contains("omi_step_latency_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("omi_step_latency_ms_bucket{le=\"2\"} 2"));
+        assert!(text.contains("omi_step_latency_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("omi_step_latency_ms_count 3"));
+    }
+}

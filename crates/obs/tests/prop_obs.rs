@@ -1,0 +1,155 @@
+//! Property tests for the live registry (`enabled` feature):
+//!
+//! - sharded histogram accumulation is deterministic across thread counts;
+//! - every span enter has a matching exit, with consistent parent/depth;
+//! - the JSON metrics snapshot round-trips through serde exactly.
+//!
+//! The registry is process-global, so every test serializes on one lock.
+
+#![cfg(feature = "enabled")]
+
+use std::sync::Mutex;
+
+use anole_obs::{FixedHistogram, MetricsSnapshot, MonotonicClock, TickClock};
+use proptest::prelude::*;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+const COUNTER_NAMES: [&str; 3] = ["prop.c0", "prop.c1", "prop.c2"];
+const GAUGE_NAMES: [&str; 2] = ["prop.g0", "prop.g1"];
+
+fn nest(depth: usize) {
+    let _s = anole_obs::span!("prop.span");
+    if depth > 1 {
+        nest(depth - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_histogram_is_deterministic_across_thread_counts(
+        values in prop::collection::vec(0.0f64..120.0, 1..200),
+    ) {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        static BOUNDS: &[f64] = &[1.0, 5.0, 25.0, 100.0];
+        let mut reference = FixedHistogram::new(BOUNDS);
+        for &v in &values {
+            reference.record(v);
+        }
+        for threads in [1usize, 2, 4] {
+            anole_obs::reset();
+            let h = anole_obs::histogram("prop.hist", BOUNDS);
+            let chunk_len = values.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for chunk in values.chunks(chunk_len) {
+                    scope.spawn(move || {
+                        for &v in chunk {
+                            h.record(v);
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(&h.merged(), &reference);
+        }
+        anole_obs::reset();
+    }
+
+    #[test]
+    fn span_enter_exit_events_balance(
+        depths in prop::collection::vec(1usize..6, 1..40),
+    ) {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        anole_obs::reset();
+        anole_obs::set_clock(Box::new(TickClock::new()));
+        for &d in &depths {
+            nest(d);
+        }
+        let snap = anole_obs::snapshot();
+        let total: usize = depths.iter().sum();
+        prop_assert_eq!(snap.spans.len(), total);
+        for s in &snap.spans {
+            // Every enter has an exit, exits never precede enters.
+            prop_assert!(s.exit_tick.is_some());
+            prop_assert!(s.exit_tick.unwrap() >= s.enter_tick);
+            if s.depth == 0 {
+                prop_assert_eq!(s.parent, 0);
+            } else {
+                prop_assert!(s.parent != 0);
+                prop_assert!(s.parent < s.id);
+            }
+        }
+        // The trace renders one header plus one line per span.
+        let trace = snap.render_trace();
+        prop_assert_eq!(trace.lines().count(), total + 1);
+        anole_obs::set_clock(Box::new(MonotonicClock::new()));
+        anole_obs::reset();
+    }
+
+    #[test]
+    fn metrics_snapshot_json_round_trips(
+        counter_vals in prop::collection::vec(0u64..1000, 1..8),
+        gauge_vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..8),
+        hist_vals in prop::collection::vec(0.0f64..300.0, 0..50),
+    ) {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        anole_obs::reset();
+        anole_obs::set_clock(Box::new(TickClock::new()));
+        {
+            let _root = anole_obs::span!("prop.root");
+            let _child = anole_obs::span!("prop.child");
+        }
+        for (i, &v) in counter_vals.iter().enumerate() {
+            anole_obs::counter_add(COUNTER_NAMES[i % COUNTER_NAMES.len()], v);
+        }
+        for (i, &v) in gauge_vals.iter().enumerate() {
+            anole_obs::gauge_set(GAUGE_NAMES[i % GAUGE_NAMES.len()], v);
+        }
+        for &v in &hist_vals {
+            anole_obs::histogram_record("prop.h", anole_obs::LATENCY_MS_BOUNDS, v);
+        }
+        let snap = anole_obs::snapshot();
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, snap);
+        anole_obs::set_clock(Box::new(MonotonicClock::new()));
+        anole_obs::reset();
+    }
+}
+
+#[test]
+fn span_ring_is_bounded_and_counts_drops() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    anole_obs::reset();
+    // 5000 spans emit 10000 events into an 8192-slot ring.
+    for _ in 0..5000 {
+        let _s = anole_obs::span!("prop.flood");
+    }
+    let snap = anole_obs::snapshot();
+    assert!(snap.dropped_span_events > 0, "ring should have evicted events");
+    assert!(
+        snap.spans.len() < 5000,
+        "assembled spans must reflect the bounded ring"
+    );
+    anole_obs::reset();
+}
+
+#[test]
+fn last_root_span_id_tracks_completed_roots() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    anole_obs::reset();
+    assert_eq!(anole_obs::last_root_span_id(), 0);
+    let first = {
+        let root = anole_obs::span!("prop.rootspan");
+        let id = root.id();
+        let _inner = anole_obs::span!("prop.innerspan");
+        id
+    };
+    assert_eq!(anole_obs::last_root_span_id(), first);
+    {
+        let _again = anole_obs::span!("prop.rootspan");
+    }
+    assert!(anole_obs::last_root_span_id() > first);
+    anole_obs::reset();
+}

@@ -140,9 +140,11 @@ where
     }
     let threads = threads.clamp(1, rows);
     if threads == 1 {
+        anole_obs::counter_add!("tensor.parallel.serial_runs", 1);
         f(0..rows, out);
         return;
     }
+    anole_obs::counter_add!("tensor.parallel.fanouts", 1);
     let chunk_rows = rows.div_ceil(threads);
     std::thread::scope(|scope| {
         let f = &f;
@@ -191,9 +193,11 @@ pub fn for_each_row_chunk_n<T, F, const N: usize>(
     }
     let threads = threads.clamp(1, rows);
     if threads == 1 {
+        anole_obs::counter_add!("tensor.parallel.serial_runs", 1);
         f(0..rows, outs);
         return;
     }
+    anole_obs::counter_add!("tensor.parallel.fanouts", 1);
     let chunk_rows = rows.div_ceil(threads);
     std::thread::scope(|scope| {
         let f = &f;

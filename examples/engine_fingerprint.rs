@@ -1,0 +1,57 @@
+//! Deterministic fingerprint of a full train + serve run, for differential
+//! testing: the printed output must be byte-identical whether or not the
+//! `obs` feature is enabled (the observability layer is strictly passive).
+//!
+//! ```text
+//! cargo run --release --example engine_fingerprint > without.txt
+//! cargo run --release --example engine_fingerprint --features obs > with.txt
+//! diff without.txt with.txt
+//! ```
+
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset};
+use anole::device::DeviceKind;
+use anole::tensor::Seed;
+
+/// FNV-1a over a byte stream: dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(1));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(2))?;
+    println!("system_hash {:016x}", fnv1a(serde_json::to_string(&system)?.as_bytes()));
+
+    let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(3));
+    engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+    let split = dataset.split();
+    let mut outcome_bytes = Vec::new();
+    for (i, &r) in split.test.iter().take(200).enumerate() {
+        let outcome = engine.step(&dataset.frame(r).features)?;
+        if i < 5 {
+            println!(
+                "frame {i}: requested={} used={} hit={} depth={} latency={:?}",
+                outcome.requested,
+                outcome.used,
+                outcome.cache_hit,
+                outcome.fallback_depth,
+                outcome.latency_ms
+            );
+        }
+        outcome_bytes.extend_from_slice(serde_json::to_string(&outcome)?.as_bytes());
+    }
+    println!("outcomes_hash {:016x}", fnv1a(&outcome_bytes));
+    println!(
+        "mean_latency_ms {:?} cache {} usage_hash {:016x}",
+        engine.mean_latency_ms(),
+        engine.cache_stats(),
+        fnv1a(&engine.usage_log().iter().flat_map(|u| u.to_le_bytes()).collect::<Vec<u8>>())
+    );
+    Ok(())
+}

@@ -4,6 +4,9 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `--features obs` the run additionally prints a metrics/span summary
+//! collected by the observability layer (see `docs/observability.md`).
 
 use anole::core::omi::Telemetry;
 use anole::core::{AnoleConfig, AnoleSystem};
@@ -57,9 +60,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.cache_stats(),
         engine.hedge_rate()
     );
+    let summary = telemetry.summary();
+    println!(
+        "latency p50/p95/p99 {:.2}/{:.2}/{:.2} ms | hit rate {:.2} | mean fallback depth {:.2}",
+        summary.p50_latency_ms,
+        summary.p95_latency_ms,
+        summary.p99_latency_ms,
+        summary.hit_rate,
+        summary.mean_fallback_depth
+    );
     println!("\nfirst telemetry rows (full CSV available via Telemetry::to_csv):");
     for line in telemetry.to_csv().lines().take(4) {
         println!("  {line}");
+    }
+
+    // 4. Observability: a no-op unless built with `--features obs`.
+    if anole::obs::enabled() {
+        let snap = anole::obs::snapshot();
+        println!(
+            "\nobservability: {} distinct metrics, {} spans recorded",
+            snap.metric_names().len(),
+            snap.spans.len()
+        );
+        for name in snap.metric_names() {
+            println!("  {name}");
+        }
+        println!("(JSON snapshot via anole::obs::to_json(), trace via anole::obs::render_trace())");
     }
     Ok(())
 }

@@ -21,4 +21,5 @@ pub use anole_data as data;
 pub use anole_detect as detect;
 pub use anole_device as device;
 pub use anole_nn as nn;
+pub use anole_obs as obs;
 pub use anole_tensor as tensor;

@@ -1,0 +1,91 @@
+//! End-to-end acceptance of the observability layer (runs only with
+//! `--features obs`): one full train + serve run must populate metrics from
+//! every OSP stage, the cache, and the online engine, produce a non-empty
+//! span trace, and link telemetry records to engine-step spans.
+#![cfg(feature = "obs")]
+
+use anole::core::omi::Telemetry;
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset};
+use anole::device::DeviceKind;
+use anole::obs::{MetricsSnapshot, TickClock};
+use anole::tensor::Seed;
+
+#[test]
+fn full_run_populates_metrics_spans_and_telemetry_links() {
+    anole::obs::reset();
+    // Deterministic ticks instead of wall-clock: span timings in this test
+    // depend only on the number of clock reads.
+    anole::obs::set_clock(Box::new(TickClock::default()));
+
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(1));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(2)).unwrap();
+
+    let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(3));
+    engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+    let split = dataset.split();
+    let mut telemetry = Telemetry::new();
+    for &r in split.test.iter().take(50) {
+        let frame = dataset.frame(r);
+        let outcome = engine.step(&frame.features).unwrap();
+        telemetry.record(&outcome, Some(&frame.truth));
+    }
+
+    let snap = anole::obs::snapshot();
+    let names = snap.metric_names();
+
+    // The acceptance gate: at least 12 distinct metrics spanning all four
+    // OSP stages plus the cache and the engine.
+    assert!(
+        names.len() >= 12,
+        "expected >= 12 distinct metrics, got {}: {names:?}"
+    );
+    for prefix in ["osp.scene.", "osp.tcm.", "osp.ass.", "osp.tdm.", "cache.", "omi.", "nn."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no metric with prefix {prefix:?} in {names:?}"
+        );
+    }
+
+    // Specific signals from each subsystem.
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert!(counter("osp.tcm.candidates_trained") >= counter("osp.tcm.candidates_accepted"));
+    assert!(counter("osp.ass.rounds") > 0);
+    assert!(counter("nn.train.epochs") > 0);
+    assert_eq!(counter("omi.step.frames"), 50);
+    assert!(counter("cache.hits") + counter("cache.misses") >= 50);
+
+    // The engine's latency histogram saw every frame.
+    let latency = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "omi.step.latency_ms")
+        .expect("latency histogram");
+    assert_eq!(latency.histogram.count(), 50);
+
+    // Spans: a non-empty hierarchical trace with the stage taxonomy.
+    assert!(!snap.spans.is_empty());
+    let trace = anole::obs::render_trace();
+    for span_name in ["osp.train", "osp.tcm.train", "nn.trainer.fit", "omi.engine.step"] {
+        assert!(trace.contains(span_name), "trace missing {span_name}:\n{trace}");
+    }
+
+    // Telemetry records link back to the engine-step spans.
+    assert!(telemetry.records().iter().all(|r| r.span_id > 0));
+    let mut span_ids: Vec<u64> = telemetry.records().iter().map(|r| r.span_id).collect();
+    span_ids.dedup();
+    assert_eq!(span_ids.len(), 50, "each frame gets its own step span");
+
+    // The JSON export round-trips losslessly.
+    let parsed: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+    assert_eq!(parsed, snap);
+
+    // Restore the default clock for any later test in this binary.
+    anole::obs::set_clock(Box::new(anole::obs::MonotonicClock::default()));
+}
