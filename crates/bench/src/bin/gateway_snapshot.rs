@@ -1,0 +1,192 @@
+//! `gateway_snapshot` — fleet-gateway throughput benchmark, written to
+//! `BENCH_gateway.json`.
+//!
+//! Trains a fast Anole system, then drives the serving gateway at each
+//! requested fleet scale (default 1k and 10k sessions), once clean and once
+//! under the full four-kind gateway chaos plan. Reports wall-clock
+//! sessions/sec and frames/sec alongside the gateway's own virtual-time
+//! step-latency quantiles (p50/p95/p99) and its shedding/batching counters.
+//!
+//! Usage:
+//!
+//! ```text
+//! gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use anole_core::gateway::{Gateway, GatewayConfig, GatewayReport, SessionSpec};
+use anole_core::omi::FaultPlan;
+use anole_core::{AnoleConfig, AnoleSystem};
+use anole_data::{DrivingDataset, Frame};
+use anole_tensor::{split_seed, Seed};
+
+fn session_frames(dataset: &DrivingDataset, session: usize, n: usize) -> Vec<Frame> {
+    let split = dataset.split();
+    (0..n)
+        .map(|k| dataset.frame(split.test[(session * 13 + k) % split.test.len()]).clone())
+        .collect()
+}
+
+fn run_tier(
+    system: &AnoleSystem,
+    dataset: &DrivingDataset,
+    sessions: usize,
+    frames_each: usize,
+    seed: u64,
+    chaos: bool,
+) -> (GatewayReport, f64) {
+    let config = GatewayConfig {
+        max_sessions: sessions,
+        deadline_ms: 200.0,
+        slow_factor: 6.0,
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(system, config).expect("gateway config");
+    if chaos {
+        gateway = gateway.with_fault_plan(
+            FaultPlan::new(Seed(seed))
+                .with_queue_overflow_rate(0.02)
+                .with_slow_consumer_rate(0.15)
+                .with_session_stall_rate(0.05)
+                .with_scheduler_hiccup_rate(0.3),
+        );
+    }
+    for i in 0..sessions {
+        gateway
+            .admit(SessionSpec::new(
+                session_frames(dataset, i, frames_each),
+                split_seed(Seed(seed), 40_000 + i as u64),
+            ))
+            .expect("admit");
+    }
+    let start = Instant::now();
+    let report = gateway.run();
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn tier_row(
+    report: &GatewayReport,
+    sessions: usize,
+    frames_each: usize,
+    chaos: bool,
+    wall_s: f64,
+) -> serde_json::Value {
+    serde_json::json!({
+        "sessions": sessions,
+        "frames_per_session": frames_each,
+        "chaos": chaos,
+        "wall_seconds": wall_s,
+        "sessions_per_sec": sessions as f64 / wall_s.max(1e-9),
+        "frames_per_sec": report.frames_processed as f64 / wall_s.max(1e-9),
+        "step_latency_p50_ms": report.step_latency_p50_ms,
+        "step_latency_p95_ms": report.step_latency_p95_ms,
+        "step_latency_p99_ms": report.step_latency_p99_ms,
+        "windows": report.windows,
+        "completed": report.completed,
+        "shed_sessions": report.shed_sessions,
+        "lost_sessions": report.lost_sessions(),
+        "frames_processed": report.frames_processed,
+        "frames_shed": report.frames_shed,
+        "frames_dropped": report.frames_dropped,
+        "batched_calls": report.batched_calls,
+        "batched_frames": report.batched_frames,
+        "single_calls": report.single_calls,
+        "backpressure_signals": report.backpressure_signals,
+        "fleet_f1": report.fleet_f1(),
+        "sim_duration_ms": report.sim_duration_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_gateway.json");
+    let mut scales: Vec<usize> = vec![1000, 10_000];
+    let mut frames_each = 5usize;
+    let mut seed = 0u64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scales" => {
+                let parsed: Option<Vec<usize>> = iter
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(s) if !s.is_empty() => scales = s,
+                    _ => {
+                        eprintln!("error: --scales needs a comma-separated list of numbers");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => frames_each = n,
+                None => {
+                    eprintln!("error: --frames needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("error: --seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let dataset = DrivingDataset::generate(&anole_data::DatasetConfig::small(), Seed(9401));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(9402)).expect("training");
+
+    let mut tiers = Vec::new();
+    for &sessions in &scales {
+        for chaos in [false, true] {
+            let (report, wall_s) =
+                run_tier(&system, &dataset, sessions, frames_each, seed, chaos);
+            eprintln!(
+                "[gateway_snapshot] {sessions} sessions (chaos={chaos}): {:.2} sessions/sec, \
+                 p99 step {:.1} ms, {} shed, {} lost",
+                sessions as f64 / wall_s.max(1e-9),
+                report.step_latency_p99_ms,
+                report.frames_shed,
+                report.lost_sessions(),
+            );
+            if report.lost_sessions() > 0 {
+                eprintln!("error: gateway lost sessions at scale {sessions}");
+                return ExitCode::FAILURE;
+            }
+            tiers.push(tier_row(&report, sessions, frames_each, chaos, wall_s));
+        }
+    }
+
+    let out = serde_json::json!({
+        "schema": "anole-gateway-bench/1",
+        "device": "JetsonTx2Nx",
+        "seed": seed,
+        "tiers": tiers,
+    });
+    let pretty = serde_json::to_string_pretty(&out).expect("serialize");
+    if let Err(e) = std::fs::write(&out_path, pretty + "\n") {
+        eprintln!("error: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[gateway_snapshot] wrote {out_path}");
+    ExitCode::SUCCESS
+}

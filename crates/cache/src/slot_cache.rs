@@ -205,7 +205,9 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
                 Some(victim) => {
                     self.entries.remove(&victim);
                     self.stats.evictions += 1;
+                    self.stats.capacity_evictions += 1;
                     anole_obs::counter_add!("cache.evictions", 1);
+                    anole_obs::counter_add!("cache.capacity_evictions", 1);
                     evicted.push(victim);
                 }
                 None => break,

@@ -23,6 +23,13 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Total insertions.
     pub insertions: u64,
+    /// Evictions forced by a capacity shrink ([`set_capacity`]) rather than
+    /// an insertion — the memory-pressure path. A subset of `evictions`.
+    /// Deserializes to 0 from logs written before this counter existed.
+    ///
+    /// [`set_capacity`]: crate::SlotCache::set_capacity
+    #[serde(default)]
+    pub capacity_evictions: u64,
 }
 
 impl CacheStats {

@@ -78,6 +78,15 @@ pub enum AnoleError {
         /// Download sessions attempted.
         attempts: usize,
     },
+    /// The serving gateway refused to admit a new session: the fleet is at
+    /// its high-water mark. Admission control is a typed error, never a
+    /// panic — the caller decides whether to retry, queue, or give up.
+    SessionRejected {
+        /// Sessions currently admitted and not yet terminal.
+        active: usize,
+        /// The gateway's high-water mark.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for AnoleError {
@@ -110,6 +119,12 @@ impl std::fmt::Display for AnoleError {
                 write!(
                     f,
                     "bundle download incomplete: {missing} artifacts missing after {attempts} attempts"
+                )
+            }
+            AnoleError::SessionRejected { active, limit } => {
+                write!(
+                    f,
+                    "session rejected: gateway at high-water mark ({active} active, limit {limit})"
                 )
             }
         }
@@ -196,6 +211,14 @@ mod tests {
         let e = AnoleError::DownloadIncomplete { missing: 3, attempts: 5 };
         assert!(e.to_string().contains("3 artifacts"));
         assert!(e.to_string().contains("5 attempts"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn session_rejection_displays() {
+        let e = AnoleError::SessionRejected { active: 1024, limit: 1024 };
+        assert!(e.to_string().contains("high-water mark"));
+        assert!(e.to_string().contains("1024 active"));
         assert!(e.source().is_none());
     }
 }

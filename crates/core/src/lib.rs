@@ -19,6 +19,11 @@
 //!   [`omi::OnlineEngine`] ranks models per frame (MSS), serves from an LFU
 //!   model cache with best-cached fallback (CMD), and runs the chosen
 //!   compressed detector (MI).
+//! * **Fleet serving** ([`gateway`]): a message-queue-driven gateway
+//!   multiplexing many simulated devices as long-lived sessions —
+//!   bounded queues with backpressure, deadline-based load shedding,
+//!   cross-device batched decision scoring, a model-load circuit breaker,
+//!   and per-session panic isolation.
 //! * **Baselines**: [`Sdm`], [`Ssm`], [`Cdg`], and [`Dmm`] from §VI-A3.
 //! * **Evaluation protocols** ([`eval`]): cross-scene (Fig. 8), new-scene
 //!   (Table III), and real-world streaming (Fig. 10) experiments.
@@ -48,6 +53,7 @@ pub mod checkpoint;
 mod config;
 pub mod deploy;
 mod error;
+pub mod gateway;
 pub mod lifecycle;
 pub mod eval;
 pub mod omi;

@@ -5,9 +5,16 @@
 //! devices drives all day, each flagging low-confidence (drifting) streams
 //! and keeping the flagged footage; overnight, the cloud trains a new
 //! specialist on the pooled footage, widens the decision model, and ships
-//! the update; the next day the fleet benefits. [`run_fleet`] simulates that
-//! loop: devices run in parallel threads over a shared, read-locked system,
-//! and expansion takes the write lock between days.
+//! the update; the next day the fleet benefits. [`run_fleet`] simulates
+//! that loop. Daily operation is multiplexed through the serving
+//! [`Gateway`]: every device is a long-lived session with a bounded frame
+//! queue and panic isolation, and frames arriving in the same scheduling
+//! window are scored through one cross-device batched decision forward
+//! (bit-identical per frame to each device stepping alone). Overnight
+//! expansion takes the write lock between days.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use anole_data::{ClipId, DatasetSource, DrivingDataset, Frame, SceneAttributes};
 use anole_detect::DetectionCounts;
@@ -16,7 +23,11 @@ use anole_tensor::{split_seed, Seed};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
-use crate::omi::{DriftState, FaultInjector, SceneDistanceScorer};
+use crate::gateway::{
+    FrameHandler, Gateway, GatewayConfig, QuarantineReason, QuarantineRecord, SessionSpec,
+    SessionState,
+};
+use crate::omi::{DriftDetector, DriftState, FaultInjector, FaultKind, SceneDistanceScorer};
 use crate::{AnoleError, AnoleSystem};
 
 /// Configuration of a fleet-lifecycle run.
@@ -94,6 +105,20 @@ pub struct FleetReport {
     /// the rest of the fleet run; the others are unaffected.
     #[serde(default)]
     pub quarantined: Vec<usize>,
+    /// Typed quarantine records: why each device in `quarantined` was
+    /// removed, with the first injected fault kind seen by its session.
+    /// Same order as `quarantined`.
+    #[serde(default)]
+    pub quarantine_records: Vec<QuarantineRecord>,
+    /// Gateway sessions shed across the run (always 0 under the lossless
+    /// fleet profile; non-zero only if a custom profile enables deadline
+    /// shedding).
+    #[serde(default)]
+    pub shed_sessions: usize,
+    /// Gateway admissions rejected across the run (always 0 for the fleet,
+    /// which sizes the gateway to its roster).
+    #[serde(default)]
+    pub rejected_sessions: usize,
 }
 
 impl FleetReport {
@@ -107,14 +132,46 @@ impl FleetReport {
     }
 }
 
+/// Per-device drift bookkeeping filled in by the session's frame handler.
+#[derive(Debug, Default)]
+struct DeviceDayState {
+    drifting: usize,
+    collected: Vec<Frame>,
+}
+
+/// Builds the per-frame handler a fleet session runs after every processed
+/// frame: OOD-score the frame and keep it if it drifts. Runs inside the
+/// gateway's per-session `catch_unwind` scope, in the same order as the
+/// pre-gateway fleet loop (accumulate counts, then observe).
+fn drift_handler<'g>(
+    scorer: &'g SceneDistanceScorer,
+    system: &'g AnoleSystem,
+    mut detector: DriftDetector,
+    state: Rc<RefCell<DeviceDayState>>,
+) -> FrameHandler<'g> {
+    Box::new(move |frame, _out| {
+        let drift = scorer.observe_frame(&mut detector, system, &frame.features)?;
+        if drift == DriftState::Drifting {
+            let mut state = state.borrow_mut();
+            state.drifting += 1;
+            state.collected.push(frame.clone());
+        }
+        Ok(())
+    })
+}
+
 /// Runs the fleet loop over a day-by-day scenario schedule.
 ///
 /// Each day, every device streams `frames_per_day` fresh frames of the
-/// day's scenario through its own engine (all devices share the system
-/// behind a read lock and run on parallel threads), flagging drifting
-/// frames; after the day, if the pooled flagged footage reaches
-/// `min_footage`, the system is extended with a new specialist under the
-/// write lock and the pool is cleared.
+/// day's scenario through its own engine. The devices are multiplexed as
+/// sessions of the serving [`Gateway`] (lossless profile: bounded queues
+/// with backpressure but no deadline shedding), which stacks frames from
+/// different devices into batched decision forwards; the outcome of every
+/// frame is bit-identical to each device stepping its own engine in
+/// isolation. Drifting frames are flagged and pooled; after the day, if
+/// the pooled flagged footage reaches `min_footage`, the system is
+/// extended with a new specialist under the write lock and the pool is
+/// cleared.
 ///
 /// Returns the per-day reports and the final (possibly expanded) system.
 ///
@@ -135,25 +192,28 @@ pub fn run_fleet(
     run_fleet_supervised(dataset, system, schedule, config, seed, None)
 }
 
-/// [`run_fleet`] under a supervisor: every device's daily run executes
-/// inside `catch_unwind`, so one panicking device cannot take down the
-/// fan-out. A panicked device is retried up to
+/// [`run_fleet`] under fault supervision: every device session runs behind
+/// the gateway's `catch_unwind` isolation, so one panicking device cannot
+/// take down the fleet. A panicked device is retried up to
 /// [`FleetConfig::max_device_retries`] times (sequentially, after the
-/// parallel pass); a device that exhausts its retries is quarantined for
-/// the rest of the run and listed in [`FleetReport::quarantined`], while
-/// the remaining devices keep driving and the schedule completes.
+/// fleet pass, in device order); a device that exhausts its retries is
+/// quarantined for the rest of the run and listed in
+/// [`FleetReport::quarantined`] with a typed
+/// [`QuarantineRecord`], while the remaining devices keep driving and the
+/// schedule completes.
 ///
 /// Panics can be injected deterministically via a [`FaultInjector`] with a
-/// [`FaultKind::DevicePanic`](crate::omi::FaultKind::DevicePanic) schedule
-/// or rate: the supervisor draws one panic decision per device attempt, on
-/// the coordinator thread in device order, so the outcome is identical for
-/// any worker count. With `injector` `None` or a zero-fault plan the run is
-/// bit-identical to [`run_fleet`].
+/// [`FaultKind::DevicePanic`] schedule or rate: the supervisor draws one
+/// panic decision per device attempt, on the coordinator in device order,
+/// so the outcome is identical for any scheduling. With `injector` `None`
+/// or a zero-fault plan the run is bit-identical to [`run_fleet`].
 ///
 /// # Errors
 ///
 /// As [`run_fleet`]. Device *errors* (as opposed to panics) still surface
-/// immediately — a typed failure is a bug to report, not a crash to absorb.
+/// — a typed failure is a bug to report, not a crash to absorb. The
+/// gateway quarantines the erring session so the other devices finish
+/// their day, then the first error in device order is returned.
 ///
 /// # Panics
 ///
@@ -179,27 +239,39 @@ pub fn run_fleet_supervised(
     let mut footage_pool: Vec<Frame> = Vec::new();
     let mut days = Vec::with_capacity(schedule.len());
     let mut quarantined: Vec<usize> = Vec::new();
+    let mut quarantine_records: Vec<QuarantineRecord> = Vec::new();
+    let mut shed_sessions = 0usize;
+    let mut rejected_sessions = 0usize;
+
+    type DeviceDay = Result<(DetectionCounts, usize, Vec<Frame>), AnoleError>;
 
     for (day, &scenario) in schedule.iter().enumerate() {
-        // Daily operation: devices in parallel under the read lock, bounded
-        // by the global parallel config. Each device derives its RNG stream
-        // from (day, device_idx) and results are collected in device order,
-        // so the report is identical for any worker count.
-        type DeviceDay = Result<(DetectionCounts, usize, Vec<Frame>), AnoleError>;
         let roster: Vec<usize> =
             (0..config.devices).filter(|i| !quarantined.contains(i)).collect();
-        // Panic decisions are drawn on the coordinator thread, one per
-        // first attempt in device order, so worker interleaving cannot
-        // shift the fault stream.
+        // Panic decisions are drawn on the coordinator, one per first
+        // attempt in device order, before the gateway runs, so scheduling
+        // changes cannot shift the fault stream.
         let panic_flags: Vec<bool> = roster
             .iter()
             .map(|_| injector.as_mut().is_some_and(FaultInjector::device_panics))
             .collect();
-        let (results, day_panics, newly_quarantined) = {
+        let (results, day_panics, newly_quarantined, day_records) = {
             let guard = shared.read();
             let system_ref: &AnoleSystem = &guard;
             let scorer_ref = &scorer;
-            let run_device = |device_idx: usize| -> DeviceDay {
+            // Lossless fleet profile: bounded queues and backpressure keep
+            // memory flat, but nothing is shed — every recorded frame is
+            // served, exactly as the pre-gateway fleet loop did.
+            let gateway_config = GatewayConfig {
+                max_sessions: roster.len().max(1),
+                deadline_ms: f64::INFINITY,
+                shed_session_after: usize::MAX,
+                device: config.device,
+                ..GatewayConfig::default()
+            };
+            // Each device derives its RNG streams from (day, device_idx),
+            // so results are identical however sessions interleave.
+            let device_spec = |device_idx: usize| -> SessionSpec {
                 let device_seed =
                     split_seed(seed, (day * config.devices + device_idx) as u64 + 1);
                 let clip = dataset.world().generate_clip(
@@ -210,99 +282,133 @@ pub fn run_fleet_supervised(
                     1.0,
                     split_seed(device_seed, 0),
                 );
-                let mut engine =
-                    system_ref.online_engine(config.device, split_seed(device_seed, 1));
-                engine.warm(&(0..system_ref.repository().len()).collect::<Vec<_>>());
-                let mut detector = scorer_ref.detector(config.drift_window, ceiling);
-                let mut counts = DetectionCounts::default();
-                let mut drifting = 0usize;
-                let mut collected = Vec::new();
-                for frame in &clip.frames {
-                    let out = engine.step(&frame.features)?;
-                    counts.accumulate(&out.detections, &frame.truth);
-                    let state =
-                        scorer_ref.observe_frame(&mut detector, system_ref, &frame.features)?;
-                    if state == DriftState::Drifting {
-                        drifting += 1;
-                        collected.push(frame.clone());
-                    }
-                }
-                Ok((counts, drifting, collected))
+                SessionSpec::new(clip.frames, split_seed(device_seed, 1))
             };
-            // One supervised attempt: the device's whole day runs inside
-            // catch_unwind, so a panic is isolated to that device.
-            let attempt = |device_idx: usize, inject_panic: bool| -> Result<DeviceDay, ()> {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if inject_panic {
-                        panic!("injected device panic (device {device_idx})");
-                    }
-                    run_device(device_idx)
-                }))
-                .map_err(|_| ())
-            };
-            let jobs: Vec<(usize, bool)> =
-                roster.iter().copied().zip(panic_flags.iter().copied()).collect();
-            let threads = anole_tensor::parallel_config()
-                .effective_threads()
-                .clamp(1, jobs.len().max(1));
-            let first_pass: Vec<(usize, Result<DeviceDay, ()>)> = if threads <= 1 {
-                jobs.iter().map(|&(i, p)| (i, attempt(i, p))).collect()
-            } else {
-                let per_worker = jobs.len().div_ceil(threads);
-                std::thread::scope(|scope| {
-                    let attempt = &attempt;
-                    let handles: Vec<_> = jobs
-                        .chunks(per_worker)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|&(i, p)| (i, attempt(i, p)))
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("supervisor thread panicked"))
-                        .collect()
-                })
-            };
-            // Bounded retries, sequentially in device order; exhausted
-            // devices are quarantined and the rest of the fleet drives on.
+
+            let mut gateway = Gateway::new(system_ref, gateway_config)?;
+            let states: Vec<Rc<RefCell<DeviceDayState>>> =
+                roster.iter().map(|_| Rc::default()).collect();
+            for (pos, &device_idx) in roster.iter().enumerate() {
+                let mut spec = device_spec(device_idx);
+                spec.inject_panic = panic_flags[pos];
+                let detector = scorer_ref.detector(config.drift_window, ceiling);
+                gateway.admit_with_handler(
+                    spec,
+                    drift_handler(scorer_ref, system_ref, detector, Rc::clone(&states[pos])),
+                )?;
+            }
+            let report = gateway.run();
+            shed_sessions += report.shed_sessions;
+            rejected_sessions += report.rejected;
+            let mut errors: Vec<Option<AnoleError>> = Vec::new();
+            errors.resize_with(roster.len(), || None);
+            for (sid, error) in gateway.take_session_errors() {
+                errors[sid] = Some(error);
+            }
+
             let mut day_panics = 0usize;
-            let mut newly_quarantined = Vec::new();
-            let mut completed: Vec<DeviceDay> = Vec::new();
-            for (device_idx, first) in first_pass {
-                let mut outcome = first;
-                if outcome.is_err() {
-                    day_panics += 1;
-                }
-                let mut retries = 0;
-                while outcome.is_err() && retries < config.max_device_retries {
-                    retries += 1;
-                    let inject =
-                        injector.as_mut().is_some_and(FaultInjector::device_panics);
-                    outcome = attempt(device_idx, inject);
-                    if outcome.is_err() {
-                        day_panics += 1;
+            let mut newly_quarantined: Vec<usize> = Vec::new();
+            let mut day_records: Vec<QuarantineRecord> = Vec::new();
+            let mut results: Vec<Option<DeviceDay>> = Vec::with_capacity(roster.len());
+            for (pos, &device_idx) in roster.iter().enumerate() {
+                let session = &report.sessions[pos];
+                match session.state {
+                    SessionState::Completed => {
+                        let state = std::mem::take(&mut *states[pos].borrow_mut());
+                        results
+                            .push(Some(Ok((session.counts, state.drifting, state.collected))));
                     }
-                }
-                match outcome {
-                    Ok(result) => completed.push(result),
-                    Err(()) => newly_quarantined.push(device_idx),
+                    SessionState::Quarantined => {
+                        if let Some(error) = errors[pos].take() {
+                            // Typed failure: report it, don't absorb it.
+                            results.push(Some(Err(error)));
+                            continue;
+                        }
+                        // Panicked. Bounded retries, sequentially in device
+                        // order, each drawing its own panic decision; an
+                        // exhausted device is quarantined and the rest of
+                        // the fleet drives on.
+                        day_panics += 1;
+                        let mut recovered: Option<DeviceDay> = None;
+                        let mut retries = 0usize;
+                        while recovered.is_none() && retries < config.max_device_retries {
+                            retries += 1;
+                            if injector.as_mut().is_some_and(FaultInjector::device_panics) {
+                                day_panics += 1;
+                                continue;
+                            }
+                            let mut retry = Gateway::new(
+                                system_ref,
+                                GatewayConfig { max_sessions: 1, ..gateway_config },
+                            )?;
+                            let state = Rc::new(RefCell::new(DeviceDayState::default()));
+                            let detector = scorer_ref.detector(config.drift_window, ceiling);
+                            retry.admit_with_handler(
+                                device_spec(device_idx),
+                                drift_handler(scorer_ref, system_ref, detector, Rc::clone(&state)),
+                            )?;
+                            let retry_report = retry.run();
+                            let mut retry_errors = retry.take_session_errors();
+                            match retry_report.sessions[0].state {
+                                SessionState::Completed => {
+                                    let state = std::mem::take(&mut *state.borrow_mut());
+                                    recovered = Some(Ok((
+                                        retry_report.sessions[0].counts,
+                                        state.drifting,
+                                        state.collected,
+                                    )));
+                                }
+                                SessionState::Quarantined if !retry_errors.is_empty() => {
+                                    recovered = Some(Err(retry_errors.remove(0).1));
+                                }
+                                // A genuine (or injected-at-engine-level)
+                                // panic again: burn the retry.
+                                _ => day_panics += 1,
+                            }
+                        }
+                        match recovered {
+                            Some(outcome) => results.push(Some(outcome)),
+                            None => {
+                                newly_quarantined.push(device_idx);
+                                day_records.push(QuarantineRecord {
+                                    session: device_idx,
+                                    reason: QuarantineReason::RetriesExhausted {
+                                        attempts: config.max_device_retries + 1,
+                                    },
+                                    first_fault: Some(FaultKind::DevicePanic),
+                                    detail: format!(
+                                        "device {device_idx} panicked on its initial attempt and all {} retries (day {day})",
+                                        config.max_device_retries
+                                    ),
+                                });
+                                results.push(None);
+                            }
+                        }
+                    }
+                    state => {
+                        // Unreachable under the lossless profile (nothing
+                        // is shed and the roster always fits); surface it
+                        // rather than mis-count the day.
+                        return Err(AnoleError::FaultExhausted {
+                            detail: format!(
+                                "fleet session for device {device_idx} ended in {state:?} under the lossless fleet profile"
+                            ),
+                        });
+                    }
                 }
             }
-            (completed, day_panics, newly_quarantined)
+            (results, day_panics, newly_quarantined, day_records)
         };
         quarantined.extend(&newly_quarantined);
+        quarantine_records.extend(day_records);
 
-        let active_devices = results.len();
+        let mut active_devices = 0usize;
         let mut day_counts = DetectionCounts::default();
         let mut drifting = 0usize;
         let mut collected_today = 0usize;
-        for result in results {
+        for result in results.into_iter().flatten() {
             let (counts, device_drifting, collected) = result?;
+            active_devices += 1;
             day_counts.merge(&counts);
             drifting += device_drifting;
             collected_today += collected.len();
@@ -339,7 +445,16 @@ pub fn run_fleet_supervised(
         });
     }
 
-    Ok((FleetReport { days, quarantined }, shared.into_inner()))
+    Ok((
+        FleetReport {
+            days,
+            quarantined,
+            quarantine_records,
+            shed_sessions,
+            rejected_sessions,
+        },
+        shared.into_inner(),
+    ))
 }
 
 #[cfg(test)]
@@ -434,6 +549,9 @@ mod tests {
                 active_devices: 3,
             }],
             quarantined: Vec::new(),
+            quarantine_records: Vec::new(),
+            shed_sessions: 0,
+            rejected_sessions: 0,
         };
         assert!(report
             .improvement_on(SceneAttributes::from_scene_index(0))
@@ -471,7 +589,54 @@ mod tests {
         assert_eq!(plain, supervised);
         assert_eq!(plain_system, supervised_system);
         assert!(supervised.quarantined.is_empty());
+        assert!(supervised.quarantine_records.is_empty());
         assert!(supervised.days.iter().all(|d| d.device_panics == 0));
         assert!(supervised.days.iter().all(|d| d.active_devices == 2));
+    }
+
+    #[test]
+    fn quarantine_records_carry_typed_reasons() {
+        use crate::omi::FaultPlan;
+
+        let (dataset, system) = world();
+        let familiar = dataset.clips()[0].attributes;
+        let schedule = [familiar, familiar];
+        let config = FleetConfig {
+            devices: 2,
+            frames_per_day: 30,
+            min_footage: 100_000,
+            max_device_retries: 1,
+            ..FleetConfig::default()
+        };
+        // Every attempt panics: both devices burn their retry on day 0 and
+        // the fleet finishes the schedule with an empty roster.
+        let plan = FaultPlan::new(Seed(190)).with_device_panic_rate(1.0);
+        let (report, _) = run_fleet_supervised(
+            &dataset,
+            system,
+            &schedule,
+            &config,
+            Seed(191),
+            Some(plan.injector()),
+        )
+        .unwrap();
+        assert_eq!(report.quarantined, vec![0, 1]);
+        assert_eq!(report.quarantine_records.len(), 2);
+        for (record, device) in report.quarantine_records.iter().zip([0usize, 1]) {
+            assert_eq!(record.session, device);
+            assert_eq!(
+                record.reason,
+                QuarantineReason::RetriesExhausted { attempts: 2 }
+            );
+            assert_eq!(record.first_fault, Some(FaultKind::DevicePanic));
+            assert!(record.detail.contains(&format!("device {device}")));
+        }
+        // 2 initial panics + 2 retry panics on day 0; none on day 1.
+        assert_eq!(report.days[0].device_panics, 4);
+        assert_eq!(report.days[0].active_devices, 0);
+        assert_eq!(report.days[1].device_panics, 0);
+        assert_eq!(report.days[1].active_devices, 0);
+        assert_eq!(report.shed_sessions, 0);
+        assert_eq!(report.rejected_sessions, 0);
     }
 }

@@ -102,6 +102,17 @@ pub struct OnlineEngine<'a> {
     retries: usize,
     strikes_total: usize,
     fallback_depths: [usize; 4],
+    /// Gate on `attempt_load`: the serving gateway opens it (sets `false`)
+    /// when its model-load circuit breaker trips, so the engine rides the
+    /// fallback chain without burning load attempts. Defaults to `true`.
+    loads_enabled: bool,
+    /// Real load attempts made (suppressed attempts while loads are
+    /// disabled are not counted).
+    load_attempts: usize,
+    /// Model ids evicted by mid-stream memory pressure
+    /// (`SlotCache::set_capacity`), in eviction order — surfaced so the
+    /// gateway can account for them instead of silently dropping them.
+    pressure_evicted: Vec<usize>,
     /// Reusable inference workspace: decision scoring and detection share it
     /// so the steady-state serving path never allocates.
     ws: Workspace,
@@ -139,6 +150,9 @@ impl<'a> OnlineEngine<'a> {
             retries: 0,
             strikes_total: 0,
             fallback_depths: [0; 4],
+            loads_enabled: true,
+            load_attempts: 0,
+            pressure_evicted: Vec::new(),
             ws: Workspace::new(),
             row: Matrix::default(),
         }
@@ -310,7 +324,39 @@ impl<'a> OnlineEngine<'a> {
                 .filter_map(|(id, &e)| e.then_some(id))
                 .collect(),
             fallback_depths: self.fallback_depths,
+            pressure_evicted: self.pressure_evicted.clone(),
         }
+    }
+
+    /// Enables or disables model loads. While disabled, `attempt_load`
+    /// returns `false` without consuming pending faults or pricing costs —
+    /// the engine serves every frame from the fallback chain (best cached →
+    /// pinned → last-good). Used by the serving gateway's circuit breaker.
+    pub fn set_loads_enabled(&mut self, enabled: bool) {
+        self.loads_enabled = enabled;
+    }
+
+    /// Whether model loads are currently enabled.
+    pub fn loads_enabled(&self) -> bool {
+        self.loads_enabled
+    }
+
+    /// Real load attempts made so far (excludes attempts suppressed while
+    /// loads were disabled).
+    pub fn load_attempt_count(&self) -> usize {
+        self.load_attempts
+    }
+
+    /// Whole-model load failures so far: permanent failures, corrupt
+    /// bundles, and transient loads that exhausted their bounded retries.
+    /// The gateway's circuit breaker watches the delta of this counter.
+    pub fn load_failure_count(&self) -> usize {
+        self.fault_counts.permanent_load + self.fault_counts.bundle_corruption + self.strikes_total
+    }
+
+    /// Model ids evicted by mid-stream memory pressure, in eviction order.
+    pub fn pressure_evicted(&self) -> &[usize] {
+        &self.pressure_evicted
     }
 
     /// Whether `id` can serve a frame right now without a load.
@@ -342,7 +388,15 @@ impl<'a> OnlineEngine<'a> {
     /// load fault. Returns whether the model ended up resident. All costs
     /// (including retry backoff) are priced into `background_load_ms`.
     fn attempt_load(&mut self, id: usize) -> bool {
+        if !self.loads_enabled {
+            // Circuit breaker open: the load is suppressed without consuming
+            // the pending fault or pricing any cost, so re-enabling loads
+            // resumes exactly where the fault stream left off.
+            anole_obs::counter_add!("omi.load.suppressed", 1);
+            return false;
+        }
         let tiny = ReferenceModel::Yolov3Tiny;
+        self.load_attempts += 1;
         anole_obs::counter_add!("omi.load.attempts", 1);
         match self.pending_load_fault.take() {
             None => {
@@ -400,6 +454,16 @@ impl<'a> OnlineEngine<'a> {
                 loaded
             }
         }
+    }
+
+    /// Serves a deadline-shed frame by replaying the last-good detections
+    /// (all-clear before any good frame). The serving gateway calls this
+    /// when a queued frame ages past its latency budget: the frame runs no
+    /// model, draws no injector faults, and counts against the health
+    /// ladder at fallback depth 3 — so sustained shedding degrades the
+    /// session to `Critical` exactly like any other starved stream.
+    pub fn replay_last_good(&mut self) -> StepOutcome {
+        self.degraded_replay(0)
     }
 
     /// Serves a frame no model can process by replaying the last-good
@@ -481,6 +545,44 @@ impl<'a> OnlineEngine<'a> {
     /// * [`AnoleError::FaultExhausted`] if every model is excluded and
     ///   neither a pinned fallback nor last-good detections exist.
     pub fn step(&mut self, features: &[f32]) -> Result<StepOutcome, AnoleError> {
+        self.step_inner(features, None)
+    }
+
+    /// As [`OnlineEngine::step`], but with this frame's raw suitability
+    /// probabilities computed externally — the serving gateway stacks frames
+    /// from many sessions into one batched `M_decision` forward and hands
+    /// each engine its row. Because the batched decision forward is bit-
+    /// identical per row to the row-vector path, `step_with_scores(x, row)`
+    /// is bit-identical to `step(x)` when `row` is the engine's own scoring
+    /// of `x`. Smoothing, ranking, cache traffic, hedging, and latency
+    /// pricing all still happen inside the engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineEngine::step`], plus [`AnoleError::InvalidFrame`] when
+    /// `scores` does not have one entry per repository model.
+    pub fn step_with_scores(
+        &mut self,
+        features: &[f32],
+        scores: &[f32],
+    ) -> Result<StepOutcome, AnoleError> {
+        let expected = self.system.repository().len();
+        if scores.len() != expected {
+            return Err(AnoleError::InvalidFrame {
+                detail: format!(
+                    "suitability width {} but the repository holds {expected} models",
+                    scores.len()
+                ),
+            });
+        }
+        self.step_inner(features, Some(scores))
+    }
+
+    fn step_inner(
+        &mut self,
+        features: &[f32],
+        external_scores: Option<&[f32]>,
+    ) -> Result<StepOutcome, AnoleError> {
         let _span = anole_obs::span!("omi.engine.step");
         let expected = self.system.decision().network().input_dim();
         if features.len() != expected {
@@ -508,7 +610,9 @@ impl<'a> OnlineEngine<'a> {
         if let Some(capacity) = faults.memory_pressure {
             self.fault_counts.memory_pressure += 1;
             anole_obs::counter_add!("omi.faults.memory_pressure", 1);
-            self.cache.set_capacity(capacity);
+            let evicted = self.cache.set_capacity(capacity);
+            anole_obs::counter_add!("omi.cache.pressure_evicted", evicted.len() as u64);
+            self.pressure_evicted.extend(evicted);
         }
         // A load fault arms the next load attempt, whenever that happens.
         if let Some(incoming) = faults.load_fault {
@@ -543,14 +647,16 @@ impl<'a> OnlineEngine<'a> {
                 None => return Ok(self.degraded_replay(injected)),
             }
         } else {
-            let probs = self.system.decision().suitability_ws(&self.row, &mut self.ws)?;
+            let current: &[f32] = match external_scores {
+                Some(scores) => scores,
+                None => self.system.decision().suitability_ws(&self.row, &mut self.ws)?.row(0),
+            };
             let alpha = self
                 .system
                 .config()
                 .decision
                 .suitability_smoothing
                 .clamp(0.0, 0.999);
-            let current = probs.row(0);
             match self.smoothed_suitability.take() {
                 Some(mut prev) if prev.len() == current.len() && alpha > 0.0 => {
                     for (p, &c) in prev.iter_mut().zip(current.iter()) {
@@ -1113,6 +1219,95 @@ mod tests {
         let ok_ids: Vec<usize> =
             (0..system.repository().len()).filter(|&id| id != excluded).collect();
         engine.try_warm(&ok_ids).unwrap();
+    }
+
+    #[test]
+    fn step_with_scores_matches_step_bit_for_bit() {
+        use anole_nn::Workspace;
+
+        let (dataset, system) = system();
+        let split = dataset.split();
+        let mut plain = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(300));
+        let mut external = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(300));
+        plain.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        external.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        let mut ws = Workspace::new();
+        for r in split.test.iter().take(40) {
+            let features = &dataset.frame(*r).features;
+            let row = Matrix::row_vector(features);
+            let scores =
+                system.decision().suitability_ws(&row, &mut ws).unwrap().row(0).to_vec();
+            let a = plain.step(features).unwrap();
+            let b = external.step_with_scores(features, &scores).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.cache_stats(), external.cache_stats());
+        assert_eq!(plain.mean_latency_ms(), external.mean_latency_ms());
+        assert_eq!(plain.usage_log(), external.usage_log());
+
+        // A wrong-width score vector is rejected, not misread.
+        let frame = dataset.frame(split.test[0]);
+        let err = external.step_with_scores(&frame.features, &[0.5]).unwrap_err();
+        assert!(matches!(err, AnoleError::InvalidFrame { .. }), "{err}");
+    }
+
+    #[test]
+    fn disabled_loads_ride_the_fallback_chain() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(310))
+            .with_pinned_fallback(0);
+        assert!(engine.loads_enabled());
+        engine.set_loads_enabled(false);
+        // Cold cache + loads disabled: every frame is served by the pinned
+        // fallback (directly, or at depth 0 when the pinned model is the
+        // top pick), and no load is ever attempted or priced.
+        for r in split.test.iter().take(20) {
+            let out = engine.step(&dataset.frame(*r).features).unwrap();
+            assert!(
+                out.fallback_depth >= 2 || out.used == 0,
+                "depth {} used {}",
+                out.fallback_depth,
+                out.used
+            );
+        }
+        assert_eq!(engine.load_attempt_count(), 0);
+        assert_eq!(engine.load_failure_count(), 0);
+        assert_eq!(engine.background_load_ms(), 0.0);
+        assert_eq!(engine.cache_stats().insertions, 0);
+        // Warming through the fault machinery surfaces the suppression as a
+        // typed load failure rather than papering over it.
+        if system.repository().len() >= 2 {
+            let err = engine.try_warm(&[1]).unwrap_err();
+            assert!(matches!(err, AnoleError::ModelLoadFailed { model: 1, .. }), "{err}");
+            // Re-enabling loads resumes normal operation.
+            engine.set_loads_enabled(true);
+            engine.try_warm(&[1]).unwrap();
+            assert!(engine.load_attempt_count() > 0);
+            assert!(engine.background_load_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pressure_evictions_are_accounted_not_dropped() {
+        let (dataset, system) = system();
+        if system.repository().len() < 2 {
+            return;
+        }
+        let split = dataset.split();
+        let plan = FaultPlan::new(Seed(320)).at(3, FaultKind::MemoryPressure { capacity: 1 });
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(321))
+            .with_fault_injector(plan.injector());
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        for r in split.test.iter().take(8) {
+            engine.step(&dataset.frame(*r).features).unwrap();
+        }
+        let evicted = engine.pressure_evicted();
+        assert_eq!(evicted.len(), system.repository().len() - 1);
+        assert_eq!(engine.cache_stats().capacity_evictions as usize, evicted.len());
+        assert_eq!(engine.health_report().pressure_evicted, evicted);
+        // Pressure evictions are a subset of total evictions.
+        assert!(engine.cache_stats().evictions >= engine.cache_stats().capacity_evictions);
     }
 
     #[test]

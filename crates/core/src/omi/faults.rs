@@ -120,6 +120,24 @@ pub enum FaultKind {
     /// with this index completes (and its checkpoint is written). The event
     /// index is the OSP stage index (0 = scene model … 3 = decision model).
     TrainAbort,
+    /// Gateway-side: a session's bounded frame queue overflows — the
+    /// producer pushes despite backpressure and the oldest queued frame is
+    /// force-dropped. The event index counts overflow draws (one per
+    /// full-queue push attempt), not frames.
+    QueueOverflow,
+    /// Gateway-side: a session consumes its next frame slowly (thermal
+    /// throttling, competing load); the frame's service time is multiplied
+    /// by the gateway's slow factor. The event index counts consumer draws,
+    /// not frames.
+    SlowConsumer,
+    /// Gateway-side: a session stalls and consumes nothing for a few
+    /// scheduling windows (GC pause, watchdog reset). The event index counts
+    /// stall draws, not frames.
+    SessionStall,
+    /// Gateway-side: the scheduler itself skips one scheduling window (the
+    /// coordinator hiccups); queues age and deadlines keep running. The
+    /// event index counts scheduling windows, not frames.
+    SchedulerHiccup,
 }
 
 /// How a server-side checkpoint write fails.
@@ -179,6 +197,14 @@ pub struct FaultPlan {
     link_death_rate: f32,
     #[serde(default)]
     device_panic_rate: f32,
+    #[serde(default)]
+    queue_overflow_rate: f32,
+    #[serde(default)]
+    slow_consumer_rate: f32,
+    #[serde(default)]
+    session_stall_rate: f32,
+    #[serde(default)]
+    scheduler_hiccup_rate: f32,
     scheduled: Vec<FaultEvent>,
 }
 
@@ -196,6 +222,10 @@ impl FaultPlan {
             truncated_artifact_rate: 0.0,
             link_death_rate: 0.0,
             device_panic_rate: 0.0,
+            queue_overflow_rate: 0.0,
+            slow_consumer_rate: 0.0,
+            session_stall_rate: 0.0,
+            scheduler_hiccup_rate: 0.0,
             scheduled: Vec::new(),
         }
     }
@@ -264,6 +294,35 @@ impl FaultPlan {
         self
     }
 
+    /// Per-push probability that a full session queue overflows (the oldest
+    /// queued frame is force-dropped instead of deferring the producer).
+    #[must_use]
+    pub fn with_queue_overflow_rate(mut self, rate: f32) -> Self {
+        self.queue_overflow_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-draw probability that a session consumes its next frame slowly.
+    #[must_use]
+    pub fn with_slow_consumer_rate(mut self, rate: f32) -> Self {
+        self.slow_consumer_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-draw probability that a session stalls for a few windows.
+    #[must_use]
+    pub fn with_session_stall_rate(mut self, rate: f32) -> Self {
+        self.session_stall_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-window probability that the gateway scheduler skips a window.
+    #[must_use]
+    pub fn with_scheduler_hiccup_rate(mut self, rate: f32) -> Self {
+        self.scheduler_hiccup_rate = clamp_rate(rate);
+        self
+    }
+
     /// Schedules `kind` at exact `frame`.
     ///
     /// For the server-side kinds the index counts occurrences of that
@@ -297,6 +356,10 @@ impl FaultPlan {
             && self.truncated_artifact_rate == 0.0
             && self.link_death_rate == 0.0
             && self.device_panic_rate == 0.0
+            && self.queue_overflow_rate == 0.0
+            && self.slow_consumer_rate == 0.0
+            && self.session_stall_rate == 0.0
+            && self.scheduler_hiccup_rate == 0.0
             && self.scheduled.is_empty()
     }
 
@@ -311,6 +374,10 @@ impl FaultPlan {
             artifacts: 0,
             chunks: 0,
             device_draws: 0,
+            overflow_draws: 0,
+            consumer_draws: 0,
+            stall_draws: 0,
+            window_draws: 0,
         }
     }
 }
@@ -370,6 +437,10 @@ pub struct FaultInjector {
     artifacts: usize,
     chunks: usize,
     device_draws: usize,
+    overflow_draws: usize,
+    consumer_draws: usize,
+    stall_draws: usize,
+    window_draws: usize,
 }
 
 impl FaultInjector {
@@ -428,6 +499,13 @@ impl FaultInjector {
                 | FaultKind::LinkDeath
                 | FaultKind::DevicePanic
                 | FaultKind::TrainAbort => {}
+                // Gateway kinds likewise draw on their own counters
+                // (`queue_overflows`, `consumer_slows`, `session_stalls`,
+                // `scheduler_hiccups`).
+                FaultKind::QueueOverflow
+                | FaultKind::SlowConsumer
+                | FaultKind::SessionStall
+                | FaultKind::SchedulerHiccup => {}
             }
         }
         self.frame += 1;
@@ -507,6 +585,62 @@ impl FaultInjector {
             .any(|e| e.frame == self.device_draws && e.kind == FaultKind::DevicePanic);
         self.device_draws += 1;
         panics || scheduled
+    }
+
+    /// Whether a full session queue's next push overflows (the gateway
+    /// force-drops the oldest frame instead of deferring the producer). One
+    /// draw per call; scheduled [`FaultKind::QueueOverflow`] events fire by
+    /// draw index.
+    pub fn queue_overflows(&mut self) -> bool {
+        let overflows = self.rng.gen::<f32>() < self.plan.queue_overflow_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.overflow_draws && e.kind == FaultKind::QueueOverflow);
+        self.overflow_draws += 1;
+        overflows || scheduled
+    }
+
+    /// Whether a session serves its next frame slowly. One draw per call;
+    /// scheduled [`FaultKind::SlowConsumer`] events fire by draw index.
+    pub fn consumer_slows(&mut self) -> bool {
+        let slows = self.rng.gen::<f32>() < self.plan.slow_consumer_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.consumer_draws && e.kind == FaultKind::SlowConsumer);
+        self.consumer_draws += 1;
+        slows || scheduled
+    }
+
+    /// Whether a session stalls (consumes nothing for a few windows). One
+    /// draw per call; scheduled [`FaultKind::SessionStall`] events fire by
+    /// draw index.
+    pub fn session_stalls(&mut self) -> bool {
+        let stalls = self.rng.gen::<f32>() < self.plan.session_stall_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.stall_draws && e.kind == FaultKind::SessionStall);
+        self.stall_draws += 1;
+        stalls || scheduled
+    }
+
+    /// Whether the gateway scheduler skips the next scheduling window. One
+    /// draw per call; scheduled [`FaultKind::SchedulerHiccup`] events fire
+    /// by window index.
+    pub fn scheduler_hiccups(&mut self) -> bool {
+        let hiccups = self.rng.gen::<f32>() < self.plan.scheduler_hiccup_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.window_draws && e.kind == FaultKind::SchedulerHiccup);
+        self.window_draws += 1;
+        hiccups || scheduled
     }
 
     /// Whether a [`FaultKind::TrainAbort`] is scheduled right after the OSP
@@ -589,6 +723,10 @@ pub struct HealthReport {
     /// 1 = best cached model, 2 = pinned fallback model, 3 = last-good
     /// detections.
     pub fallback_depths: [usize; 4],
+    /// Model ids evicted by mid-stream memory pressure, in eviction order.
+    /// Defaults to empty when deserializing reports from older runs.
+    #[serde(default)]
+    pub pressure_evicted: Vec<usize>,
 }
 
 impl HealthReport {
@@ -738,6 +876,47 @@ mod tests {
     }
 
     #[test]
+    fn gateway_categories_use_independent_counters() {
+        let plan = FaultPlan::new(Seed(14))
+            .at(1, FaultKind::QueueOverflow)
+            .at(0, FaultKind::SlowConsumer)
+            .at(2, FaultKind::SessionStall)
+            .at(1, FaultKind::SchedulerHiccup);
+        assert!(!plan.is_zero_fault());
+        let mut injector = plan.injector();
+        // Each category draws on its own index stream.
+        assert!(!injector.queue_overflows());
+        assert!(injector.queue_overflows());
+        assert!(injector.consumer_slows());
+        assert!(!injector.consumer_slows());
+        assert!(!injector.session_stalls());
+        assert!(!injector.session_stalls());
+        assert!(injector.session_stalls());
+        assert!(!injector.scheduler_hiccups());
+        assert!(injector.scheduler_hiccups());
+        // The per-frame stream is untouched by gateway schedules.
+        for frame in 0..6 {
+            assert!(!injector.next_frame().any(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn gateway_rates_draw_proportionally() {
+        let mut injector = FaultPlan::new(Seed(15))
+            .with_queue_overflow_rate(0.3)
+            .with_scheduler_hiccup_rate(0.1)
+            .injector();
+        assert!(!injector.plan().is_zero_fault());
+        let n = 2000;
+        let overflows = (0..n).filter(|_| injector.queue_overflows()).count();
+        let rate = overflows as f32 / n as f32;
+        assert!((rate - 0.3).abs() < 0.05, "observed {rate}");
+        let hiccups = (0..n).filter(|_| injector.scheduler_hiccups()).count();
+        let rate = hiccups as f32 / n as f32;
+        assert!((rate - 0.1).abs() < 0.04, "observed {rate}");
+    }
+
+    #[test]
     fn scheduled_write_failure_dominates_truncation() {
         let mut injector = FaultPlan::new(Seed(12))
             .at(0, FaultKind::TruncatedArtifact)
@@ -777,6 +956,7 @@ mod tests {
             load_strikes: 0,
             excluded_models: vec![4],
             fallback_depths: [7, 1, 1, 1],
+            pressure_evicted: Vec::new(),
         };
         assert!((report.degraded_fraction() - 0.4).abs() < 1e-6);
         let text = report.to_string();

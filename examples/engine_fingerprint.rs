@@ -8,10 +8,12 @@
 //! diff without.txt with.txt
 //! ```
 
+use anole::core::gateway::{Gateway, GatewayConfig, SessionSpec};
+use anole::core::omi::FaultPlan;
 use anole::core::{AnoleConfig, AnoleSystem};
 use anole::data::{DatasetConfig, DrivingDataset};
 use anole::device::DeviceKind;
-use anole::tensor::Seed;
+use anole::tensor::{split_seed, Seed};
 
 /// FNV-1a over a byte stream: dependency-free and stable across platforms.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -53,5 +55,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.cache_stats(),
         fnv1a(&engine.usage_log().iter().flat_map(|u| u.to_le_bytes()).collect::<Vec<u8>>())
     );
+
+    // The serving gateway under a chaotic fault plan: scheduling, shedding,
+    // and batched scoring must also be byte-identical with obs on or off.
+    let mut gateway = Gateway::new(
+        &system,
+        GatewayConfig {
+            max_sessions: 32,
+            deadline_ms: 150.0,
+            slow_factor: 8.0,
+            ..GatewayConfig::default()
+        },
+    )?
+    .with_fault_plan(
+        FaultPlan::new(Seed(4))
+            .with_queue_overflow_rate(0.05)
+            .with_slow_consumer_rate(0.3)
+            .with_session_stall_rate(0.05)
+            .with_scheduler_hiccup_rate(0.1),
+    );
+    for i in 0..32usize {
+        let frames = (0..8)
+            .map(|k| dataset.frame(split.test[(i * 5 + k) % split.test.len()]).clone())
+            .collect();
+        gateway.admit(SessionSpec::new(frames, split_seed(Seed(5), i as u64)))?;
+    }
+    let report = gateway.run();
+    println!(
+        "gateway sessions={} processed={} shed={} windows={} batched={}",
+        report.sessions.len(),
+        report.frames_processed,
+        report.frames_shed,
+        report.windows,
+        report.batched_frames
+    );
+    println!("gateway_hash {:016x}", fnv1a(serde_json::to_string(&report)?.as_bytes()));
     Ok(())
 }

@@ -1,0 +1,182 @@
+//! Gateway property tests: structural invariants of the serving gateway
+//! under arbitrary fault schedules and configurations.
+//!
+//! Three contracts, for any seeded fault plan and any (small) fleet shape:
+//! queues never exceed their configured bound (backpressure, not buffering,
+//! absorbs overload); every admitted session ends in a terminal state with
+//! every frame accounted for (processed + shed + dropped = total); and the
+//! cross-session batched decision forward is bit-identical to per-session
+//! scoring, so batching is purely a scheduling optimisation.
+//!
+//! `ANOLE_CHAOS_SEED` (default 0) perturbs every fault-plan seed so CI can
+//! sweep the suite; the invariants hold for any value.
+
+use std::sync::OnceLock;
+
+use anole::core::gateway::{Gateway, GatewayConfig, GatewayReport, SessionSpec};
+use anole::core::omi::FaultPlan;
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset, Frame};
+use anole::tensor::{split_seed, Seed};
+use proptest::prelude::*;
+
+fn chaos_seed() -> u64 {
+    std::env::var("ANOLE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Training dominates test time; every case shares one trained system.
+fn world() -> &'static (DrivingDataset, AnoleSystem) {
+    static WORLD: OnceLock<(DrivingDataset, AnoleSystem)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(9201));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(9202)).unwrap();
+        (dataset, system)
+    })
+}
+
+/// `n` test-split frames, rotated by session index so sessions differ.
+fn session_frames(dataset: &DrivingDataset, session: usize, n: usize) -> Vec<Frame> {
+    let split = dataset.split();
+    (0..n)
+        .map(|k| dataset.frame(split.test[(session * 7 + k) % split.test.len()]).clone())
+        .collect()
+}
+
+fn run_fleet(
+    config: GatewayConfig,
+    plan: Option<FaultPlan>,
+    sessions: usize,
+    frames_each: usize,
+    seed: u64,
+) -> GatewayReport {
+    let (dataset, system) = world();
+    let mut gateway = Gateway::new(system, config).unwrap();
+    if let Some(plan) = plan {
+        gateway = gateway.with_fault_plan(plan);
+    }
+    for i in 0..sessions {
+        gateway
+            .admit(SessionSpec::new(
+                session_frames(dataset, i, frames_each),
+                split_seed(Seed(seed), 40_000 + i as u64),
+            ))
+            .unwrap();
+    }
+    gateway.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For ANY fault schedule and fleet shape: queues stay within their
+    /// configured bound, every session reaches a terminal state, and every
+    /// frame of every session is processed, shed, or dropped — none lost.
+    #[test]
+    fn queues_stay_bounded_and_every_frame_is_accounted_for(
+        overflow in 0.0f32..0.5,
+        slow in 0.0f32..0.8,
+        stall in 0.0f32..0.3,
+        hiccup in 0.0f32..0.3,
+        plan_seed in 0u64..500,
+        sessions in 1usize..5,
+        frames_each in 1usize..16,
+        queue_capacity in 1usize..6,
+    ) {
+        let config = GatewayConfig {
+            max_sessions: sessions,
+            queue_capacity,
+            deadline_ms: 120.0,
+            slow_factor: 8.0,
+            ..GatewayConfig::default()
+        };
+        let plan = FaultPlan::new(Seed(plan_seed.wrapping_add(chaos_seed())))
+            .with_queue_overflow_rate(overflow)
+            .with_slow_consumer_rate(slow)
+            .with_session_stall_rate(stall)
+            .with_scheduler_hiccup_rate(hiccup);
+        let report = run_fleet(config, Some(plan), sessions, frames_each, plan_seed);
+
+        prop_assert_eq!(report.admitted, sessions);
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert_eq!(report.lost_sessions(), 0, "non-terminal sessions: {:?}", report);
+        prop_assert!(
+            report.peak_queue_depth <= queue_capacity,
+            "peak queue depth {} exceeds capacity {}",
+            report.peak_queue_depth,
+            queue_capacity
+        );
+        for s in &report.sessions {
+            prop_assert!(s.state.is_terminal());
+            prop_assert!(s.peak_queue_depth <= queue_capacity);
+            prop_assert_eq!(
+                s.processed + s.shed_frames + s.dropped_frames,
+                s.frames_total,
+                "session {} leaked frames: {:?}",
+                s.id,
+                s
+            );
+        }
+        prop_assert_eq!(
+            report.frames_processed + report.frames_shed + report.frames_dropped,
+            report.sessions.iter().map(|s| s.frames_total).sum::<usize>()
+        );
+    }
+
+    /// Window-batched decision scoring is bit-identical to per-session
+    /// scoring: the same fleet run with batching forced on (every window
+    /// with at least one candidate batches) and forced off produces
+    /// identical per-session reports, frame for frame.
+    #[test]
+    fn batched_scoring_is_bit_identical_to_per_session(
+        sessions in 1usize..5,
+        frames_each in 1usize..12,
+        seed in 0u64..200,
+    ) {
+        let lossless = GatewayConfig {
+            max_sessions: sessions,
+            deadline_ms: f64::INFINITY,
+            shed_session_after: usize::MAX,
+            ..GatewayConfig::default()
+        };
+        let batched = run_fleet(
+            GatewayConfig { batch_min: 1, ..lossless },
+            None,
+            sessions,
+            frames_each,
+            seed,
+        );
+        let single = run_fleet(
+            GatewayConfig { batch_min: usize::MAX, ..lossless },
+            None,
+            sessions,
+            frames_each,
+            seed,
+        );
+        prop_assert!(batched.batched_calls > 0 || frames_each == 0);
+        prop_assert_eq!(single.batched_calls, 0);
+        prop_assert_eq!(&batched.sessions, &single.sessions);
+    }
+}
+
+/// The gateway is a deterministic simulation: the same configuration, fault
+/// plan, and admission order reproduce the same report byte for byte.
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let config = GatewayConfig {
+        max_sessions: 3,
+        deadline_ms: 150.0,
+        slow_factor: 10.0,
+        ..GatewayConfig::default()
+    };
+    let plan = || {
+        FaultPlan::new(Seed(chaos_seed().wrapping_add(77)))
+            .with_slow_consumer_rate(0.5)
+            .with_scheduler_hiccup_rate(0.1)
+    };
+    let a = run_fleet(config, Some(plan()), 3, 10, 7);
+    let b = run_fleet(config, Some(plan()), 3, 10, 7);
+    assert_eq!(a, b);
+}
