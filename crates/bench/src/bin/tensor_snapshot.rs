@@ -23,7 +23,7 @@ use anole_core::osp::{ModelRepository, SceneModel};
 use anole_core::{AnoleConfig, SceneModelConfig};
 use anole_data::{DatasetConfig, DrivingDataset};
 use anole_nn::{Activation, Mlp, OptimizerKind, TrainConfig, Trainer, Workspace};
-use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, Seed};
+use anole_tensor::{rng_from_seed, set_parallel_config, Matrix, ParallelConfig, QuantMatrix, Seed};
 
 fn serial() -> ParallelConfig {
     ParallelConfig {
@@ -142,6 +142,30 @@ fn main() -> ExitCode {
                 }));
             }
         }
+    }
+
+    // Int8 kernels: per-row symmetric quantization and the i8×i8→i32
+    // k-blocked matmul. `matmul_i8` is NT-shaped (out[i][j] = a.row(i) ·
+    // b.row(j) dequantized), so its f32 comparator is the tiled matmul of
+    // the same 256³ problem; the quantize row prices the dynamic
+    // per-activation quantization the serving path pays per layer.
+    {
+        let mut rng = rng_from_seed(Seed(9_356));
+        let a = Matrix::random_normal(256, 256, 1.0, &mut rng);
+        let b = Matrix::random_normal(256, 256, 1.0, &mut rng);
+        record("quantize_256", "per_row", 1, time_ms(reps.max(20), || {
+            black_box(QuantMatrix::quantize(&a));
+        }));
+        let aq = QuantMatrix::quantize(&a);
+        let bq = QuantMatrix::quantize(&b);
+        set_parallel_config(serial());
+        record("matmul_i8_256", "serial", 1, time_ms(reps, || {
+            black_box(aq.matmul_i8(&bq).unwrap());
+        }));
+        set_parallel_config(parallel());
+        record("matmul_i8_256", "parallel", auto_threads, time_ms(reps, || {
+            black_box(aq.matmul_i8(&bq).unwrap());
+        }));
     }
 
     // Fused vs reference optimizer steps on a 256->512->256 model.
@@ -288,6 +312,13 @@ fn main() -> ExitCode {
                     (Some(nt), Some(mm)) if mm > 0.0 => Some(nt / mm),
                     _ => None,
                 },
+            // ISSUE acceptance gate: i8 must beat tiled f32 by at least 2x.
+            "i8_vs_f32":
+                match (find("matmul_256", "tiled_serial"), find("matmul_i8_256", "serial")) {
+                    (Some(f32_ms), Some(i8_ms)) if i8_ms > 0.0 => Some(f32_ms / i8_ms),
+                    _ => None,
+                },
+            "matmul_i8_256_parallel_vs_serial": ratio("matmul_i8_256", "serial", "parallel"),
             "optim_step_sgd_reference_vs_fused": ratio("optim_step_sgd", "reference", "fused"),
             "optim_step_adam_reference_vs_fused": ratio("optim_step_adam", "reference", "fused"),
             "train_epoch_parallel_vs_serial": ratio("train_epoch_512x32", "serial", "parallel"),

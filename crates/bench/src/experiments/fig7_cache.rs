@@ -97,7 +97,11 @@ pub(crate) fn run_with_capacity(
     let mut hits = 0u64;
     let mut lookups = 0u64;
     let mut system = ctx.system.clone();
-    system.set_cache_config(anole_core::CacheConfig { capacity, policy });
+    system.set_cache_config(anole_core::CacheConfig {
+        capacity,
+        policy,
+        byte_budget: None,
+    });
     for clip in clips {
         let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, split_seed(ctx.seed, 703));
         engine.warm(&(0..capacity.min(system.repository().len())).collect::<Vec<_>>());

@@ -35,6 +35,7 @@ struct EntryMeta {
     frequency: u64,
     last_used: u64,
     inserted: u64,
+    bytes: u64,
 }
 
 /// A cache holding at most `capacity` keys, evicting per the configured
@@ -52,6 +53,9 @@ struct EntryMeta {
 pub struct SlotCache<K> {
     capacity: usize,
     policy: EvictionPolicy,
+    /// Optional resident-byte ceiling enforced alongside the slot count by
+    /// [`SlotCache::insert_weighted`]; `None` disables byte accounting.
+    byte_budget: Option<u64>,
     entries: HashMap<K, EntryMeta>,
     lifetime_frequency: HashMap<K, u64>,
     clock: u64,
@@ -67,6 +71,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         Self {
             capacity,
             policy,
+            byte_budget: None,
             entries: HashMap::new(),
             lifetime_frequency: HashMap::new(),
             clock: 0,
@@ -74,9 +79,30 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         }
     }
 
+    /// Creates a cache bounded by both a slot count and a resident-byte
+    /// budget. [`SlotCache::insert_weighted`] evicts until both hold;
+    /// per-model byte weights let mixed-precision models share one cache
+    /// fairly (an int8 model charges ~¼ the bytes of its f32 twin, so the
+    /// same budget holds ~4× as many of them).
+    pub fn with_byte_budget(capacity: usize, policy: EvictionPolicy, byte_budget: u64) -> Self {
+        let mut cache = Self::new(capacity, policy);
+        cache.byte_budget = Some(byte_budget);
+        cache
+    }
+
     /// Slot count.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Resident-byte ceiling, if byte accounting is enabled.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
+    }
+
+    /// Bytes currently charged by resident entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.stats.resident_bytes
     }
 
     /// The eviction policy.
@@ -129,7 +155,23 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
 
     /// Inserts `key`, evicting if at capacity. Returns the evicted key, if
     /// any. Inserting a resident key refreshes it and evicts nothing.
+    ///
+    /// The entry charges 0 bytes; use [`SlotCache::insert_weighted`] when a
+    /// byte budget should constrain residency.
     pub fn insert(&mut self, key: K) -> Option<K> {
+        self.insert_weighted(key, 0).into_iter().next()
+    }
+
+    /// Inserts `key` charging `bytes` against the byte budget (if one is
+    /// configured), evicting per the configured policy until both the slot
+    /// count and the budget hold. Returns the evicted keys in eviction
+    /// order.
+    ///
+    /// Re-inserting a resident key refreshes it, re-charges it at `bytes`
+    /// (a model reloaded at a different precision changes weight), and then
+    /// evicts other entries if the new weight overflows the budget. A key
+    /// whose weight alone exceeds the budget is not admitted.
+    pub fn insert_weighted(&mut self, key: K, bytes: u64) -> Vec<K> {
         self.clock += 1;
         self.stats.insertions += 1;
         anole_obs::counter_add!("cache.insertions", 1);
@@ -138,32 +180,52 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
             .entry(key.clone())
             .and_modify(|f| *f += 1)
             .or_insert(1);
+        let mut evicted = Vec::new();
         if let Some(meta) = self.entries.get_mut(&key) {
             meta.frequency += 1;
             meta.last_used = self.clock;
-            return None;
-        }
-        let mut evicted = None;
-        if self.capacity == 0 {
-            return None;
-        }
-        if self.entries.len() >= self.capacity {
-            if let Some(victim) = self.pick_victim() {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-                anole_obs::counter_add!("cache.evictions", 1);
-                evicted = Some(victim);
+            self.stats.resident_bytes = self.stats.resident_bytes - meta.bytes + bytes;
+            meta.bytes = bytes;
+        } else {
+            if self.capacity == 0 || self.byte_budget.is_some_and(|budget| bytes > budget) {
+                return evicted;
             }
+            while self.entries.len() >= self.capacity
+                || self
+                    .byte_budget
+                    .is_some_and(|budget| self.stats.resident_bytes + bytes > budget)
+            {
+                match self.pick_victim() {
+                    Some(victim) => {
+                        self.evict_entry(&victim);
+                        evicted.push(victim);
+                    }
+                    None => break,
+                }
+            }
+            self.stats.resident_bytes += bytes;
+            self.entries.insert(
+                key,
+                EntryMeta {
+                    frequency: lifetime,
+                    last_used: self.clock,
+                    inserted: self.clock,
+                    bytes,
+                },
+            );
         }
-        self.entries.insert(
-            key,
-            EntryMeta {
-                frequency: lifetime,
-                last_used: self.clock,
-                inserted: self.clock,
-            },
-        );
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
         evicted
+    }
+
+    /// Removes `victim` and settles its eviction accounting.
+    fn evict_entry(&mut self, victim: &K) {
+        if let Some(meta) = self.entries.remove(victim) {
+            self.stats.resident_bytes -= meta.bytes;
+            self.stats.evictions += 1;
+            anole_obs::counter_add!("cache.evictions", 1);
+        }
     }
 
     /// Bumps `key`'s frequency and recency without touching hit/miss
@@ -187,7 +249,13 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
 
     /// Removes `key` if resident, returning whether it was.
     pub fn remove(&mut self, key: &K) -> bool {
-        self.entries.remove(key).is_some()
+        match self.entries.remove(key) {
+            Some(meta) => {
+                self.stats.resident_bytes -= meta.bytes;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Resizes the cache to `capacity` slots, evicting per the configured
@@ -203,10 +271,8 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         while self.entries.len() > self.capacity {
             match self.pick_victim() {
                 Some(victim) => {
-                    self.entries.remove(&victim);
-                    self.stats.evictions += 1;
+                    self.evict_entry(&victim);
                     self.stats.capacity_evictions += 1;
-                    anole_obs::counter_add!("cache.evictions", 1);
                     anole_obs::counter_add!("cache.capacity_evictions", 1);
                     evicted.push(victim);
                 }
@@ -216,9 +282,11 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         evicted
     }
 
-    /// Removes every resident key (statistics are kept).
+    /// Removes every resident key (statistics are kept; resident bytes drop
+    /// to zero).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.stats.resident_bytes = 0;
     }
 
     fn pick_victim(&self) -> Option<K> {
@@ -394,6 +462,85 @@ mod tests {
         c.insert(2);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn byte_budget_evicts_until_the_new_entry_fits() {
+        // Budget of 100 bytes, generous slot count: three 40-byte entries
+        // cannot coexist, so the third insert evicts the least-recent.
+        let mut c = SlotCache::with_byte_budget(10, EvictionPolicy::Lru, 100);
+        assert!(c.insert_weighted("a", 40).is_empty());
+        assert!(c.insert_weighted("b", 40).is_empty());
+        assert_eq!(c.resident_bytes(), 80);
+        assert_eq!(c.insert_weighted("c", 40), vec!["a"]);
+        assert_eq!(c.resident_bytes(), 80);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().peak_resident_bytes, 80);
+    }
+
+    #[test]
+    fn quarter_weight_entries_quadruple_occupancy() {
+        // The int8 story: at equal byte budget, entries charging a quarter
+        // of the f32 weight pack 4x as many models into the cache.
+        let budget = 400u64;
+        let mut fp32 = SlotCache::with_byte_budget(64, EvictionPolicy::Lfu, budget);
+        let mut int8 = SlotCache::with_byte_budget(64, EvictionPolicy::Lfu, budget);
+        for i in 0..16 {
+            fp32.insert_weighted(i, 100);
+            int8.insert_weighted(i, 25);
+        }
+        assert_eq!(fp32.len(), 4);
+        assert_eq!(int8.len(), 16);
+        assert!(int8.len() >= 3 * fp32.len());
+        assert!(fp32.resident_bytes() <= budget);
+        assert!(int8.resident_bytes() <= budget);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_admitted() {
+        let mut c = SlotCache::with_byte_budget(4, EvictionPolicy::Lru, 50);
+        c.insert_weighted("a", 30);
+        let evicted = c.insert_weighted("huge", 60);
+        assert!(evicted.is_empty());
+        assert!(!c.contains(&"huge"));
+        assert!(c.contains(&"a"));
+        assert_eq!(c.resident_bytes(), 30);
+    }
+
+    #[test]
+    fn reinserting_at_a_new_weight_recharges_the_entry() {
+        // A model re-admitted at int8 precision shrinks its charge.
+        let mut c = SlotCache::with_byte_budget(4, EvictionPolicy::Lru, 100);
+        c.insert_weighted("m", 80);
+        assert_eq!(c.resident_bytes(), 80);
+        assert!(c.insert_weighted("m", 20).is_empty());
+        assert_eq!(c.resident_bytes(), 20);
+        assert_eq!(c.len(), 1);
+        // The freed budget now admits more entries.
+        assert!(c.insert_weighted("n", 80).is_empty());
+        assert_eq!(c.resident_bytes(), 100);
+    }
+
+    #[test]
+    fn remove_and_clear_release_resident_bytes() {
+        let mut c = SlotCache::with_byte_budget(4, EvictionPolicy::Fifo, 100);
+        c.insert_weighted(1, 30);
+        c.insert_weighted(2, 30);
+        assert!(c.remove(&1));
+        assert_eq!(c.resident_bytes(), 30);
+        c.clear();
+        assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.stats().peak_resident_bytes, 60);
+    }
+
+    #[test]
+    fn unweighted_inserts_keep_slot_semantics_and_charge_nothing() {
+        let mut c = SlotCache::new(2, EvictionPolicy::Lru);
+        c.insert("a");
+        c.insert("b");
+        assert_eq!(c.insert("c"), Some("a"));
+        assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.byte_budget(), None);
     }
 
     #[test]

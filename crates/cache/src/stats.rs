@@ -30,6 +30,16 @@ pub struct CacheStats {
     /// [`set_capacity`]: crate::SlotCache::set_capacity
     #[serde(default)]
     pub capacity_evictions: u64,
+    /// Bytes currently charged by resident entries (entries inserted through
+    /// the unweighted [`insert`] count 0). Deserializes to 0 from logs
+    /// written before byte accounting existed.
+    ///
+    /// [`insert`]: crate::SlotCache::insert
+    #[serde(default)]
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` over the cache's lifetime.
+    #[serde(default)]
+    pub peak_resident_bytes: u64,
 }
 
 impl CacheStats {

@@ -164,6 +164,14 @@ pub struct CacheConfig {
     pub capacity: usize,
     /// Eviction policy (paper: LFU).
     pub policy: EvictionPolicy,
+    /// Optional resident-byte ceiling for the model cache. `None` keeps the
+    /// paper's pure slot-count semantics; with `Some(bytes)` every cached
+    /// model charges its serving-precision footprint
+    /// ([`CompressedModel::serving_bytes`](crate::osp::CompressedModel::serving_bytes)),
+    /// so int8 models pack ~4× denser than their f32 twins. Deserializes to
+    /// `None` from configs saved before byte accounting existed.
+    #[serde(default)]
+    pub byte_budget: Option<u64>,
 }
 
 impl Default for CacheConfig {
@@ -171,6 +179,32 @@ impl Default for CacheConfig {
         Self {
             capacity: 5,
             policy: EvictionPolicy::Lfu,
+            byte_budget: None,
+        }
+    }
+}
+
+/// Int8 serving (quantization) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Whether [`AnoleSystem::train`](crate::AnoleSystem::train) runs the
+    /// quantization sweep after the offline pipeline. Off by default: the
+    /// fp32 pipeline stays bit-identical to earlier releases, and
+    /// [`AnoleSystem::quantize_models`](crate::AnoleSystem::quantize_models)
+    /// can always be invoked explicitly.
+    pub enabled: bool,
+    /// Acceptance gate ε: a specialist whose validation F1 drops by more
+    /// than this when served at int8 keeps serving at fp32. The decision
+    /// model uses the same ε as a top-1 agreement bound (quantized routing
+    /// must agree with fp32 routing on at least `1 − ε` of the gate set).
+    pub epsilon_f1: f32,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            epsilon_f1: 0.02,
         }
     }
 }
@@ -191,6 +225,10 @@ pub struct AnoleConfig {
     pub decision: DecisionConfig,
     /// Model-cache parameters.
     pub cache: CacheConfig,
+    /// Int8 serving parameters. Deserializes to the disabled default from
+    /// configs saved before quantization existed.
+    #[serde(default)]
+    pub quant: QuantConfig,
 }
 
 
@@ -219,7 +257,23 @@ mod tests {
         assert_eq!(cfg.repository.target_models, 19);
         assert_eq!(cfg.cache.capacity, 5);
         assert_eq!(cfg.cache.policy, EvictionPolicy::Lfu);
+        assert_eq!(cfg.cache.byte_budget, None);
         assert!((cfg.sampling.theta - 0.9).abs() < 1e-12);
+        // Quantization is opt-in: the default pipeline stays pure fp32.
+        assert!(!cfg.quant.enabled);
+        assert!(cfg.quant.epsilon_f1 > 0.0);
+    }
+
+    #[test]
+    fn configs_without_quant_fields_still_deserialize() {
+        // A config serialized before the quantization PR has no `quant`
+        // section and no `byte_budget`; both must default, not error.
+        let json = serde_json::to_string(&AnoleConfig::default()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value.as_object_mut().unwrap().remove("quant");
+        value["cache"].as_object_mut().unwrap().remove("byte_budget");
+        let cfg: AnoleConfig = serde_json::from_value(value).unwrap();
+        assert_eq!(cfg, AnoleConfig::default());
     }
 
     #[test]

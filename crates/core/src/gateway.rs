@@ -768,7 +768,11 @@ impl<'a> Gateway<'a> {
                     s.state = SessionState::Active;
                 }
                 self.depth_hist.record(s.queue.len() as f64);
-                anole_obs::histogram_record!("gateway.queue.depth", s.queue.len() as f64);
+                anole_obs::histogram_record!(
+                    "gateway.queue.depth",
+                    QUEUE_DEPTH_BOUNDS,
+                    s.queue.len() as f64
+                );
             }
 
             // ---- Shedding + dispatch selection, session-id order. ----
@@ -923,6 +927,7 @@ impl<'a> Gateway<'a> {
                         self.latency_hist.record(done_at - c.arrival_ms);
                         anole_obs::histogram_record!(
                             "gateway.step.latency_ms",
+                            anole_obs::LATENCY_MS_BOUNDS,
                             done_at - c.arrival_ms
                         );
                         anole_obs::counter_add!("gateway.frames.processed", 1);

@@ -65,8 +65,8 @@ pub use checkpoint::{
     context_key, CheckpointStats, CheckpointStore, OspStage, RecoveryReport, TrainRecovery,
 };
 pub use config::{
-    AnoleConfig, CacheConfig, DecisionConfig, DetectorConfig, RepositoryConfig, SamplingConfig,
-    SceneModelConfig,
+    AnoleConfig, CacheConfig, DecisionConfig, DetectorConfig, QuantConfig, RepositoryConfig,
+    SamplingConfig, SceneModelConfig,
 };
 pub use error::AnoleError;
-pub use system::AnoleSystem;
+pub use system::{AnoleSystem, ModelQuantOutcome, QuantizationReport};

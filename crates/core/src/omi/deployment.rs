@@ -18,7 +18,7 @@
 
 use anole_cache::{CacheStats, SlotCache};
 use anole_device::{DeviceKind, LatencyModel};
-use anole_nn::{ReferenceModel, Workspace};
+use anole_nn::{Precision, ReferenceModel, Workspace};
 use anole_tensor::{rng_from_seed, Matrix, Seed};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -63,6 +63,11 @@ pub struct StepOutcome {
     pub fallback_depth: usize,
     /// Number of faults injected into this step.
     pub faults: u32,
+    /// Weight format of the model that served the frame (`Fp32` on frames
+    /// replayed from last-good detections, which run no model). Deserializes
+    /// to `Fp32` from logs written before quantized serving existed.
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 /// The on-device Anole engine: MSS (rank models per frame), CMD (LFU cache
@@ -125,9 +130,15 @@ impl<'a> OnlineEngine<'a> {
     pub fn new(system: &'a AnoleSystem, device: DeviceKind, seed: Seed) -> Self {
         let cache_cfg = system.config().cache;
         let n_models = system.repository().len();
+        let cache = match cache_cfg.byte_budget {
+            Some(budget) => {
+                SlotCache::with_byte_budget(cache_cfg.capacity, cache_cfg.policy, budget)
+            }
+            None => SlotCache::new(cache_cfg.capacity, cache_cfg.policy),
+        };
         Self {
             system,
-            cache: SlotCache::new(cache_cfg.capacity, cache_cfg.policy),
+            cache,
             latency: LatencyModel::for_device(device),
             rng: rng_from_seed(seed),
             usage_log: Vec::new(),
@@ -231,10 +242,12 @@ impl<'a> OnlineEngine<'a> {
     }
 
     /// Pre-loads the given models (the paper downloads and pre-loads as many
-    /// models as memory allows before going online).
+    /// models as memory allows before going online). Each model charges its
+    /// serving-precision footprint when a cache byte budget is configured.
     pub fn warm(&mut self, model_ids: &[usize]) {
         for &id in model_ids {
-            self.cache.insert(id);
+            let bytes = self.system.repository().model(id).serving_bytes();
+            self.cache.insert_weighted(id, bytes);
         }
     }
 
@@ -396,11 +409,12 @@ impl<'a> OnlineEngine<'a> {
             return false;
         }
         let tiny = ReferenceModel::Yolov3Tiny;
+        let bytes = self.system.repository().model(id).serving_bytes();
         self.load_attempts += 1;
         anole_obs::counter_add!("omi.load.attempts", 1);
         match self.pending_load_fault.take() {
             None => {
-                self.cache.insert(id);
+                self.cache.insert_weighted(id, bytes);
                 anole_obs::counter_add!("cache.cold_loads", 1);
                 self.background_load_ms += self.latency.load_ms(tiny);
                 true
@@ -440,7 +454,7 @@ impl<'a> OnlineEngine<'a> {
                 }
                 self.background_load_ms += cost;
                 if loaded {
-                    self.cache.insert(id);
+                    self.cache.insert_weighted(id, bytes);
                     anole_obs::counter_add!("cache.cold_loads", 1);
                 } else {
                     self.strikes_total += 1;
@@ -485,6 +499,7 @@ impl<'a> OnlineEngine<'a> {
             health: self.health,
             fallback_depth: 3,
             faults: injected,
+            precision: Precision::Fp32,
         })
     }
 
@@ -533,7 +548,24 @@ impl<'a> OnlineEngine<'a> {
             anole_obs::counter_add!("omi.health.transitions", 1);
         }
         anole_obs::gauge_set!("omi.health.state", self.health.index() as f64);
+        if outcome.precision == Precision::Int8 {
+            anole_obs::counter_add!("omi.engine.quant.frames_i8", 1);
+        }
+        anole_obs::gauge_set!(
+            "omi.engine.quant.resident",
+            self.quantized_resident() as f64
+        );
         outcome
+    }
+
+    /// Number of cache-resident models currently serving at int8.
+    pub fn quantized_resident(&self) -> usize {
+        self.cache
+            .iter()
+            .filter(|&&id| {
+                self.system.repository().model(id).serving_precision() == Precision::Int8
+            })
+            .count()
     }
 
     /// Runs one frame through the full Anole pipeline.
@@ -808,6 +840,7 @@ impl<'a> OnlineEngine<'a> {
             health: self.health,
             fallback_depth,
             faults: injected,
+            precision: self.system.repository().model(used).serving_precision(),
         }))
     }
 
@@ -842,6 +875,7 @@ impl<'a> OnlineEngine<'a> {
             health: self.health,
             fallback_depth: 2,
             faults: injected,
+            precision: self.system.repository().model(pinned).serving_precision(),
         }))
     }
 }
@@ -1308,6 +1342,78 @@ mod tests {
         assert_eq!(engine.health_report().pressure_evicted, evicted);
         // Pressure evictions are a subset of total evictions.
         assert!(engine.cache_stats().evictions >= engine.cache_stats().capacity_evictions);
+    }
+
+    /// A fast-config system whose every model passed the quantization gate
+    /// (ε = 1.0 admits any finite F1 delta; these tests exercise the serving
+    /// plumbing, not the gate itself).
+    fn quantized_system(data_seed: u64, train_seed: u64) -> (DrivingDataset, AnoleSystem) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(data_seed));
+        let mut cfg = AnoleConfig::fast();
+        cfg.quant.epsilon_f1 = 1.0;
+        let mut system = AnoleSystem::train(&dataset, &cfg, Seed(train_seed)).unwrap();
+        let report = system.quantize_models(&dataset).unwrap();
+        assert_eq!(report.accepted.len(), system.repository().len());
+        assert!(report.decision_quantized);
+        (dataset, system)
+    }
+
+    #[test]
+    fn outcome_precision_tracks_the_serving_model() {
+        let (dataset, system) = quantized_system(330, 331);
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(332));
+        engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+        let split = dataset.split();
+        for r in split.test.iter().take(20) {
+            let out = engine.step(&dataset.frame(*r).features).unwrap();
+            assert_eq!(
+                out.precision,
+                system.repository().model(out.used).serving_precision()
+            );
+            assert_eq!(out.precision, Precision::Int8);
+        }
+        assert_eq!(engine.quantized_resident(), engine.cache.len());
+    }
+
+    #[test]
+    fn quantized_models_pack_denser_under_a_byte_budget() {
+        let (dataset, mut int8) = quantized_system(340, 341);
+        if int8.repository().len() < 4 {
+            return; // too few specialists to demonstrate 3× packing
+        }
+        // The f32 twin of the same system: same nets, no quantized models.
+        let mut fp32 = {
+            let mut cfg = AnoleConfig::fast();
+            cfg.quant.epsilon_f1 = 1.0;
+            AnoleSystem::train(&dataset, &cfg, Seed(341)).unwrap()
+        };
+        let model_bytes = fp32.repository().model(0).serving_bytes();
+        assert!(int8.repository().model(0).serving_bytes() * 3 < model_bytes);
+
+        // A budget that fits exactly one f32 specialist.
+        let mut cache_cfg = crate::CacheConfig::default();
+        cache_cfg.capacity = 64;
+        cache_cfg.byte_budget = Some(model_bytes + model_bytes / 3);
+        fp32.set_cache_config(cache_cfg);
+        int8.set_cache_config(cache_cfg);
+
+        let all: Vec<usize> = (0..fp32.repository().len()).collect();
+        let mut e_fp = OnlineEngine::new(&fp32, DeviceKind::JetsonTx2Nx, Seed(342));
+        let mut e_i8 = OnlineEngine::new(&int8, DeviceKind::JetsonTx2Nx, Seed(342));
+        e_fp.warm(&all);
+        e_i8.warm(&all);
+        assert_eq!(e_fp.cache.len(), 1, "budget sized for one f32 model");
+        assert!(
+            e_i8.cache.len() >= 3 * e_fp.cache.len(),
+            "int8 {} vs fp32 {} resident at the same byte budget",
+            e_i8.cache.len(),
+            e_fp.cache.len()
+        );
+        assert_eq!(e_i8.quantized_resident(), e_i8.cache.len());
+        assert_eq!(e_fp.quantized_resident(), 0);
+        let budget = cache_cfg.byte_budget.unwrap();
+        assert!(e_fp.cache_stats().resident_bytes <= budget);
+        assert!(e_i8.cache_stats().resident_bytes <= budget);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! them as CSV for offline analysis.
 
 use anole_detect::DetectionCounts;
+use anole_nn::Precision;
 use anole_obs::FixedHistogram;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,11 @@ pub struct TelemetryRecord {
     /// trace. Defaults to 0 when deserializing logs from older runs.
     #[serde(default)]
     pub span_id: u64,
+    /// Weight format of the model that served the frame (`fp32` or `i8` in
+    /// the CSV). Deserializes to `Fp32` from logs written before quantized
+    /// serving existed.
+    #[serde(default)]
+    pub precision: Precision,
     /// Per-frame F1 against ground truth, when truth was supplied.
     pub f1: Option<f32>,
 }
@@ -103,6 +109,7 @@ impl Telemetry {
             fallback_depth: outcome.fallback_depth,
             faults: outcome.faults,
             span_id: anole_obs::last_root_span_id(),
+            precision: outcome.precision,
             f1,
         });
     }
@@ -129,7 +136,7 @@ impl Telemetry {
         use std::fmt::Write as _;
 
         const HEADER: &str = "frame,requested,used,cache_hit,models_executed,latency_ms,\
-                              suitability,health,fallback_depth,faults,span_id,f1\n";
+                              suitability,health,fallback_depth,faults,span_id,precision,f1\n";
         // Generous per-row estimate: eleven numeric/enum fields plus
         // separators stay well under this for realistic runs, so growth is
         // rare.
@@ -143,7 +150,7 @@ impl Telemetry {
             // Infallible for String; keep the row loop panic-free.
             let _ = write!(
                 out,
-                "{},{},{},{},{},{:?},{:?},{},{},{},{},",
+                "{},{},{},{},{},{:?},{:?},{},{},{},{},{},",
                 r.frame,
                 r.requested,
                 r.used,
@@ -155,6 +162,7 @@ impl Telemetry {
                 r.fallback_depth,
                 r.faults,
                 r.span_id,
+                r.precision,
             );
             if let Some(f1) = r.f1 {
                 let _ = write!(out, "{f1:?}");
@@ -182,6 +190,7 @@ impl Telemetry {
         let hit_rate = self.records.iter().filter(|r| r.cache_hit).count() as f32 / n;
         let mean_fallback_depth =
             self.records.iter().map(|r| r.fallback_depth as f32).sum::<f32>() / n;
+        let i8_frames = self.records.iter().filter(|r| r.precision == Precision::Int8).count();
         let scored: Vec<f32> = self.records.iter().filter_map(|r| r.f1).collect();
         let mean_f1 = if scored.is_empty() {
             0.0
@@ -197,6 +206,7 @@ impl Telemetry {
             hit_rate,
             mean_fallback_depth,
             mean_f1,
+            i8_frame_fraction: i8_frames as f32 / n,
         }
     }
 }
@@ -221,6 +231,10 @@ pub struct TelemetrySummary {
     pub mean_fallback_depth: f32,
     /// Mean per-frame F1 over the scored frames (0 when none were scored).
     pub mean_f1: f32,
+    /// Fraction of frames served by an int8 model. Deserializes to 0 from
+    /// summaries written before quantized serving existed.
+    #[serde(default)]
+    pub i8_frame_fraction: f32,
 }
 
 #[cfg(test)]
@@ -248,7 +262,8 @@ mod tests {
         assert_eq!(telemetry.len(), 25);
         let csv = telemetry.to_csv();
         assert_eq!(csv.lines().count(), 26);
-        assert!(csv.lines().nth(1).unwrap().split(',').count() == 12);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 13);
+        assert!(csv.lines().nth(1).unwrap().contains("fp32"));
         // A fault-free run stays healthy throughout.
         assert_eq!(telemetry.degraded_frames(), 0);
         assert_eq!(telemetry.fault_total(), 0);
@@ -281,6 +296,7 @@ mod tests {
             health: HealthState::Degraded,
             fallback_depth: 1,
             faults: 2,
+            precision: Precision::Int8,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, None);
@@ -290,6 +306,8 @@ mod tests {
         assert_eq!(t.degraded_frames(), 1);
         assert_eq!(t.fault_total(), 2);
         assert_eq!(t.summary().mean_f1, 0.0);
+        assert_eq!(t.summary().i8_frame_fraction, 1.0);
+        assert!(t.to_csv().lines().nth(1).unwrap().contains(",i8,"));
     }
 
     #[test]
@@ -310,6 +328,7 @@ mod tests {
             health: HealthState::Healthy,
             fallback_depth: 0,
             faults: 0,
+            precision: Precision::Fp32,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, Some(&[true]));
@@ -317,6 +336,7 @@ mod tests {
         let cols: Vec<&str> = row.split(',').collect();
         assert_eq!(cols[5].parse::<f32>().unwrap(), outcome.latency_ms);
         assert_eq!(cols[6].parse::<f32>().unwrap(), outcome.suitability);
-        assert_eq!(cols[11].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
+        assert_eq!(cols[11], "fp32");
+        assert_eq!(cols[12].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
     }
 }

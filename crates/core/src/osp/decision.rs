@@ -3,7 +3,10 @@
 
 use anole_data::{DrivingDataset, FrameRef};
 use anole_detect::{threshold_probs, ConfusionMatrix, DetectionCounts};
-use anole_nn::{softmax, Activation, Dense, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
+use anole_nn::{
+    softmax, Activation, Dense, Mlp, ModelProfile, Precision, QuantizedMlp, ReferenceModel,
+    Trainer, Workspace,
+};
 use anole_tensor::{argmax, split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +23,12 @@ use crate::{AnoleError, DecisionConfig};
 pub struct DecisionModel {
     net: Mlp,
     n_models: usize,
+    /// Int8 serving twin, set by [`DecisionModel::quantize_gated`] when
+    /// quantized routing agrees closely enough with fp32 routing. When set,
+    /// the workspace serving path routes through it. Deserializes to `None`
+    /// from models saved before quantization existed.
+    #[serde(default)]
+    quantized: Option<QuantizedMlp>,
 }
 
 impl DecisionModel {
@@ -136,7 +145,11 @@ impl DecisionModel {
                 report.epochs_run as f64 / (dt_ms / 1000.0)
             );
         }
-        Ok(Self { net, n_models })
+        Ok(Self {
+            net,
+            n_models,
+            quantized: None,
+        })
     }
 
     /// Number of compressed models this decision model ranks.
@@ -162,7 +175,10 @@ impl DecisionModel {
     ///
     /// Returns a width error if `x` does not match the feature dimension.
     pub fn suitability(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
-        Ok(softmax(&self.net.forward(x)?))
+        match &self.quantized {
+            Some(q) => Ok(softmax(&q.forward(x)?)),
+            None => Ok(softmax(&self.net.forward(x)?)),
+        }
     }
 
     /// Workspace-backed variant of [`DecisionModel::suitability`]:
@@ -177,7 +193,52 @@ impl DecisionModel {
         x: &Matrix,
         ws: &'w mut Workspace,
     ) -> Result<&'w Matrix, AnoleError> {
-        Ok(self.net.predict_proba_batch(x, ws)?)
+        match &self.quantized {
+            Some(q) => Ok(q.predict_proba_batch(x, ws)?),
+            None => Ok(self.net.predict_proba_batch(x, ws)?),
+        }
+    }
+
+    /// The weight format routing currently serves at.
+    pub fn serving_precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::Fp32
+        }
+    }
+
+    /// Quantizes the decision network behind a routing-agreement gate:
+    /// scores `x` (one gate frame per row) at fp32 and at int8, and adopts
+    /// the int8 twin only when the two rankings pick the same top-1 model on
+    /// at least `1 − epsilon` of the rows. Routing drift is what hurts a
+    /// deployment — a mis-routed frame is served by a worse specialist — so
+    /// the gate bounds exactly that, mirroring the per-specialist F1 gate.
+    ///
+    /// Returns whether int8 was adopted and the measured agreement fraction.
+    /// On rejection (or an empty gate set) the model keeps serving at fp32.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width error if `x` does not match the feature dimension.
+    pub fn quantize_gated(&mut self, x: &Matrix, epsilon: f32) -> Result<(bool, f32), AnoleError> {
+        if x.rows() == 0 {
+            self.quantized = None;
+            return Ok((false, 0.0));
+        }
+        let q = self.net.quantize();
+        let fp = softmax(&self.net.forward(x)?);
+        let i8_probs = softmax(&q.forward(x)?);
+        let mut agreed = 0usize;
+        for i in 0..x.rows() {
+            if argmax(fp.row(i)) == argmax(i8_probs.row(i)) {
+                agreed += 1;
+            }
+        }
+        let agreement = agreed as f32 / x.rows() as f32;
+        let accepted = agreement >= 1.0 - epsilon;
+        self.quantized = accepted.then_some(q);
+        Ok((accepted, agreement))
     }
 
     /// Model ids of one frame ranked by decreasing suitability.

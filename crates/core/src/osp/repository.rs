@@ -11,7 +11,10 @@ use std::collections::HashSet;
 use anole_cluster::MultiLevelClustering;
 use anole_data::{DrivingDataset, FrameRef};
 use anole_detect::{threshold_probs, DetectionCounts};
-use anole_nn::{sigmoid, Activation, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
+use anole_nn::{
+    sigmoid, Activation, Mlp, ModelProfile, Precision, QuantizedMlp, ReferenceModel, Trainer,
+    Workspace,
+};
 use anole_tensor::{split_seed, Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
@@ -45,16 +48,28 @@ pub struct CompressedModel {
     pub origin: ClusterOrigin,
     /// The training set Γᵢ (frame references).
     pub training_set: Vec<FrameRef>,
+    /// Int8 serving twin, present when the acceptance gate admitted this
+    /// model for quantized serving
+    /// ([`AnoleSystem::quantize_models`](crate::AnoleSystem::quantize_models)).
+    /// When set, every detection path serves from it instead of `net`.
+    /// Deserializes to `None` from repositories saved before quantization
+    /// existed.
+    #[serde(default)]
+    pub quantized: Option<QuantizedMlp>,
 }
 
 impl CompressedModel {
-    /// Per-cell detection probabilities for a batch of frames.
+    /// Per-cell detection probabilities for a batch of frames, served at
+    /// [`CompressedModel::serving_precision`].
     ///
     /// # Errors
     ///
     /// Returns a width error if `x` does not match the feature dimension.
     pub fn detect_probs(&self, x: &Matrix) -> Result<Matrix, AnoleError> {
-        Ok(sigmoid(&self.net.forward(x)?))
+        match &self.quantized {
+            Some(q) => Ok(sigmoid(&q.forward(x)?)),
+            None => Ok(sigmoid(&self.net.forward(x)?)),
+        }
     }
 
     /// Workspace-backed variant of [`CompressedModel::detect_probs`]:
@@ -69,7 +84,29 @@ impl CompressedModel {
         x: &Matrix,
         ws: &'w mut Workspace,
     ) -> Result<&'w Matrix, AnoleError> {
-        Ok(self.net.predict_sigmoid_batch(x, ws)?)
+        match &self.quantized {
+            Some(q) => Ok(q.predict_sigmoid_batch(x, ws)?),
+            None => Ok(self.net.predict_sigmoid_batch(x, ws)?),
+        }
+    }
+
+    /// The weight format this model currently serves at.
+    pub fn serving_precision(&self) -> Precision {
+        if self.quantized.is_some() {
+            Precision::Int8
+        } else {
+            Precision::Fp32
+        }
+    }
+
+    /// Bytes the serving weights hold resident: the int8 twin's footprint
+    /// (~¼ of f32) when quantized, the f32 weights otherwise. This is the
+    /// weight the slot cache charges against its byte budget.
+    pub fn serving_bytes(&self) -> u64 {
+        match &self.quantized {
+            Some(q) => q.weight_bytes(),
+            None => self.net.weight_bytes(),
+        }
     }
 
     /// Thresholded detections for one frame.
@@ -386,6 +423,12 @@ impl ModelRepository {
         &self.models
     }
 
+    /// Mutable access for the quantization sweep (crate-internal: callers
+    /// must keep `id` fields dense and in slot order).
+    pub(crate) fn models_mut(&mut self) -> &mut [CompressedModel] {
+        &mut self.models
+    }
+
     /// Number of models.
     pub fn len(&self) -> usize {
         self.models.len()
@@ -447,6 +490,7 @@ fn train_compressed(
         validation_f1: 0.0,
         origin,
         training_set: refs.to_vec(),
+        quantized: None,
     })
 }
 

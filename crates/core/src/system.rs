@@ -151,13 +151,17 @@ impl AnoleSystem {
                 decision
             }
         };
-        Ok(Self {
+        let mut system = Self {
             config: *config,
             scene_model,
             repository,
             decision,
             suitability_sets,
-        })
+        };
+        if config.quant.enabled {
+            system.quantize_models(dataset)?;
+        }
+        Ok(system)
     }
 
     /// The configuration the system was trained with.
@@ -195,6 +199,68 @@ impl AnoleSystem {
     /// different cache settings).
     pub fn set_cache_config(&mut self, cache: crate::CacheConfig) {
         self.config.cache = cache;
+    }
+
+    /// Converts the repository and the decision model to the int8 serving
+    /// format, behind per-model acceptance gates (ε =
+    /// [`QuantConfig::epsilon_f1`](crate::QuantConfig::epsilon_f1)):
+    ///
+    /// * each compressed specialist is quantized only if its validation-split
+    ///   F1 at int8 stays within ε of its fp32 F1 — a model the gate rejects
+    ///   keeps serving at fp32;
+    /// * the decision model is quantized only if int8 routing picks the same
+    ///   top-1 specialist as fp32 routing on at least `1 − ε` of the
+    ///   validation frames.
+    ///
+    /// The sweep is deterministic (quantization is a pure function of the
+    /// trained weights and the fixed validation split) and idempotent:
+    /// re-running it re-derives the same twins and the same verdicts.
+    /// Already-quantized models are re-gated from their f32 weights, so the
+    /// gate never compounds quantization error across calls.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces width errors from the underlying forwards.
+    pub fn quantize_models(
+        &mut self,
+        dataset: &DrivingDataset,
+    ) -> Result<QuantizationReport, AnoleError> {
+        let _span = anole_obs::span!("osp.quantize");
+        let epsilon = self.config.quant.epsilon_f1;
+        let threshold = self.config.detector.threshold;
+        let val = &dataset.split().val;
+        let mut report = QuantizationReport::default();
+        for model in self.repository.models_mut() {
+            model.quantized = None;
+            let fp32_f1 = model.evaluate_f1(dataset, val, threshold)?;
+            model.quantized = Some(model.net.quantize());
+            let int8_f1 = model.evaluate_f1(dataset, val, threshold)?;
+            let outcome = ModelQuantOutcome {
+                id: model.id,
+                fp32_f1,
+                int8_f1,
+            };
+            if fp32_f1 - int8_f1 > epsilon {
+                model.quantized = None;
+                anole_obs::counter_add!("omi.engine.quant.rejected", 1);
+                report.rejected.push(outcome);
+            } else {
+                anole_obs::counter_add!("omi.engine.quant.accepted", 1);
+                report.accepted.push(outcome);
+            }
+        }
+        let x_val = dataset.features_matrix(val);
+        let (decision_accepted, agreement) = self.decision.quantize_gated(&x_val, epsilon)?;
+        if !decision_accepted {
+            anole_obs::counter_add!("omi.engine.quant.rejected", 1);
+        }
+        report.decision_quantized = decision_accepted;
+        report.decision_agreement = agreement;
+        anole_obs::gauge_set!(
+            "omi.engine.quant.models",
+            report.accepted.len() as f64 + f64::from(decision_accepted)
+        );
+        Ok(report)
     }
 
     /// Online repository expansion — the paper's remedy for §II case 3
@@ -268,6 +334,7 @@ impl AnoleSystem {
                 scenes: Vec::new(),
             },
             training_set: Vec::new(),
+            quantized: None,
         };
         let threshold = self.config.detector.threshold;
         let mut counts = anole_detect::DetectionCounts::default();
@@ -336,6 +403,51 @@ impl AnoleSystem {
             split_seed(seed, 2),
         )?;
         Ok(new_id)
+    }
+}
+
+/// Per-model verdict of the quantization sweep: validation F1 at both
+/// precisions, so the accuracy cost of int8 is auditable per specialist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelQuantOutcome {
+    /// Repository index of the specialist.
+    pub id: usize,
+    /// Validation F1 served at fp32.
+    pub fp32_f1: f32,
+    /// Validation F1 served at int8.
+    pub int8_f1: f32,
+}
+
+impl ModelQuantOutcome {
+    /// F1 lost by quantizing (positive when int8 is worse).
+    pub fn f1_delta(&self) -> f32 {
+        self.fp32_f1 - self.int8_f1
+    }
+}
+
+/// What [`AnoleSystem::quantize_models`] decided.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantizationReport {
+    /// Specialists now serving at int8 (F1 delta within ε).
+    pub accepted: Vec<ModelQuantOutcome>,
+    /// Specialists the gate kept at fp32 (F1 delta above ε).
+    pub rejected: Vec<ModelQuantOutcome>,
+    /// Whether the decision model now routes at int8.
+    pub decision_quantized: bool,
+    /// Measured top-1 routing agreement between fp32 and int8 on the gate
+    /// set (0.0 when the gate set was empty).
+    pub decision_agreement: f32,
+}
+
+impl QuantizationReport {
+    /// Models (specialists + decision head) now serving at int8.
+    pub fn quantized_count(&self) -> usize {
+        self.accepted.len() + usize::from(self.decision_quantized)
+    }
+
+    /// Largest F1 the gate allowed any accepted specialist to lose.
+    pub fn worst_accepted_delta(&self) -> f32 {
+        self.accepted.iter().map(ModelQuantOutcome::f1_delta).fold(0.0, f32::max)
     }
 }
 
@@ -462,6 +574,78 @@ mod tests {
             .extend_with_frames(&dataset, &[frame], Seed(98))
             .unwrap_err();
         assert!(matches!(err, AnoleError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn quantize_sweep_enforces_the_f1_gate() {
+        use anole_nn::Precision;
+
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(181));
+        let mut system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(182)).unwrap();
+        let epsilon = system.config().quant.epsilon_f1;
+        let report = system.quantize_models(&dataset).unwrap();
+
+        assert_eq!(
+            report.accepted.len() + report.rejected.len(),
+            system.repository().len()
+        );
+        for o in &report.accepted {
+            assert!(
+                o.f1_delta() <= epsilon,
+                "model {} accepted with delta {}",
+                o.id,
+                o.f1_delta()
+            );
+            assert_eq!(
+                system.repository().model(o.id).serving_precision(),
+                Precision::Int8
+            );
+        }
+        for o in &report.rejected {
+            assert!(
+                o.f1_delta() > epsilon,
+                "model {} rejected with delta {}",
+                o.id,
+                o.f1_delta()
+            );
+            assert_eq!(
+                system.repository().model(o.id).serving_precision(),
+                Precision::Fp32
+            );
+        }
+        assert!(report.worst_accepted_delta() <= epsilon);
+        assert_eq!(
+            system.decision().serving_precision(),
+            if report.decision_quantized { Precision::Int8 } else { Precision::Fp32 }
+        );
+        if report.decision_quantized {
+            assert!(report.decision_agreement >= 1.0 - epsilon);
+        }
+        // Quantized models charge ~¼ the bytes of their f32 twins.
+        for o in &report.accepted {
+            let m = system.repository().model(o.id);
+            assert!(m.serving_bytes() * 3 < m.net.weight_bytes());
+        }
+
+        // The sweep is idempotent: re-running re-derives identical verdicts.
+        let again = system.quantize_models(&dataset).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn quant_enabled_training_equals_explicit_sweep() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(185));
+        let mut enabled_cfg = AnoleConfig::fast();
+        enabled_cfg.quant.enabled = true;
+        let auto = AnoleSystem::train(&dataset, &enabled_cfg, Seed(186)).unwrap();
+
+        let mut manual = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(186)).unwrap();
+        manual.quantize_models(&dataset).unwrap();
+
+        // Quantization is deterministic post-processing, so training with
+        // the sweep enabled is exactly the fp32 pipeline plus the sweep.
+        assert_eq!(auto.repository(), manual.repository());
+        assert_eq!(auto.decision(), manual.decision());
     }
 
     #[test]

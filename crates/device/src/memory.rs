@@ -48,14 +48,30 @@ impl GpuMemoryModel {
     /// Anole pipeline (scene encoder + decision model resident, one
     /// compressed model executing) still fits.
     pub fn max_cached_models(&self) -> usize {
+        self.max_cached_models_at(ReferenceModel::Yolov3Tiny.weight_bytes())
+    }
+
+    /// Byte budget left for cached compressed models once the pipeline's
+    /// fixed residents (scene encoder, decision model, one executing
+    /// compressed model's workspace) are charged.
+    pub fn cache_byte_budget(&self) -> u64 {
         let budget = self.usable_bytes() as i64
             - self.execution_bytes(ReferenceModel::Yolov3Tiny) as i64
             - ReferenceModel::Resnet18.weight_bytes() as i64
             - ReferenceModel::DecisionMlp.weight_bytes() as i64;
-        if budget <= 0 {
+        budget.max(0) as u64
+    }
+
+    /// Maximum cached compressed models at an explicit per-model footprint.
+    ///
+    /// [`GpuMemoryModel::max_cached_models`] assumes every cached model
+    /// holds f32 weights; quantized models charge their true (~4× smaller)
+    /// int8 footprint, so the same budget holds proportionally more of them.
+    pub fn max_cached_models_at(&self, per_model_bytes: u64) -> usize {
+        if per_model_bytes == 0 {
             return 0;
         }
-        (budget as u64 / ReferenceModel::Yolov3Tiny.weight_bytes()) as usize
+        (self.cache_byte_budget() / per_model_bytes) as usize
     }
 
     /// Whether a single deep model (SDM) plus execution workspace fits.
@@ -109,5 +125,23 @@ mod tests {
         let mut m = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
         m.usable_fraction = 0.1;
         assert_eq!(m.max_cached_models(), 0);
+        assert_eq!(m.cache_byte_budget(), 0);
+        assert_eq!(m.max_cached_models_at(1), 0);
+    }
+
+    #[test]
+    fn quantized_models_quadruple_cache_capacity() {
+        let nano = GpuMemoryModel::for_device(DeviceKind::JetsonNano);
+        let fp32_bytes = ReferenceModel::Yolov3Tiny.weight_bytes();
+        // int8 payload + per-row scales land near a quarter of f32.
+        let int8_bytes = fp32_bytes / 4 + fp32_bytes / 100;
+        let fp32_slots = nano.max_cached_models_at(fp32_bytes);
+        let int8_slots = nano.max_cached_models_at(int8_bytes);
+        assert_eq!(fp32_slots, nano.max_cached_models());
+        assert!(
+            int8_slots >= 3 * fp32_slots,
+            "int8 {int8_slots} vs fp32 {fp32_slots}"
+        );
+        assert_eq!(nano.max_cached_models_at(0), 0);
     }
 }

@@ -39,6 +39,7 @@ mod loss;
 mod mlp;
 mod optim;
 mod profile;
+pub mod quant;
 mod trainer;
 mod workspace;
 
@@ -53,5 +54,6 @@ pub use loss::{
 pub use mlp::{Mlp, MlpBuilder};
 pub use optim::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use profile::{ModelProfile, ReferenceModel};
+pub use quant::{Precision, Predictor, QuantizedDense, QuantizedMlp};
 pub use trainer::{TrainConfig, TrainReport, Trainer, GRAD_CHUNK_ROWS};
 pub use workspace::Workspace;

@@ -15,7 +15,7 @@
 //! (`Mlp::forward_cached` / `Mlp::backward` / `Optimizer::step_reference`),
 //! which is asserted by property tests.
 
-use anole_tensor::Matrix;
+use anole_tensor::{Matrix, QuantMatrix};
 
 /// Scratch buffers for one forward/backward pass over one mini-batch.
 ///
@@ -124,6 +124,10 @@ pub struct Workspace {
     /// friends): softmax/sigmoid results land here so inference allocates
     /// nothing once warm.
     pub(crate) infer_out: Matrix,
+    /// Row-quantization scratch for the int8 serving path
+    /// ([`QuantizedMlp`](crate::QuantizedMlp)): each quantized layer
+    /// overwrites it with the i8 image of its input batch.
+    pub(crate) quant_in: QuantMatrix,
 }
 
 impl Workspace {

@@ -20,10 +20,12 @@
 
 mod matrix;
 pub mod parallel;
+mod quant;
 mod rng;
 mod stats;
 
 pub use matrix::{Matrix, ShapeError, SPARSE_SKIP_THRESHOLD};
+pub use quant::{quantize_row, QuantMatrix, MAX_I8_DOT_LEN};
 pub use parallel::{parallel_config, set_parallel_config, ParallelConfig};
 pub use rng::{rng_from_seed, split_seed, Seed};
 pub use stats::{argmax, cosine_similarity, empirical_cdf, l2_distance, mean, stddev, CdfPoint};

@@ -1,0 +1,413 @@
+//! Symmetric per-row int8 quantization and the `i8 × i8 → i32` matmul kernel.
+//!
+//! [`QuantMatrix`] stores a row-major `i8` payload plus one `f32` scale per
+//! row (`scale = max_abs(row) / 127`, zero-point 0). Quantizing costs one
+//! pass; dequantizing an element is `q * scale`, so the round-trip error is
+//! bounded by `scale / 2` per element.
+//!
+//! The product kernel [`QuantMatrix::matmul_i8_into`] is the NT ("dot of
+//! rows") shape: both operands are row-major over the shared `k` axis and
+//! `out[i][j] = dot_i32(a.row(i), b.row(j)) * a_scale[i] * b_scale[j]`.
+//! Accumulation is exact `i32` arithmetic, so — unlike the f32 kernels,
+//! which must pin an addition order — *any* lane/tile/thread partitioning
+//! yields bit-identical output. The kernel shares [`ParallelConfig`] with
+//! the f32 kernels: rows partition across threads via
+//! [`parallel::for_each_row_chunk`], columns tile by `cfg.tile` for B-row
+//! reuse, and the k loop runs in unrolled lane blocks feeding independent
+//! `i32` accumulators — `vpmaddwd` on AVX2 hosts (detected at runtime), a
+//! 16-lane autovectorizable loop elsewhere, with identical bits either way.
+//!
+//! Overflow: each product is at most `127 · 127 = 16129`, so an `i32`
+//! accumulator is safe for any `k ≤ 2³¹ / 16129 ≈ 133 000` — far beyond any
+//! layer width in this repository. [`QuantMatrix::matmul_i8_into`] debug-
+//! asserts the bound.
+//!
+//! [`ParallelConfig`]: crate::ParallelConfig
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::{Matrix, ShapeError};
+use crate::parallel::{self, parallel_config};
+
+/// Largest shared dimension for which the `i32` accumulator cannot overflow.
+pub const MAX_I8_DOT_LEN: usize = (i32::MAX / (127 * 127)) as usize;
+
+/// Row-major `i8` matrix with one symmetric `f32` scale per row.
+///
+/// The dequantized value of element `(i, j)` is `data[i][j] as f32 *
+/// scales[i]`. An all-zero row quantizes to scale 0 and an all-zero payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// An all-zero quantized matrix (zero payload, zero scales).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+            scales: vec![0.0; rows],
+        }
+    }
+
+    /// Quantizes `m` with one symmetric scale per row.
+    pub fn quantize(m: &Matrix) -> Self {
+        let mut q = Self::zeros(m.rows(), m.cols());
+        q.quantize_from(m);
+        q
+    }
+
+    /// Re-quantizes `m` into `self`, reusing the existing payload buffers.
+    ///
+    /// Allocation-free once the buffers have grown to the largest shape seen
+    /// — the serving-path analogue of [`Matrix::resize_scratch`].
+    pub fn quantize_from(&mut self, m: &Matrix) {
+        self.rows = m.rows();
+        self.cols = m.cols();
+        self.data.clear();
+        self.data.resize(self.rows * self.cols, 0);
+        self.scales.clear();
+        self.scales.resize(self.rows, 0.0);
+        for i in 0..self.rows {
+            let row = m.row(i);
+            let out = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            self.scales[i] = quantize_row(row, out);
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The `i8` payload of row `i`.
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Per-row symmetric scales (`len == rows`).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Bytes of numeric payload: `rows·cols` i8 weights + `rows` f32 scales.
+    ///
+    /// This is the footprint the device memory model charges for a resident
+    /// quantized matrix — ~4× smaller than the same matrix in f32.
+    pub fn storage_bytes(&self) -> u64 {
+        self.data.len() as u64 + 4 * self.scales.len() as u64
+    }
+
+    /// Dequantizes back to f32 (`q * row_scale`), allocating the output.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Dequantizes into `out`, resizing it as scratch.
+    pub fn dequantize_into(&self, out: &mut Matrix) {
+        out.resize_scratch(self.rows, self.cols);
+        for i in 0..self.rows {
+            let scale = self.scales[i];
+            let src = self.row(i);
+            for (dst, &q) in out.row_mut(i).iter_mut().zip(src) {
+                *dst = q as f32 * scale;
+            }
+        }
+    }
+
+    /// `self · rhsᵀ` with i32 accumulation, dequantized on writeback.
+    ///
+    /// Both operands are row-major over the shared `k` axis (`self` is
+    /// `m×k`, `rhs` is `n×k`, the result is `m×n`) — the same NT shape as
+    /// [`Matrix::matmul_nt`], which is exactly what a dense layer needs when
+    /// its weights are stored transposed.
+    pub fn matmul_i8(&self, rhs: &QuantMatrix) -> Result<Matrix, ShapeError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_i8_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`QuantMatrix::matmul_i8`] into a caller-owned output matrix.
+    ///
+    /// `out` is resized as scratch. Bit-identical for every
+    /// `threads`/`tile` setting — and across the SIMD/scalar dot-product
+    /// paths — because every accumulation is exact integer arithmetic.
+    pub fn matmul_i8_into(&self, rhs: &QuantMatrix, out: &mut Matrix) -> Result<(), ShapeError> {
+        if self.cols != rhs.cols {
+            return Err(ShapeError::new("matmul_i8", self.shape(), rhs.shape()));
+        }
+        debug_assert!(self.cols <= MAX_I8_DOT_LEN, "k too large for i32 accumulation");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        out.resize_scratch(m, n);
+        let cfg = parallel_config();
+        let tile = cfg.tile.max(1);
+        let threads = cfg.threads_for(m * k * n);
+        let use_simd = simd_dot_available();
+        parallel::for_each_row_chunk(out.as_mut_slice(), n, m, threads, |range, chunk| {
+            for (local, i) in range.enumerate() {
+                let a_row = self.row(i);
+                let a_scale = self.scales[i];
+                let out_row = &mut chunk[local * n..(local + 1) * n];
+                for j0 in (0..n).step_by(tile) {
+                    let j1 = (j0 + tile).min(n);
+                    for j in j0..j1 {
+                        let acc = dot_i8(a_row, rhs.row(j), use_simd);
+                        out_row[j] = acc as f32 * a_scale * rhs.scales[j];
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+}
+
+/// Quantizes one f32 row into `out`, returning the symmetric scale.
+///
+/// `scale = max_abs / 127`; values map through `round(v / scale)` clamped to
+/// `[-127, 127]` (−128 is never produced, keeping the code symmetric). An
+/// all-zero row gets scale 0 and an all-zero payload.
+pub fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+    assert_eq!(row.len(), out.len(), "quantize_row length mismatch");
+    let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    for (dst, &v) in out.iter_mut().zip(row) {
+        *dst = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// Whether the runtime CPU supports the vectorized i8 dot product.
+///
+/// Detected once per matmul call (the macro caches the cpuid probe), so the
+/// per-dot dispatch is a branch on a local. The SIMD and scalar paths
+/// produce identical bits — both are exact i32 arithmetic — so detection
+/// never affects results, only speed.
+fn simd_dot_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Exact i32 dot product of two i8 rows.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8], use_simd: bool) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if use_simd {
+            // SAFETY: `use_simd` is only true when AVX2 was detected at
+            // runtime by `simd_dot_available`.
+            return unsafe { dot_i8_avx2(a, b) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = use_simd;
+    dot_i8_scalar(a, b)
+}
+
+/// Portable fallback: sixteen independent lane accumulators with explicit
+/// i16 intermediate products keep the multiply–accumulate autovectorizable;
+/// integer addition is associative, so the lane split never changes the
+/// result.
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = [0i32; 16];
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for (av, bv) in (&mut ca).zip(&mut cb) {
+        for l in 0..16 {
+            acc[l] += (av[l] as i16 as i32) * (bv[l] as i16 as i32);
+        }
+    }
+    let mut sum: i32 = acc.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x as i32 * y as i32;
+    }
+    sum
+}
+
+/// AVX2 dot product: `vpmovsxbw` widening loads feeding `vpmaddwd`
+/// (8 exact i16×i16→i32 multiply–pair–adds per instruction) into two
+/// independent 256-bit i32 accumulators. Every operation is exact integer
+/// arithmetic, so the result is bit-identical to [`dot_i8_scalar`].
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut t = 0;
+    while t + 32 <= k {
+        let av0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(t) as *const __m128i));
+        let bv0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(t) as *const __m128i));
+        let av1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(t + 16) as *const __m128i));
+        let bv1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(t + 16) as *const __m128i));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(av0, bv0));
+        acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(av1, bv1));
+        t += 32;
+    }
+    while t + 16 <= k {
+        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(t) as *const __m128i));
+        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(t) as *const __m128i));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(av, bv));
+        t += 16;
+    }
+    let acc = _mm256_add_epi32(acc0, acc1);
+    let halves = _mm_add_epi32(_mm256_extracti128_si256(acc, 1), _mm256_castsi256_si128(acc));
+    let mut lanes = [0i32; 4];
+    _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, halves);
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    while t < k {
+        sum += a[t] as i32 * b[t] as i32;
+        t += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::set_parallel_config;
+    use crate::rng::{rng_from_seed, Seed};
+    use crate::ParallelConfig;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = rng_from_seed(Seed(seed));
+        Matrix::random_normal(rows, cols, 1.0, &mut rng)
+    }
+
+    fn naive_i8(a: &QuantMatrix, b: &QuantMatrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0i32;
+                for k in 0..a.cols() {
+                    acc += a.row(i)[k] as i32 * b.row(j)[k] as i32;
+                }
+                out.set(i, j, acc as f32 * a.scales()[i] * b.scales()[j]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_per_row() {
+        let m = random_matrix(7, 13, 11);
+        let q = QuantMatrix::quantize(&m);
+        let back = q.dequantize();
+        for i in 0..m.rows() {
+            let bound = q.scales()[i] * 0.5 + 1e-6;
+            for j in 0..m.cols() {
+                assert!(
+                    (m.get(i, j) - back.get(i, j)).abs() <= bound,
+                    "({i},{j}) err {} > {bound}",
+                    (m.get(i, j) - back.get(i, j)).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_scale() {
+        let m = Matrix::zeros(3, 5);
+        let q = QuantMatrix::quantize(&m);
+        assert_eq!(q.scales(), &[0.0, 0.0, 0.0]);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn matmul_i8_matches_naive_reference() {
+        let a = QuantMatrix::quantize(&random_matrix(9, 33, 1));
+        let b = QuantMatrix::quantize(&random_matrix(6, 33, 2));
+        let got = a.matmul_i8(&b).unwrap();
+        assert_eq!(got, naive_i8(&a, &b));
+    }
+
+    #[test]
+    fn matmul_i8_bit_identical_across_threads_and_tiles() {
+        let a = QuantMatrix::quantize(&random_matrix(17, 40, 3));
+        let b = QuantMatrix::quantize(&random_matrix(11, 40, 4));
+        let base = a.matmul_i8(&b).unwrap();
+        for (threads, tile) in [(1, 3), (2, 8), (4, 64), (3, 1)] {
+            set_parallel_config(ParallelConfig {
+                threads,
+                tile,
+                min_par_elems: 1,
+            });
+            let got = a.matmul_i8(&b).unwrap();
+            set_parallel_config(ParallelConfig::default());
+            assert_eq!(got, base, "threads={threads} tile={tile}");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_dots_agree_exactly() {
+        // Ragged lengths exercise the 32/16/remainder tail split.
+        for len in [0usize, 1, 7, 8, 15, 16, 31, 32, 33, 63, 100, 257] {
+            let a = QuantMatrix::quantize(&random_matrix(1, len.max(1), len as u64 + 20));
+            let b = QuantMatrix::quantize(&random_matrix(1, len.max(1), len as u64 + 300));
+            let (ar, br) = (&a.row(0)[..len], &b.row(0)[..len]);
+            let scalar = dot_i8_scalar(ar, br);
+            assert_eq!(dot_i8(ar, br, simd_dot_available()), scalar, "len={len}");
+            let naive: i32 = ar.iter().zip(br).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(scalar, naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn matmul_i8_rejects_mismatched_k() {
+        let a = QuantMatrix::quantize(&random_matrix(2, 3, 5));
+        let b = QuantMatrix::quantize(&random_matrix(2, 4, 6));
+        assert!(a.matmul_i8(&b).is_err());
+    }
+
+    #[test]
+    fn quantize_from_reuses_buffers() {
+        let big = random_matrix(8, 16, 7);
+        let small = random_matrix(2, 4, 8);
+        let mut q = QuantMatrix::quantize(&big);
+        q.quantize_from(&small);
+        assert_eq!(q.shape(), (2, 4));
+        assert_eq!(q, QuantMatrix::quantize(&small));
+    }
+
+    #[test]
+    fn storage_bytes_is_quarter_of_f32() {
+        let q = QuantMatrix::quantize(&random_matrix(16, 64, 9));
+        // 16·64 i8 + 16 f32 scales vs 16·64 f32.
+        assert_eq!(q.storage_bytes(), 16 * 64 + 16 * 4);
+        assert!(q.storage_bytes() * 3 < 16 * 64 * 4);
+    }
+}

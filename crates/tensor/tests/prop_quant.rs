@@ -1,0 +1,164 @@
+//! Properties of the int8 quantization path: round-trip error bounds,
+//! closeness of the i8 matmul to its f32 reference, and bit-identity across
+//! every `threads`/`tile` setting.
+//!
+//! The i8 kernel accumulates in exact `i32` arithmetic, so — unlike the f32
+//! kernels, which only promise identity for a pinned addition order — its
+//! bit-identity sweep also checks exact equality against a naive scalar
+//! reference computed here by hand. As in `prop_parallel.rs`, the sweeps
+//! live in single `#[test]`s and `serial_guard` serializes them because
+//! [`ParallelConfig`] is process-global.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use anole_tensor::{
+    parallel_config, rng_from_seed, set_parallel_config, Matrix, ParallelConfig, QuantMatrix, Seed,
+};
+
+fn serial_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Shapes chosen to exercise ragged tiles, degenerate rows/columns, odd k
+/// (SIMD tail lanes), and sizes larger than one thread chunk.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 5, 2),
+    (17, 9, 13),
+    (33, 47, 29),
+    (64, 64, 64),
+    (70, 1, 70),
+    (5, 131, 3),
+];
+
+fn cases(rows: usize, inner: usize, cols: usize) -> Vec<(Matrix, Matrix)> {
+    let mut rng = rng_from_seed(Seed(0x1_8BAD ^ (rows * 1_000_003 + inner * 1_009 + cols) as u64));
+    let dense_a = Matrix::random_normal(rows, inner, 1.0, &mut rng);
+    // NT shape: b is row-major over the shared k axis (inner columns).
+    let dense_b = Matrix::random_normal(cols, inner, 1.0, &mut rng);
+    // A mostly-zero left operand produces all-zero rows (scale 0) at small
+    // shapes and exercises the clamp/round path near zero.
+    let sparse_a = dense_a.map(|v| if v < 0.35 { 0.0 } else { v });
+    vec![(dense_a, dense_b.clone()), (sparse_a, dense_b)]
+}
+
+fn max_abs_row(m: &Matrix, i: usize) -> f32 {
+    m.row(i).iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+}
+
+#[test]
+fn quantize_dequantize_round_trip_is_bounded_by_half_a_scale() {
+    for &(rows, inner, _) in SHAPES {
+        for (case, (a, _)) in cases(rows, inner, 1).into_iter().enumerate() {
+            let q = QuantMatrix::quantize(&a);
+            let back = q.dequantize();
+            assert_eq!(back.rows(), a.rows());
+            assert_eq!(back.cols(), a.cols());
+            for i in 0..a.rows() {
+                let scale = q.scales()[i];
+                // scale = max_abs / 127 and values round to the nearest
+                // step, so per-element error is at most scale / 2 (plus a
+                // float-rounding whisker).
+                let bound = scale / 2.0 + 1e-5 + scale * 1e-4;
+                for j in 0..a.cols() {
+                    let err = (back.get(i, j) - a.get(i, j)).abs();
+                    assert!(
+                        err <= bound,
+                        "{rows}x{inner} case={case} ({i},{j}): err {err} > bound {bound}"
+                    );
+                }
+                // An all-zero row must quantize to scale 0 exactly.
+                if max_abs_row(&a, i) == 0.0 {
+                    assert_eq!(scale, 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_i8_tracks_the_f32_product_within_quantization_error() {
+    let _guard = serial_guard();
+    let baseline = parallel_config();
+    set_parallel_config(ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::default()
+    });
+
+    for &(rows, inner, cols) in SHAPES {
+        for (case, (a, b)) in cases(rows, inner, cols).into_iter().enumerate() {
+            let aq = QuantMatrix::quantize(&a);
+            let bq = QuantMatrix::quantize(&b);
+            let got = aq.matmul_i8(&bq).unwrap();
+            let want = a.matmul_nt(&b).unwrap();
+            assert_eq!(got.shape(), want.shape());
+            for i in 0..rows {
+                for j in 0..cols {
+                    // Per-element quantization error is ≤ scale/2, so the
+                    // k-term dot drifts by at most
+                    //   k · (max|a_i| · sb/2 + (max|b_j| + sb/2) · sa/2).
+                    let (sa, sb) = (aq.scales()[i], bq.scales()[j]);
+                    let (amax, bmax) = (max_abs_row(&a, i), max_abs_row(&b, j));
+                    let tol =
+                        inner as f32 * (amax * sb / 2.0 + (bmax + sb / 2.0) * sa / 2.0) + 1e-5;
+                    let err = (got.get(i, j) - want.get(i, j)).abs();
+                    assert!(
+                        err <= tol,
+                        "{rows}x{inner}x{cols} case={case} ({i},{j}): err {err} > tol {tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    set_parallel_config(baseline);
+}
+
+#[test]
+fn matmul_i8_is_bit_identical_across_threads_and_tiles() {
+    let _guard = serial_guard();
+    let baseline = parallel_config();
+
+    for &(rows, inner, cols) in SHAPES {
+        for (case, (a, b)) in cases(rows, inner, cols).into_iter().enumerate() {
+            let aq = QuantMatrix::quantize(&a);
+            let bq = QuantMatrix::quantize(&b);
+
+            // Naive scalar reference: the exact i32 dot, dequantized the
+            // same way the kernel does. Integer accumulation is exact, so
+            // the kernel must match it bit for bit — including the runtime
+            // SIMD path when the host has one.
+            let mut want = Matrix::zeros(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let acc: i32 = aq
+                        .row(i)
+                        .iter()
+                        .zip(bq.row(j))
+                        .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                        .sum();
+                    want.set(i, j, acc as f32 * aq.scales()[i] * bq.scales()[j]);
+                }
+            }
+
+            for threads in [1usize, 2, 8] {
+                for tile in [4usize, 7, 64, 1024] {
+                    set_parallel_config(ParallelConfig {
+                        threads,
+                        tile,
+                        min_par_elems: 1,
+                    });
+                    let label =
+                        format!("{rows}x{inner}x{cols} case={case} threads={threads} tile={tile}");
+                    assert_eq!(aq.matmul_i8(&bq).unwrap(), want, "matmul_i8 {label}");
+                }
+            }
+        }
+    }
+
+    set_parallel_config(baseline);
+}
