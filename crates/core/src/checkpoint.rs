@@ -304,6 +304,14 @@ pub fn specialist_key(k: usize, cluster: usize) -> String {
     format!("specialist_k{k:03}_c{cluster:03}")
 }
 
+/// Key for one step of an incremental re-profile
+/// ([`AnoleSystem::reprofile_with_frames`](crate::AnoleSystem::reprofile_with_frames)).
+/// Steps are numbered in execution order, so a resumed re-profile replays
+/// the same sequence.
+pub fn reprofile_key(step: usize) -> String {
+    format!("reprofile_step{step:03}")
+}
+
 /// What a resumable training run recovered, stage by stage.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryReport {
@@ -311,6 +319,11 @@ pub struct RecoveryReport {
     pub resumed_stages: Vec<&'static str>,
     /// Specialist candidates reloaded inside an incomplete repository stage.
     pub resumed_specialists: usize,
+    /// Re-profile steps reloaded inside an interrupted incremental
+    /// re-profile. Deserializes to 0 from reports written before continual
+    /// re-profiling existed.
+    #[serde(default)]
+    pub resumed_reprofile_steps: usize,
     /// First stage that actually ran (None when everything resumed).
     pub first_trained_stage: Option<&'static str>,
     /// Store counters (writes, faults, loads, discards).
@@ -398,6 +411,50 @@ impl TrainRecovery {
     ) -> Result<(), AnoleError> {
         self.store
             .save(&specialist_key(k, cluster), value, self.injector.as_mut())?;
+        Ok(())
+    }
+
+    /// Loads a completed re-profile step, recording the resume.
+    pub fn load_reprofile<T: DeserializeOwned>(&mut self, step: usize) -> Option<T> {
+        let value = self.store.load(&reprofile_key(step));
+        if value.is_some() {
+            self.report.resumed_reprofile_steps += 1;
+        }
+        value
+    }
+
+    /// Saves a completed re-profile step; write faults are absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`AnoleError::Checkpoint`] on real I/O or serialization failures.
+    pub fn save_reprofile<T: Serialize>(&mut self, step: usize, value: &T) -> Result<(), AnoleError> {
+        self.store
+            .save(&reprofile_key(step), value, self.injector.as_mut())?;
+        Ok(())
+    }
+
+    /// Checks for an injected kill right after re-profile step `step`
+    /// completed (its checkpoint is already durable), mirroring
+    /// [`TrainRecovery::abort_point`] for the incremental pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`AnoleError::Aborted`] when the plan schedules a
+    /// [`crate::omi::FaultKind::ReprofileAbort`] at this step index.
+    pub fn reprofile_abort_point(
+        &mut self,
+        step: usize,
+        name: &'static str,
+    ) -> Result<(), AnoleError> {
+        self.sync_stats();
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(|i| i.reprofile_abort_after(step))
+        {
+            return Err(AnoleError::Aborted { stage: name });
+        }
         Ok(())
     }
 

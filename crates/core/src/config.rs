@@ -209,6 +209,61 @@ impl Default for QuantConfig {
     }
 }
 
+/// On-device drift-detection parameters (the calibrated
+/// [`DriftDetector`](crate::omi::DriftDetector)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Rolling-window length of the detector.
+    pub window: usize,
+    /// Calibration quantile for the confidence floor (the floor is the
+    /// `quantile` of top-1 suitability over validation frames).
+    pub quantile: f32,
+    /// Consecutive below-floor windows required to latch `Drifting`.
+    pub enter_windows: usize,
+    /// Consecutive in-distribution observations required to release.
+    pub exit_windows: usize,
+    /// Minimum observations between emitted
+    /// [`DriftEvent`](crate::omi::DriftEvent)s.
+    pub cooldown: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            quantile: 0.1,
+            enter_windows: 3,
+            exit_windows: 8,
+            cooldown: 64,
+        }
+    }
+}
+
+/// Staged rollout + rollback parameters for continual re-profiling
+/// ([`deploy::staged_rollout`](crate::deploy::staged_rollout)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RolloutConfig {
+    /// Fraction of the fleet serving as the canary cohort (at least one
+    /// device).
+    pub canary_fraction: f32,
+    /// Promotion gate ε: the candidate's validation F1 must not fall more
+    /// than this below the last-good bundle's (same shape as the
+    /// quantization acceptance sweep).
+    pub epsilon_f1: f32,
+    /// Retry budget per canary bundle download before the rollout aborts.
+    pub max_download_sessions: usize,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        Self {
+            canary_fraction: 0.25,
+            epsilon_f1: 0.02,
+            max_download_sessions: 8,
+        }
+    }
+}
+
 /// Configuration of the full Anole pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[derive(Default)]
@@ -229,6 +284,14 @@ pub struct AnoleConfig {
     /// configs saved before quantization existed.
     #[serde(default)]
     pub quant: QuantConfig,
+    /// Drift-detection parameters. Deserializes to the default from configs
+    /// saved before the drift subsystem existed.
+    #[serde(default)]
+    pub drift: DriftConfig,
+    /// Staged-rollout parameters. Deserializes to the default from configs
+    /// saved before continual re-profiling existed.
+    #[serde(default)]
+    pub rollout: RolloutConfig,
 }
 
 
@@ -272,8 +335,21 @@ mod tests {
         let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
         value.as_object_mut().unwrap().remove("quant");
         value["cache"].as_object_mut().unwrap().remove("byte_budget");
+        value.as_object_mut().unwrap().remove("drift");
+        value.as_object_mut().unwrap().remove("rollout");
         let cfg: AnoleConfig = serde_json::from_value(value).unwrap();
         assert_eq!(cfg, AnoleConfig::default());
+    }
+
+    #[test]
+    fn drift_and_rollout_defaults_are_sane() {
+        let cfg = AnoleConfig::default();
+        assert!(cfg.drift.window > 0);
+        assert!(cfg.drift.quantile > 0.0 && cfg.drift.quantile < 1.0);
+        assert!(cfg.drift.enter_windows >= 1 && cfg.drift.exit_windows >= 1);
+        assert!(cfg.rollout.canary_fraction > 0.0 && cfg.rollout.canary_fraction <= 1.0);
+        assert!(cfg.rollout.epsilon_f1 > 0.0);
+        assert!(cfg.rollout.max_download_sessions >= 1);
     }
 
     #[test]

@@ -9,13 +9,15 @@
 
 use std::path::{Path, PathBuf};
 
-use anole_device::UnstableLink;
+use anole_data::DrivingDataset;
+use anole_device::{UnstableLink, UnstableLinkConfig};
 use anole_nn::ReferenceModel;
+use anole_tensor::{rng_from_seed, split_seed, Seed};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::omi::FaultInjector;
-use crate::{AnoleError, AnoleSystem};
+use crate::{AnoleError, AnoleSystem, RolloutConfig};
 
 /// One artifact in a deployment bundle.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -354,6 +356,230 @@ pub fn download_resumable<R: Rng + ?Sized>(
     })
 }
 
+/// End-to-end routed accuracy of a system on held-out frames: each frame is
+/// routed by the decision model to its top-ranked specialist, whose
+/// detections are scored against the truth. This is the fleet-facing metric
+/// the canary gate compares — it exercises routing *and* detection, so a
+/// regression in either shows up.
+///
+/// # Errors
+///
+/// Surfaces routing and inference errors from the substrates.
+pub fn routed_validation_f1(
+    system: &AnoleSystem,
+    dataset: &DrivingDataset,
+    refs: &[anole_data::FrameRef],
+) -> Result<f32, AnoleError> {
+    let threshold = system.config().detector.threshold;
+    let mut counts = anole_detect::DetectionCounts::default();
+    for &r in refs {
+        let frame = dataset.frame(r);
+        let top = system.decision().rank(&frame.features)?[0];
+        let pred = system.repository().model(top).detect(&frame.features, threshold)?;
+        counts.accumulate(&pred, &frame.truth);
+    }
+    Ok(counts.f1())
+}
+
+/// What [`staged_rollout`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RolloutOutcome {
+    /// The candidate passed the canary gate and now serves the whole fleet.
+    Promoted,
+    /// The candidate regressed (measured or injected); the fleet stays on
+    /// the last-good bundle and the canary cohort was re-served it.
+    RolledBack,
+}
+
+/// Report of one staged rollout (see [`staged_rollout`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RolloutReport {
+    /// Promotion or rollback.
+    pub outcome: RolloutOutcome,
+    /// Routed validation F1 of the candidate bundle.
+    pub candidate_f1: f32,
+    /// Routed validation F1 of the last-good bundle.
+    pub last_good_f1: f32,
+    /// Whether a [`FaultKind::RegressedUpdate`](crate::omi::FaultKind)
+    /// fired for this candidate (silent regression the gate must catch).
+    pub regression_injected: bool,
+    /// Devices in the canary cohort.
+    pub canary_devices: usize,
+    /// Devices in the whole fleet.
+    pub fleet_devices: usize,
+    /// Deliveries that arrived stale and were retried.
+    pub stale_deliveries: usize,
+    /// Devices left serving sessions from the candidate bundle — the whole
+    /// fleet on promotion, **zero** on rollback (the canary cohort only
+    /// shadow-evaluates; no session is ever served from an unpromoted
+    /// bundle).
+    pub sessions_on_candidate: usize,
+    /// Bundle downloads performed (canary + promotion or re-serve).
+    pub downloads: usize,
+    /// Wall-clock milliseconds spent downloading across the fleet.
+    pub download_ms: f64,
+}
+
+/// Delivers `manifest` to one device, retrying stale arrivals. Each attempt
+/// that draws [`FaultKind::StaleBundle`](crate::omi::FaultKind) is discarded
+/// before any bytes move (the device rejects the outdated manifest version);
+/// fresh arrivals then pay the full resumable-download price.
+fn deliver(
+    manifest: &Manifest,
+    seed: Seed,
+    device: u64,
+    injector: &mut Option<&mut FaultInjector>,
+    max_sessions: usize,
+    draw_stale: bool,
+    report: &mut RolloutReport,
+) -> Result<(), AnoleError> {
+    let attempts = max_sessions.max(1);
+    for _ in 0..attempts {
+        if draw_stale && injector.as_deref_mut().is_some_and(FaultInjector::bundle_is_stale) {
+            report.stale_deliveries += 1;
+            anole_obs::counter_add!("omi.engine.drift.stale_bundles", 1);
+            continue;
+        }
+        let mut link = UnstableLink::new(UnstableLinkConfig::default());
+        let mut rng = rng_from_seed(split_seed(seed, device));
+        let dl = download_resumable(
+            manifest,
+            &mut link,
+            &mut rng,
+            injector.as_deref_mut(),
+            max_sessions,
+        )?;
+        report.downloads += 1;
+        report.download_ms += dl.total_ms;
+        return Ok(());
+    }
+    Err(deploy_err(format!(
+        "device {device} still served a stale bundle after {attempts} delivery attempts"
+    )))
+}
+
+/// Staged rollout of a re-profiled candidate with canary gating and
+/// auto-rollback — the online half of the continual re-profiling loop.
+///
+/// The candidate is bundled to `candidate_dir` and delivered (over the
+/// unstable uplink, with stale-bundle retries) to a canary cohort of
+/// `⌈fleet · canary_fraction⌉` devices, which *shadow-evaluate* it: routed
+/// validation F1 is measured on `dataset`'s validation split while every
+/// live session keeps serving the last-good bundle from `last_good_dir`.
+/// Promotion mirrors the quantization acceptance gate: the candidate is
+/// promoted only when `candidate_f1 + epsilon_f1 ≥ last_good_f1` and no
+/// [`FaultKind::RegressedUpdate`](crate::omi::FaultKind) fired. On
+/// promotion the rest of the fleet downloads the candidate; on rollback the
+/// canary cohort is re-served the last-good bundle and
+/// `sessions_on_candidate` is zero — fleet-wide, no session was ever served
+/// from the regressed bundle.
+///
+/// Deterministic for a fixed `(seed, injector plan)`: device download RNGs
+/// are split per device index, so reports are bit-identical across runs.
+///
+/// # Errors
+///
+/// * [`AnoleError::Deploy`] for an empty fleet, bundle I/O failures, or a
+///   device exhausting its stale-delivery retries.
+/// * [`AnoleError::DownloadIncomplete`] when a download exhausts its
+///   sessions.
+#[allow(clippy::too_many_arguments)]
+pub fn staged_rollout(
+    candidate: &AnoleSystem,
+    last_good_dir: &Path,
+    candidate_dir: &Path,
+    dataset: &DrivingDataset,
+    fleet_devices: usize,
+    rollout: &RolloutConfig,
+    seed: Seed,
+    mut injector: Option<&mut FaultInjector>,
+) -> Result<RolloutReport, AnoleError> {
+    let _span = anole_obs::span!("deploy.staged_rollout");
+    if fleet_devices == 0 {
+        return Err(deploy_err("staged rollout needs at least one device"));
+    }
+    let last_good = load_bundle(last_good_dir)?;
+    let candidate_manifest = save_bundle(candidate, candidate_dir)?;
+    let last_good_manifest = read_manifest(last_good_dir)?;
+    let val = &dataset.split().val;
+    let candidate_f1 = routed_validation_f1(candidate, dataset, val)?;
+    let last_good_f1 = routed_validation_f1(&last_good, dataset, val)?;
+
+    let canary = ((fleet_devices as f32 * rollout.canary_fraction).ceil() as usize)
+        .clamp(1, fleet_devices);
+    let mut report = RolloutReport {
+        outcome: RolloutOutcome::RolledBack,
+        candidate_f1,
+        last_good_f1,
+        regression_injected: false,
+        canary_devices: canary,
+        fleet_devices,
+        stale_deliveries: 0,
+        sessions_on_candidate: 0,
+        downloads: 0,
+        download_ms: 0.0,
+    };
+
+    // Canary phase: deliver the candidate to the cohort for shadow
+    // evaluation. Sessions keep serving last-good until promotion.
+    for d in 0..canary {
+        deliver(
+            &candidate_manifest,
+            seed,
+            1000 + d as u64,
+            &mut injector,
+            rollout.max_download_sessions,
+            true,
+            &mut report,
+        )?;
+    }
+    report.regression_injected =
+        injector.as_deref_mut().is_some_and(FaultInjector::update_regresses);
+
+    let promote =
+        !report.regression_injected && candidate_f1 + rollout.epsilon_f1 >= last_good_f1;
+    if promote {
+        // Fan out to the rest of the fleet; canary devices already hold the
+        // bundle and just switch their sessions over.
+        for d in canary..fleet_devices {
+            deliver(
+                &candidate_manifest,
+                seed,
+                1000 + d as u64,
+                &mut injector,
+                rollout.max_download_sessions,
+                true,
+                &mut report,
+            )?;
+        }
+        report.outcome = RolloutOutcome::Promoted;
+        report.sessions_on_candidate = fleet_devices;
+        anole_obs::counter_add!("omi.engine.drift.promotions", 1);
+    } else {
+        // Auto-rollback: re-serve the pinned last-good bundle to the canary
+        // cohort. Its manifest version is pinned, so no stale draws apply.
+        for d in 0..canary {
+            deliver(
+                &last_good_manifest,
+                seed,
+                2000 + d as u64,
+                &mut injector,
+                rollout.max_download_sessions,
+                false,
+                &mut report,
+            )?;
+        }
+        report.outcome = RolloutOutcome::RolledBack;
+        report.sessions_on_candidate = 0;
+        anole_obs::counter_add!("omi.engine.drift.rollbacks", 1);
+    }
+    anole_obs::gauge_set!(
+        "omi.engine.drift.fleet_on_candidate",
+        report.sessions_on_candidate as f64
+    );
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,5 +759,141 @@ mod tests {
             AnoleError::DownloadIncomplete { missing: manifest.entries.len(), attempts: 2 }
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn rollout_fixture(tag: &str) -> (DrivingDataset, AnoleSystem, PathBuf, PathBuf) {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(141));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(142)).unwrap();
+        let last_good = temp_dir(&format!("{tag}-lastgood"));
+        let candidate = temp_dir(&format!("{tag}-candidate"));
+        save_bundle(&system, &last_good).unwrap();
+        (dataset, system, last_good, candidate)
+    }
+
+    #[test]
+    fn rollout_promotes_a_healthy_candidate_deterministically() {
+        let (dataset, system, last_good, candidate_dir) = rollout_fixture("promote");
+        let rollout = crate::RolloutConfig::default();
+        let run = || {
+            staged_rollout(
+                &system,
+                &last_good,
+                &candidate_dir,
+                &dataset,
+                8,
+                &rollout,
+                Seed(143),
+                None,
+            )
+            .unwrap()
+        };
+        let report = run();
+        assert_eq!(report.outcome, RolloutOutcome::Promoted);
+        assert_eq!(report.canary_devices, 2);
+        assert_eq!(report.fleet_devices, 8);
+        assert_eq!(report.sessions_on_candidate, 8);
+        assert_eq!(report.downloads, 8);
+        assert_eq!(report.stale_deliveries, 0);
+        assert!(!report.regression_injected);
+        // An identical candidate gates at equality: F1s match exactly.
+        assert_eq!(report.candidate_f1, report.last_good_f1);
+        assert!(report.download_ms > 0.0);
+        assert_eq!(report, run());
+        std::fs::remove_dir_all(&last_good).unwrap();
+        std::fs::remove_dir_all(&candidate_dir).unwrap();
+    }
+
+    #[test]
+    fn injected_regression_is_caught_at_canary_and_rolled_back() {
+        use crate::omi::{FaultKind, FaultPlan};
+
+        let (dataset, system, last_good, candidate_dir) = rollout_fixture("regress");
+        let rollout = crate::RolloutConfig::default();
+        let mut injector =
+            FaultPlan::new(Seed(144)).at(0, FaultKind::RegressedUpdate).injector();
+        let report = staged_rollout(
+            &system,
+            &last_good,
+            &candidate_dir,
+            &dataset,
+            8,
+            &rollout,
+            Seed(145),
+            Some(&mut injector),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RolloutOutcome::RolledBack);
+        assert!(report.regression_injected);
+        // Zero sessions fleet-wide ever served the regressed bundle; the
+        // canary cohort downloaded it for shadow evaluation, then was
+        // re-served last-good.
+        assert_eq!(report.sessions_on_candidate, 0);
+        assert_eq!(report.downloads, report.canary_devices * 2);
+        std::fs::remove_dir_all(&last_good).unwrap();
+        std::fs::remove_dir_all(&candidate_dir).unwrap();
+    }
+
+    #[test]
+    fn measured_regression_rolls_back_without_injection() {
+        let (dataset, system, last_good, candidate_dir) = rollout_fixture("measured");
+        let _ = system;
+        // A candidate trained on a *different* world: same shapes, but its
+        // specialists and router are tuned to foreign scene geometry, so its
+        // routed F1 on this fleet's validation split collapses and the gate
+        // must refuse it on measurement alone.
+        let foreign = DrivingDataset::generate(&DatasetConfig::small(), Seed(146));
+        let broken = AnoleSystem::train(&foreign, &AnoleConfig::fast(), Seed(142)).unwrap();
+        let rollout = crate::RolloutConfig::default();
+        let report = staged_rollout(
+            &broken,
+            &last_good,
+            &candidate_dir,
+            &dataset,
+            4,
+            &rollout,
+            Seed(147),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RolloutOutcome::RolledBack);
+        assert!(!report.regression_injected);
+        assert!(
+            report.candidate_f1 + rollout.epsilon_f1 < report.last_good_f1,
+            "candidate {:.3} vs last-good {:.3}",
+            report.candidate_f1,
+            report.last_good_f1
+        );
+        assert_eq!(report.sessions_on_candidate, 0);
+        std::fs::remove_dir_all(&last_good).unwrap();
+        std::fs::remove_dir_all(&candidate_dir).unwrap();
+    }
+
+    #[test]
+    fn stale_deliveries_are_retried_until_fresh() {
+        use crate::omi::{FaultKind, FaultPlan};
+
+        let (dataset, system, last_good, candidate_dir) = rollout_fixture("stale");
+        let rollout = crate::RolloutConfig::default();
+        // The first two delivery draws arrive stale; retries then succeed.
+        let mut injector = FaultPlan::new(Seed(148))
+            .at(0, FaultKind::StaleBundle)
+            .at(1, FaultKind::StaleBundle)
+            .injector();
+        let report = staged_rollout(
+            &system,
+            &last_good,
+            &candidate_dir,
+            &dataset,
+            4,
+            &rollout,
+            Seed(149),
+            Some(&mut injector),
+        )
+        .unwrap();
+        assert_eq!(report.outcome, RolloutOutcome::Promoted);
+        assert_eq!(report.stale_deliveries, 2);
+        assert_eq!(report.downloads, 4);
+        std::fs::remove_dir_all(&last_good).unwrap();
+        std::fs::remove_dir_all(&candidate_dir).unwrap();
     }
 }

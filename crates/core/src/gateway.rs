@@ -49,7 +49,9 @@ use anole_obs::FixedHistogram;
 use anole_tensor::{Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
-use crate::omi::{FaultInjector, FaultKind, FaultPlan, OnlineEngine, StepOutcome};
+use crate::omi::{
+    DriftDetector, DriftState, FaultInjector, FaultKind, FaultPlan, OnlineEngine, StepOutcome,
+};
 use crate::{AnoleError, AnoleSystem};
 
 /// Queue-depth histogram buckets (frames waiting per session).
@@ -204,12 +206,32 @@ pub struct SessionSpec {
     /// Panic on this session's first frame dispatch — the chaos hook for
     /// the quarantine path.
     pub inject_panic: bool,
+    /// Per-session drift detector, fed the decision confidence of every
+    /// processed frame. `None` (the default) keeps the session's behaviour
+    /// and report bit-identical to a drift-unaware gateway.
+    pub drift: Option<DriftDetector>,
 }
 
 impl SessionSpec {
     /// A plain session: warm cache, no pinned fallback, no faults.
     pub fn new(frames: Vec<Frame>, seed: Seed) -> Self {
-        Self { frames, seed, pinned: None, warm: true, fault_plan: None, inject_panic: false }
+        Self {
+            frames,
+            seed,
+            pinned: None,
+            warm: true,
+            fault_plan: None,
+            inject_panic: false,
+            drift: None,
+        }
+    }
+
+    /// Attaches a calibrated per-session drift detector (see
+    /// [`SessionSpec::drift`]).
+    #[must_use]
+    pub fn with_drift_detector(mut self, detector: DriftDetector) -> Self {
+        self.drift = Some(detector);
+        self
     }
 }
 
@@ -304,6 +326,14 @@ pub struct SessionReport {
     pub f1: f32,
     /// Quarantine reason, when `state` is [`SessionState::Quarantined`].
     pub quarantine: Option<QuarantineReason>,
+    /// Drift episodes (nominal→drifting transitions past hysteresis and
+    /// cooldown) emitted by the session's detector; 0 without one.
+    #[serde(default)]
+    pub drift_events: usize,
+    /// Drift latch of the session's detector when it went terminal;
+    /// `Nominal` without a detector.
+    #[serde(default)]
+    pub drift_state: DriftState,
 }
 
 /// Deterministic summary of one gateway run. Contains no wall-clock data:
@@ -391,6 +421,11 @@ impl GatewayReport {
     pub fn fleet_f1(&self) -> f32 {
         self.fleet_counts().f1()
     }
+
+    /// Drift episodes emitted across every session's detector.
+    pub fn fleet_drift_events(&self) -> usize {
+        self.sessions.iter().map(|s| s.drift_events).sum()
+    }
 }
 
 /// One admitted session and its scheduling bookkeeping.
@@ -411,6 +446,7 @@ struct Session<'a> {
     stalled_until_ms: f64,
     inject_panic: bool,
     handler: Option<FrameHandler<'a>>,
+    drift: Option<DriftDetector>,
     counts: DetectionCounts,
     offered: usize,
     processed: usize,
@@ -448,6 +484,8 @@ impl Session<'_> {
             counts: self.counts,
             f1: self.counts.f1(),
             quarantine: self.quarantine,
+            drift_events: self.drift.as_ref().map_or(0, |d| d.events().len()),
+            drift_state: self.drift.as_ref().map_or(DriftState::Nominal, DriftDetector::state),
         }
     }
 }
@@ -665,6 +703,7 @@ impl<'a> Gateway<'a> {
             stalled_until_ms: self.now_ms,
             inject_panic: spec.inject_panic,
             handler,
+            drift: spec.drift,
             counts: DetectionCounts::default(),
             offered: 0,
             processed: 0,
@@ -881,6 +920,7 @@ impl<'a> Gateway<'a> {
                 let engine = &mut s.engine;
                 let counts = &mut s.counts;
                 let handler = s.handler.as_mut();
+                let drift = s.drift.as_mut();
                 let dispatched = catch_unwind(AssertUnwindSafe(
                     move || -> Result<StepOutcome, AnoleError> {
                         if panic_now {
@@ -893,6 +933,11 @@ impl<'a> Gateway<'a> {
                         counts.accumulate(&out.detections, &frame.truth);
                         if let Some(h) = handler {
                             h(frame, &out)?;
+                        }
+                        if let Some(d) = drift {
+                            // The engine's top-1 routing confidence is the
+                            // session-local drift signal.
+                            d.observe(out.suitability)?;
                         }
                         Ok(out)
                     },
@@ -1159,6 +1204,41 @@ mod tests {
             assert_eq!(*sink.borrow(), expected, "session {i} diverged from its bare engine");
             assert_eq!(report.sessions[i].processed, frames.len());
         }
+    }
+
+    #[test]
+    fn per_session_drift_detectors_report_without_perturbing_serving() {
+        let (dataset, system) = world();
+        let frames = test_frames(&dataset, 16);
+
+        let mut plain = Gateway::new(&system, lossless()).unwrap();
+        plain.admit(SessionSpec::new(frames.clone(), Seed(601))).unwrap();
+        let plain_report = plain.run();
+
+        // A floor no confidence can reach: the detector latches on the
+        // first window and emits exactly one episode.
+        let mut hot = Gateway::new(&system, lossless()).unwrap();
+        hot.admit(
+            SessionSpec::new(frames.clone(), Seed(601))
+                .with_drift_detector(DriftDetector::new(2, 2.0)),
+        )
+        .unwrap();
+        let hot_report = hot.run();
+        assert_eq!(hot_report.sessions[0].drift_state, DriftState::Drifting);
+        assert_eq!(hot_report.sessions[0].drift_events, 1);
+        assert_eq!(hot_report.fleet_drift_events(), 1);
+        // Observation is passive: serving outcomes are untouched.
+        assert_eq!(hot_report.sessions[0].counts, plain_report.sessions[0].counts);
+        assert_eq!(hot_report.sessions[0].processed, plain_report.sessions[0].processed);
+
+        // A floor below any confidence: the detector never latches and the
+        // whole report is bit-identical to running without one.
+        let mut calm = Gateway::new(&system, lossless()).unwrap();
+        calm.admit(
+            SessionSpec::new(frames, Seed(601)).with_drift_detector(DriftDetector::new(2, -1.0)),
+        )
+        .unwrap();
+        assert_eq!(calm.run(), plain_report);
     }
 
     #[test]

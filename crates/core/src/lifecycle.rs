@@ -14,6 +14,7 @@
 //! expansion takes the write lock between days.
 
 use std::cell::RefCell;
+use std::path::Path;
 use std::rc::Rc;
 
 use anole_data::{ClipId, DatasetSource, DrivingDataset, Frame, SceneAttributes};
@@ -23,12 +24,14 @@ use anole_tensor::{split_seed, Seed};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::TrainRecovery;
+use crate::deploy::{self, RolloutOutcome, RolloutReport};
 use crate::gateway::{
     FrameHandler, Gateway, GatewayConfig, QuarantineReason, QuarantineRecord, SessionSpec,
     SessionState,
 };
 use crate::omi::{DriftDetector, DriftState, FaultInjector, FaultKind, SceneDistanceScorer};
-use crate::{AnoleError, AnoleSystem};
+use crate::{AnoleError, AnoleSystem, ReprofileReport};
 
 /// Configuration of a fleet-lifecycle run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -457,6 +460,59 @@ pub fn run_fleet_supervised(
     ))
 }
 
+/// The closed offline↔online loop in one call: guarded continual
+/// re-profiling followed by a staged, gated rollout.
+///
+/// The current `system` is pinned as the last-good bundle under
+/// `work_dir/last_good`; a clone is re-profiled on the pooled drifting
+/// `footage` via [`AnoleSystem::reprofile_with_frames`] (checkpointed
+/// through `recovery` when supplied, so a killed re-profile resumes
+/// bit-identically on the next call with the same store); the re-profiled
+/// candidate then goes through [`deploy::staged_rollout`] against a fleet
+/// of `fleet_devices`. The returned system is what the fleet serves
+/// afterwards: the candidate on promotion, or the last-good bundle —
+/// reloaded and checksum-verified — on rollback, in which case zero
+/// sessions were ever served from the candidate.
+///
+/// # Errors
+///
+/// Re-profiling errors ([`AnoleError::Aborted`] on an injected kill —
+/// call again with the same recovery store to resume), bundle I/O errors,
+/// and download failures.
+#[allow(clippy::too_many_arguments)]
+pub fn reprofile_and_rollout(
+    system: &AnoleSystem,
+    dataset: &DrivingDataset,
+    footage: &[Frame],
+    fleet_devices: usize,
+    work_dir: &Path,
+    seed: Seed,
+    recovery: Option<&mut TrainRecovery>,
+    injector: Option<&mut FaultInjector>,
+) -> Result<(AnoleSystem, ReprofileReport, RolloutReport), AnoleError> {
+    let last_good_dir = work_dir.join("last_good");
+    let candidate_dir = work_dir.join("candidate");
+    deploy::save_bundle(system, &last_good_dir)?;
+
+    let mut candidate = system.clone();
+    let reprofile = candidate.reprofile_with_frames(dataset, footage, seed, recovery)?;
+    let rollout = deploy::staged_rollout(
+        &candidate,
+        &last_good_dir,
+        &candidate_dir,
+        dataset,
+        fleet_devices,
+        &system.config().rollout,
+        split_seed(seed, 777),
+        injector,
+    )?;
+    let served = match rollout.outcome {
+        RolloutOutcome::Promoted => candidate,
+        RolloutOutcome::RolledBack => deploy::load_bundle(&last_good_dir)?,
+    };
+    Ok((served, reprofile, rollout))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +615,86 @@ mod tests {
         assert!(report
             .improvement_on(SceneAttributes::from_scene_index(1))
             .is_none());
+    }
+
+    fn loop_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("anole-loop-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn closed_loop_promotes_a_reprofiled_candidate() {
+        let (dataset, system) = world();
+        let exotic =
+            SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        let footage = dataset.world().generate_clip(
+            ClipId(8000),
+            DatasetSource::Shd,
+            exotic,
+            120,
+            1.0,
+            Seed(192),
+        );
+        let dir = loop_dir("promote");
+        let (served, reprofile, rollout) = reprofile_and_rollout(
+            &system,
+            &dataset,
+            &footage.frames,
+            6,
+            &dir,
+            Seed(193),
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(reprofile.changed_anything());
+        assert_eq!(rollout.outcome, RolloutOutcome::Promoted);
+        assert_eq!(rollout.sessions_on_candidate, 6);
+        // The served system is the re-profiled candidate, not the original.
+        assert_ne!(served, system);
+        assert_eq!(
+            served.repository().len(),
+            system.repository().len() + usize::from(reprofile.new_model.is_some())
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn closed_loop_reverts_to_last_good_on_injected_regression() {
+        use crate::omi::FaultPlan;
+
+        let (dataset, system) = world();
+        let exotic =
+            SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        let footage = dataset.world().generate_clip(
+            ClipId(8001),
+            DatasetSource::Shd,
+            exotic,
+            120,
+            1.0,
+            Seed(194),
+        );
+        let dir = loop_dir("revert");
+        let mut injector =
+            FaultPlan::new(Seed(195)).at(0, FaultKind::RegressedUpdate).injector();
+        let (served, _reprofile, rollout) = reprofile_and_rollout(
+            &system,
+            &dataset,
+            &footage.frames,
+            6,
+            &dir,
+            Seed(196),
+            None,
+            Some(&mut injector),
+        )
+        .unwrap();
+        assert_eq!(rollout.outcome, RolloutOutcome::RolledBack);
+        assert!(rollout.regression_injected);
+        assert_eq!(rollout.sessions_on_candidate, 0);
+        // The fleet keeps serving exactly the pinned last-good system.
+        assert_eq!(served, system);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

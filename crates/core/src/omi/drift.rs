@@ -7,8 +7,22 @@
 //! footage should be collected for repository expansion
 //! ([`AnoleSystem::extend_with_frames`](crate::AnoleSystem::extend_with_frames)).
 //!
-//! [`DriftDetector`] keeps a rolling window of top-1 suitability values and
-//! reports drift when the window mean stays below a calibrated floor.
+//! [`DriftDetector`] keeps a rolling window of a calibrated signal and
+//! latches into [`DriftState::Drifting`] when the window mean stays past a
+//! calibrated floor for `enter_windows` consecutive observations; it
+//! unlatches after `exit_windows` consecutive in-distribution observations
+//! (hysteresis), and emits at most one typed [`DriftEvent`] per `cooldown`
+//! observations. Three calibrated signals feed it:
+//!
+//! * **top-1 suitability confidence** ([`DriftDetector::calibrated`]),
+//! * **decision entropy** ([`DriftDetector::entropy_calibrated`]) — the
+//!   router's normalized output entropy rises when no specialist fits,
+//! * **confusion vs a pinned baseline** ([`BaselineConfusion`]) — the
+//!   routed specialist and the scene-agnostic pinned model disagree more
+//!   under shift, because they fail in different ways,
+//!
+//! plus the embedding-space [`SceneDistanceScorer`], which keeps
+//! discriminating as the repository grows and softmax confidence flattens.
 
 use std::collections::VecDeque;
 
@@ -19,16 +33,54 @@ use serde::{Deserialize, Serialize};
 use crate::{AnoleError, AnoleSystem};
 
 /// Current drift judgement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DriftState {
     /// Confidence is consistent with scenes seen at profiling time.
+    #[default]
     Nominal,
-    /// Confidence has stayed below the calibrated floor for a full window:
-    /// the stream is likely outside every model's distribution (case 3).
+    /// The calibrated signal has stayed past its floor long enough: the
+    /// stream is likely outside every model's distribution (case 3).
     Drifting,
 }
 
-/// Rolling-confidence drift detector.
+impl std::fmt::Display for DriftState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DriftState::Nominal => "nominal",
+            DriftState::Drifting => "drifting",
+        })
+    }
+}
+
+/// Which calibrated signal a detector (or an emitted event) watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DriftSignal {
+    /// Top-1 suitability of the decision model.
+    #[default]
+    Confidence,
+    /// Normalized entropy of the decision model's suitability distribution.
+    DecisionEntropy,
+    /// Disagreement between the routed specialist and the pinned baseline.
+    BaselineConfusion,
+    /// Embedding distance to the nearest training-scene centroid.
+    SceneDistance,
+}
+
+/// A typed drift alarm: the detector latched into
+/// [`DriftState::Drifting`] (outside any cooldown window).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// Observation index (0-based) at which the event fired.
+    pub frame: usize,
+    /// The signal that tripped.
+    pub signal: DriftSignal,
+    /// Rolling window mean at emission.
+    pub window_mean: f32,
+    /// The calibrated floor the mean crossed.
+    pub floor: f32,
+}
+
+/// Rolling-signal drift detector with hysteresis and cooldown.
 ///
 /// # Examples
 ///
@@ -37,13 +89,14 @@ pub enum DriftState {
 ///
 /// let mut detector = DriftDetector::new(4, 0.5);
 /// for _ in 0..4 {
-///     detector.observe(0.9);
+///     detector.observe(0.9).unwrap();
 /// }
 /// assert_eq!(detector.state(), DriftState::Nominal);
 /// for _ in 0..4 {
-///     detector.observe(0.1);
+///     detector.observe(0.1).unwrap();
 /// }
 /// assert_eq!(detector.state(), DriftState::Drifting);
+/// assert_eq!(detector.events().len(), 1);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriftDetector {
@@ -51,10 +104,37 @@ pub struct DriftDetector {
     floor: f32,
     history: VecDeque<f32>,
     drift_events: usize,
+    #[serde(default = "one")]
+    enter_windows: usize,
+    #[serde(default = "one")]
+    exit_windows: usize,
+    #[serde(default)]
+    cooldown: usize,
+    #[serde(default)]
+    signal: DriftSignal,
+    #[serde(default)]
+    observations: usize,
+    #[serde(default)]
+    below_streak: usize,
+    #[serde(default)]
+    above_streak: usize,
+    #[serde(default)]
+    latched: bool,
+    #[serde(default)]
+    last_event_at: Option<usize>,
+    #[serde(default)]
+    events: Vec<DriftEvent>,
+}
+
+fn one() -> usize {
+    1
 }
 
 impl DriftDetector {
-    /// Creates a detector with a rolling `window` and confidence `floor`.
+    /// Creates a detector with a rolling `window` and signal `floor`. A
+    /// window of 1 tracks the instantaneous signal. Hysteresis defaults to
+    /// trip-and-release on a single window (`enter_windows = exit_windows =
+    /// 1`) with no cooldown.
     ///
     /// # Panics
     ///
@@ -66,7 +146,43 @@ impl DriftDetector {
             floor,
             history: VecDeque::with_capacity(window),
             drift_events: 0,
+            enter_windows: 1,
+            exit_windows: 1,
+            cooldown: 0,
+            signal: DriftSignal::Confidence,
+            observations: 0,
+            below_streak: 0,
+            above_streak: 0,
+            latched: false,
+            last_event_at: None,
+            events: Vec::new(),
         }
+    }
+
+    /// Sets the hysteresis: `enter` consecutive below-floor windows latch
+    /// the detector into `Drifting`; `exit` consecutive in-distribution
+    /// observations release it. Values are clamped to at least 1.
+    #[must_use]
+    pub fn with_hysteresis(mut self, enter: usize, exit: usize) -> Self {
+        self.enter_windows = enter.max(1);
+        self.exit_windows = exit.max(1);
+        self
+    }
+
+    /// Sets the minimum number of observations between emitted
+    /// [`DriftEvent`]s (0 = every latch emits).
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: usize) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Tags the detector (and its emitted events) with the signal it
+    /// watches.
+    #[must_use]
+    pub fn with_signal(mut self, signal: DriftSignal) -> Self {
+        self.signal = signal;
+        self
     }
 
     /// Calibrates the floor from a trained system: the `quantile` of the
@@ -104,22 +220,92 @@ impl DriftDetector {
         Ok(Self::new(window, confidences[idx]))
     }
 
-    /// The calibrated confidence floor.
+    /// Calibrates a decision-entropy detector: the floor is the negated
+    /// `quantile` of the router's normalized output entropy over `refs`,
+    /// and observations feed negated entropies (high entropy ⇒ drifting).
+    /// Use [`DriftDetector::observe_entropy`] to feed it.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces inference errors from the decision model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, `refs` is empty, or `quantile` is outside
+    /// `(0, 1)`.
+    pub fn entropy_calibrated(
+        system: &AnoleSystem,
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        window: usize,
+        quantile: f32,
+    ) -> Result<Self, AnoleError> {
+        assert!(!refs.is_empty(), "calibration set is empty");
+        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+        let x = dataset.features_matrix(refs);
+        let probs = system.decision().suitability(&x)?;
+        let mut entropies: Vec<f32> =
+            (0..probs.rows()).map(|i| normalized_entropy(probs.row(i))).collect();
+        entropies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let ceiling = entropies[((entropies.len() - 1) as f32 * quantile) as usize];
+        Ok(Self::new(window, -ceiling).with_signal(DriftSignal::DecisionEntropy))
+    }
+
+    /// The calibrated signal floor.
     pub fn floor(&self) -> f32 {
         self.floor
     }
 
-    /// Feeds one frame's top-1 suitability; returns the updated state.
-    pub fn observe(&mut self, confidence: f32) -> DriftState {
+    /// Feeds one observation of the calibrated signal; returns the updated
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`AnoleError::InvalidFrame`] on a NaN or infinite input — a poisoned
+    /// confidence would pollute the rolling mean silently otherwise. The
+    /// window is left untouched.
+    pub fn observe(&mut self, confidence: f32) -> Result<DriftState, AnoleError> {
+        if !confidence.is_finite() {
+            return Err(AnoleError::InvalidFrame {
+                detail: format!("non-finite drift signal {confidence}"),
+            });
+        }
         if self.history.len() == self.window {
             self.history.pop_front();
         }
         self.history.push_back(confidence);
+        let below = self.window_below_floor();
+        if below {
+            self.below_streak += 1;
+            self.above_streak = 0;
+        } else {
+            self.above_streak += 1;
+            self.below_streak = 0;
+        }
+        if !self.latched && self.below_streak >= self.enter_windows {
+            self.latched = true;
+            let off_cooldown = self
+                .last_event_at
+                .map_or(true, |at| self.observations - at >= self.cooldown);
+            if off_cooldown {
+                self.last_event_at = Some(self.observations);
+                self.events.push(DriftEvent {
+                    frame: self.observations,
+                    signal: self.signal,
+                    window_mean: self.window_mean(),
+                    floor: self.floor,
+                });
+                anole_obs::counter_add!("omi.engine.drift.events", 1);
+            }
+        } else if self.latched && self.above_streak >= self.exit_windows {
+            self.latched = false;
+        }
         let state = self.state();
-        if state == DriftState::Drifting && self.history.len() == self.window {
+        if state == DriftState::Drifting {
             self.drift_events += 1;
         }
-        state
+        self.observations += 1;
+        Ok(state)
     }
 
     /// Convenience: observes a frame directly through a system's decision
@@ -135,16 +321,27 @@ impl DriftDetector {
     ) -> Result<DriftState, AnoleError> {
         let probs = system.decision().suitability(&Matrix::row_vector(features))?;
         let row = probs.row(0);
-        Ok(self.observe(row[anole_tensor::argmax(row).expect("non-empty")]))
+        self.observe(row[anole_tensor::argmax(row).expect("non-empty")])
     }
 
-    /// Current state: drifting once a *full* window sits below the floor.
+    /// Observes a frame through the decision model's *entropy* (for
+    /// detectors built by [`DriftDetector::entropy_calibrated`]).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces inference errors from the decision model.
+    pub fn observe_entropy(
+        &mut self,
+        system: &AnoleSystem,
+        features: &[f32],
+    ) -> Result<DriftState, AnoleError> {
+        let probs = system.decision().suitability(&Matrix::row_vector(features))?;
+        self.observe(-normalized_entropy(probs.row(0)))
+    }
+
+    /// Current state: drifting while the hysteresis latch is set.
     pub fn state(&self) -> DriftState {
-        if self.history.len() < self.window {
-            return DriftState::Nominal;
-        }
-        let mean: f32 = self.history.iter().sum::<f32>() / self.history.len() as f32;
-        if mean < self.floor {
+        if self.latched {
             DriftState::Drifting
         } else {
             DriftState::Nominal
@@ -156,9 +353,132 @@ impl DriftDetector {
         self.drift_events
     }
 
-    /// Clears the rolling window (e.g. after an expansion deployed).
+    /// Typed drift alarms emitted so far (edge-triggered, cooldown-gated).
+    pub fn events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+
+    /// Clears the rolling window and releases the latch (e.g. after an
+    /// expansion deployed). Emitted events and counters are kept.
     pub fn reset(&mut self) {
         self.history.clear();
+        self.below_streak = 0;
+        self.above_streak = 0;
+        self.latched = false;
+    }
+
+    fn window_below_floor(&self) -> bool {
+        self.history.len() == self.window && self.window_mean() < self.floor
+    }
+
+    fn window_mean(&self) -> f32 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().sum::<f32>() / self.history.len() as f32
+    }
+}
+
+/// Normalized Shannon entropy of a probability row, in `[0, 1]` (0 = all
+/// mass on one model, 1 = uniform). Rows with fewer than two entries have
+/// zero entropy.
+pub fn normalized_entropy(row: &[f32]) -> f32 {
+    if row.len() < 2 {
+        return 0.0;
+    }
+    let mut h = 0.0f32;
+    for &p in row {
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h / (row.len() as f32).ln()
+}
+
+/// Confusion-vs-pinned-baseline drift signal: the fraction of grid cells on
+/// which the decision-routed specialist and the pinned (scene-agnostic)
+/// baseline disagree. Under distribution shift the two degrade in
+/// *different* ways, so their disagreement rises even while each one's own
+/// confidence stays plausible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineConfusion {
+    baseline: usize,
+}
+
+impl BaselineConfusion {
+    /// Watches disagreement against the repository model with this id
+    /// (typically the engine's pinned fallback model).
+    pub fn new(baseline: usize) -> Self {
+        Self { baseline }
+    }
+
+    /// The pinned baseline's repository id.
+    pub fn baseline(&self) -> usize {
+        self.baseline
+    }
+
+    /// Disagreement of one frame: fraction of cells where the routed top-1
+    /// specialist and the baseline disagree.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces inference errors from the decision model or detectors.
+    pub fn score(&self, system: &AnoleSystem, features: &[f32]) -> Result<f32, AnoleError> {
+        let threshold = system.config().detector.threshold;
+        let top = system.decision().rank(features)?[0];
+        let routed = system.repository().model(top).detect(features, threshold)?;
+        let pinned = system.repository().model(self.baseline).detect(features, threshold)?;
+        let disagreements = routed.iter().zip(pinned.iter()).filter(|(a, b)| a != b).count();
+        Ok(disagreements as f32 / routed.len().max(1) as f32)
+    }
+
+    /// The `quantile` of disagreement over a reference (validation) set —
+    /// the ceiling above which a stream counts as drifting.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces inference errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refs` is empty or `quantile` is outside `(0, 1)`.
+    pub fn ceiling(
+        &self,
+        system: &AnoleSystem,
+        dataset: &DrivingDataset,
+        refs: &[FrameRef],
+        quantile: f32,
+    ) -> Result<f32, AnoleError> {
+        assert!(!refs.is_empty(), "reference set is empty");
+        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+        let mut scores = Vec::with_capacity(refs.len());
+        for &r in refs {
+            scores.push(self.score(system, &dataset.frame(r).features)?);
+        }
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(scores[((scores.len() - 1) as f32 * quantile) as usize])
+    }
+
+    /// Builds a [`DriftDetector`] over this signal: the detector watches
+    /// *negated* disagreements, so its below-floor rule flags above-ceiling
+    /// confusion.
+    pub fn detector(&self, window: usize, ceiling: f32) -> DriftDetector {
+        DriftDetector::new(window, -ceiling).with_signal(DriftSignal::BaselineConfusion)
+    }
+
+    /// Scores a frame and feeds the (negated) disagreement into `detector`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces inference errors.
+    pub fn observe_frame(
+        &self,
+        detector: &mut DriftDetector,
+        system: &AnoleSystem,
+        features: &[f32],
+    ) -> Result<DriftState, AnoleError> {
+        let confusion = self.score(system, features)?;
+        detector.observe(-confusion)
     }
 }
 
@@ -318,7 +638,7 @@ impl SceneDistanceScorer {
     /// above-ceiling distances. Feed it `-scorer.score(...)`, or use
     /// [`SceneDistanceScorer::observe_frame`].
     pub fn detector(&self, window: usize, ceiling: f32) -> DriftDetector {
-        DriftDetector::new(window, -ceiling)
+        DriftDetector::new(window, -ceiling).with_signal(DriftSignal::SceneDistance)
     }
 
     /// Scores a frame and feeds the (negated) distance into `detector`.
@@ -333,7 +653,7 @@ impl SceneDistanceScorer {
         features: &[f32],
     ) -> Result<DriftState, AnoleError> {
         let distance = self.score(system, features)?;
-        Ok(detector.observe(-distance))
+        detector.observe(-distance)
     }
 }
 
@@ -349,20 +669,23 @@ mod tests {
     #[test]
     fn nominal_until_window_fills() {
         let mut d = DriftDetector::new(3, 0.5);
-        assert_eq!(d.observe(0.1), DriftState::Nominal);
-        assert_eq!(d.observe(0.1), DriftState::Nominal);
-        assert_eq!(d.observe(0.1), DriftState::Drifting);
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Nominal);
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Nominal);
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Drifting);
         assert_eq!(d.drift_events(), 1);
+        assert_eq!(d.events().len(), 1);
+        assert_eq!(d.events()[0].frame, 2);
+        assert_eq!(d.events()[0].signal, DriftSignal::Confidence);
     }
 
     #[test]
     fn recovers_when_confidence_returns() {
         let mut d = DriftDetector::new(2, 0.5);
-        d.observe(0.1);
-        d.observe(0.1);
+        d.observe(0.1).unwrap();
+        d.observe(0.1).unwrap();
         assert_eq!(d.state(), DriftState::Drifting);
-        d.observe(0.9);
-        d.observe(0.9);
+        d.observe(0.9).unwrap();
+        d.observe(0.9).unwrap();
         assert_eq!(d.state(), DriftState::Nominal);
         d.reset();
         assert_eq!(d.state(), DriftState::Nominal);
@@ -372,6 +695,161 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = DriftDetector::new(0, 0.5);
+    }
+
+    #[test]
+    fn window_of_one_tracks_instantaneous_signal() {
+        let mut d = DriftDetector::new(1, 0.5);
+        assert_eq!(d.observe(0.9).unwrap(), DriftState::Nominal);
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Drifting);
+        assert_eq!(d.observe(0.9).unwrap(), DriftState::Nominal);
+        assert_eq!(d.events().len(), 1);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_without_polluting_the_window() {
+        let mut d = DriftDetector::new(2, 0.5);
+        d.observe(0.9).unwrap();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = d.observe(bad).unwrap_err();
+            assert!(matches!(err, AnoleError::InvalidFrame { .. }), "{bad} accepted");
+        }
+        // The window holds only the one valid observation: a second valid
+        // low value cannot yet fill the window with a drifting mean.
+        assert_eq!(d.observe(0.9).unwrap(), DriftState::Nominal);
+        assert_eq!(d.drift_events(), 0);
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_windows_to_enter_and_exit() {
+        let mut d = DriftDetector::new(1, 0.5).with_hysteresis(3, 2);
+        // Two below-floor windows: not yet latched.
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Nominal);
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Nominal);
+        // Third consecutive: latch.
+        assert_eq!(d.observe(0.1).unwrap(), DriftState::Drifting);
+        // One good window is not enough to release.
+        assert_eq!(d.observe(0.9).unwrap(), DriftState::Drifting);
+        // Second consecutive good window releases.
+        assert_eq!(d.observe(0.9).unwrap(), DriftState::Nominal);
+        // A broken below-floor streak does not latch.
+        d.observe(0.1).unwrap();
+        d.observe(0.9).unwrap();
+        d.observe(0.1).unwrap();
+        d.observe(0.1).unwrap();
+        assert_eq!(d.state(), DriftState::Nominal);
+    }
+
+    #[test]
+    fn cooldown_suppresses_rapid_event_emission() {
+        let mut d = DriftDetector::new(1, 0.5).with_cooldown(10);
+        // First latch emits.
+        d.observe(0.1).unwrap();
+        assert_eq!(d.events().len(), 1);
+        // Release and re-latch immediately: suppressed by cooldown.
+        d.observe(0.9).unwrap();
+        d.observe(0.1).unwrap();
+        assert_eq!(d.events().len(), 1);
+        // Far enough in the future, a new latch emits again.
+        d.observe(0.9).unwrap();
+        for _ in 0..10 {
+            d.observe(0.9).unwrap();
+        }
+        d.observe(0.1).unwrap();
+        assert_eq!(d.events().len(), 2);
+    }
+
+    #[test]
+    fn normalized_entropy_brackets() {
+        assert_eq!(normalized_entropy(&[1.0]), 0.0);
+        assert!(normalized_entropy(&[1.0, 0.0, 0.0]) < 1e-6);
+        let uniform = normalized_entropy(&[0.25, 0.25, 0.25, 0.25]);
+        assert!((uniform - 1.0).abs() < 1e-5, "uniform entropy {uniform}");
+        let skewed = normalized_entropy(&[0.7, 0.1, 0.1, 0.1]);
+        assert!(skewed > 0.0 && skewed < uniform);
+    }
+
+    #[test]
+    fn detector_round_trips_through_serde_with_new_fields() {
+        let mut d = DriftDetector::new(3, 0.4).with_hysteresis(2, 2).with_cooldown(5);
+        d.observe(0.1).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DriftDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn entropy_and_confusion_signals_fire_on_exotic_scenes() {
+        let dataset =
+            anole_data::DrivingDataset::generate(&DatasetConfig::small(), Seed(167));
+        let system = crate::AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(168)).unwrap();
+        let split = dataset.split();
+        let exotic_attrs =
+            SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        let exotic = dataset.world().generate_clip(
+            ClipId(8200),
+            DatasetSource::Shd,
+            exotic_attrs,
+            150,
+            1.0,
+            Seed(169),
+        );
+
+        // Entropy detector: calibrated on validation frames, watch negated
+        // entropy; the exotic stream must trip it at least as often as the
+        // seen stream.
+        let mut entropy_seen =
+            DriftDetector::entropy_calibrated(&system, &dataset, &split.val, 8, 0.9).unwrap();
+        let mut entropy_exotic = entropy_seen.clone();
+        let mut seen_hits = 0usize;
+        for &r in split.test.iter().take(150) {
+            if entropy_seen.observe_entropy(&system, &dataset.frame(r).features).unwrap()
+                == DriftState::Drifting
+            {
+                seen_hits += 1;
+            }
+        }
+        let mut exotic_hits = 0usize;
+        for f in &exotic.frames {
+            if entropy_exotic.observe_entropy(&system, &f.features).unwrap()
+                == DriftState::Drifting
+            {
+                exotic_hits += 1;
+            }
+        }
+        assert!(
+            exotic_hits >= seen_hits,
+            "entropy: exotic {exotic_hits} vs seen {seen_hits}"
+        );
+
+        // Baseline-confusion detector: same shape of assertion.
+        let confusion = BaselineConfusion::new(0);
+        assert_eq!(confusion.baseline(), 0);
+        let ceiling = confusion.ceiling(&system, &dataset, &split.val, 0.9).unwrap();
+        let mut conf_seen = confusion.detector(8, ceiling);
+        let mut conf_exotic = conf_seen.clone();
+        let mut seen_hits = 0usize;
+        for &r in split.test.iter().take(150) {
+            if confusion
+                .observe_frame(&mut conf_seen, &system, &dataset.frame(r).features)
+                .unwrap()
+                == DriftState::Drifting
+            {
+                seen_hits += 1;
+            }
+        }
+        let mut exotic_hits = 0usize;
+        for f in &exotic.frames {
+            if confusion.observe_frame(&mut conf_exotic, &system, &f.features).unwrap()
+                == DriftState::Drifting
+            {
+                exotic_hits += 1;
+            }
+        }
+        assert!(
+            exotic_hits >= seen_hits,
+            "confusion: exotic {exotic_hits} vs seen {seen_hits}"
+        );
     }
 
     #[test]
@@ -420,6 +898,7 @@ mod tests {
 
         // The detector wrapper fires on the exotic stream.
         let mut detector = scorer.detector(10, ceiling);
+        assert_eq!(detector.events().len(), 0);
         let mut drift = 0;
         for f in &exotic.frames {
             if scorer.observe_frame(&mut detector, &system, &f.features).unwrap()
@@ -429,6 +908,8 @@ mod tests {
             }
         }
         assert!(drift > 0, "embedding detector never fired on the exotic stream");
+        assert!(!detector.events().is_empty());
+        assert_eq!(detector.events()[0].signal, DriftSignal::SceneDistance);
     }
 
     #[test]

@@ -138,6 +138,21 @@ pub enum FaultKind {
     /// coordinator hiccups); queues age and deadlines keep running. The
     /// event index counts scheduling windows, not frames.
     SchedulerHiccup,
+    /// Rollout-side: a device receives a stale bundle — the delivered
+    /// manifest predates the candidate being rolled out (CDN lag, a
+    /// half-propagated push) — and must be re-served from the last-good
+    /// bundle. The event index counts bundle deliveries, not frames.
+    StaleBundle,
+    /// Rollout-side: the candidate bundle itself is silently regressed
+    /// (bad re-profile data, a mis-trained specialist); the canary gate
+    /// must catch it and roll the fleet back. The event index counts
+    /// rollout candidates, not frames.
+    RegressedUpdate,
+    /// Server-side: the continual re-profiling run is killed right after
+    /// the re-profile step with this index completes (and its checkpoint is
+    /// written). The event index is the re-profile step index, mirroring
+    /// [`FaultKind::TrainAbort`] for the incremental pipeline.
+    ReprofileAbort,
 }
 
 /// How a server-side checkpoint write fails.
@@ -205,6 +220,10 @@ pub struct FaultPlan {
     session_stall_rate: f32,
     #[serde(default)]
     scheduler_hiccup_rate: f32,
+    #[serde(default)]
+    stale_bundle_rate: f32,
+    #[serde(default)]
+    regressed_update_rate: f32,
     scheduled: Vec<FaultEvent>,
 }
 
@@ -226,6 +245,8 @@ impl FaultPlan {
             slow_consumer_rate: 0.0,
             session_stall_rate: 0.0,
             scheduler_hiccup_rate: 0.0,
+            stale_bundle_rate: 0.0,
+            regressed_update_rate: 0.0,
             scheduled: Vec::new(),
         }
     }
@@ -323,6 +344,22 @@ impl FaultPlan {
         self
     }
 
+    /// Per-delivery probability that a device receives a stale bundle during
+    /// a rollout.
+    #[must_use]
+    pub fn with_stale_bundle_rate(mut self, rate: f32) -> Self {
+        self.stale_bundle_rate = clamp_rate(rate);
+        self
+    }
+
+    /// Per-candidate probability that a rollout candidate is silently
+    /// regressed.
+    #[must_use]
+    pub fn with_regressed_update_rate(mut self, rate: f32) -> Self {
+        self.regressed_update_rate = clamp_rate(rate);
+        self
+    }
+
     /// Schedules `kind` at exact `frame`.
     ///
     /// For the server-side kinds the index counts occurrences of that
@@ -360,6 +397,8 @@ impl FaultPlan {
             && self.slow_consumer_rate == 0.0
             && self.session_stall_rate == 0.0
             && self.scheduler_hiccup_rate == 0.0
+            && self.stale_bundle_rate == 0.0
+            && self.regressed_update_rate == 0.0
             && self.scheduled.is_empty()
     }
 
@@ -378,6 +417,8 @@ impl FaultPlan {
             consumer_draws: 0,
             stall_draws: 0,
             window_draws: 0,
+            delivery_draws: 0,
+            candidate_draws: 0,
         }
     }
 }
@@ -441,6 +482,8 @@ pub struct FaultInjector {
     consumer_draws: usize,
     stall_draws: usize,
     window_draws: usize,
+    delivery_draws: usize,
+    candidate_draws: usize,
 }
 
 impl FaultInjector {
@@ -506,6 +549,12 @@ impl FaultInjector {
                 | FaultKind::SlowConsumer
                 | FaultKind::SessionStall
                 | FaultKind::SchedulerHiccup => {}
+                // Rollout kinds draw on their own counters too
+                // (`bundle_is_stale`, `update_regresses`,
+                // `reprofile_abort_after`).
+                FaultKind::StaleBundle
+                | FaultKind::RegressedUpdate
+                | FaultKind::ReprofileAbort => {}
             }
         }
         self.frame += 1;
@@ -641,6 +690,45 @@ impl FaultInjector {
             .any(|e| e.frame == self.window_draws && e.kind == FaultKind::SchedulerHiccup);
         self.window_draws += 1;
         hiccups || scheduled
+    }
+
+    /// Whether the next bundle delivery during a rollout is stale (the
+    /// device got an outdated manifest and must be re-served last-good).
+    /// One draw per call; scheduled [`FaultKind::StaleBundle`] events fire
+    /// by delivery index.
+    pub fn bundle_is_stale(&mut self) -> bool {
+        let stale = self.rng.gen::<f32>() < self.plan.stale_bundle_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.delivery_draws && e.kind == FaultKind::StaleBundle);
+        self.delivery_draws += 1;
+        stale || scheduled
+    }
+
+    /// Whether the next rollout candidate is silently regressed (the canary
+    /// gate must detect and reject it). One draw per call; scheduled
+    /// [`FaultKind::RegressedUpdate`] events fire by candidate index.
+    pub fn update_regresses(&mut self) -> bool {
+        let regresses = self.rng.gen::<f32>() < self.plan.regressed_update_rate;
+        let scheduled = self
+            .plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == self.candidate_draws && e.kind == FaultKind::RegressedUpdate);
+        self.candidate_draws += 1;
+        regresses || scheduled
+    }
+
+    /// Whether a [`FaultKind::ReprofileAbort`] is scheduled right after the
+    /// re-profile step with this index. Purely scheduled — consumes no
+    /// randomness — mirroring [`FaultInjector::train_abort_after`].
+    pub fn reprofile_abort_after(&self, step_index: usize) -> bool {
+        self.plan
+            .scheduled
+            .iter()
+            .any(|e| e.frame == step_index && e.kind == FaultKind::ReprofileAbort)
     }
 
     /// Whether a [`FaultKind::TrainAbort`] is scheduled right after the OSP
@@ -914,6 +1002,47 @@ mod tests {
         let hiccups = (0..n).filter(|_| injector.scheduler_hiccups()).count();
         let rate = hiccups as f32 / n as f32;
         assert!((rate - 0.1).abs() < 0.04, "observed {rate}");
+    }
+
+    #[test]
+    fn rollout_categories_use_independent_counters() {
+        let plan = FaultPlan::new(Seed(16))
+            .at(1, FaultKind::StaleBundle)
+            .at(0, FaultKind::RegressedUpdate)
+            .at(2, FaultKind::ReprofileAbort);
+        assert!(!plan.is_zero_fault());
+        let mut injector = plan.injector();
+        // Deliveries: stale only at delivery 1.
+        assert!(!injector.bundle_is_stale());
+        assert!(injector.bundle_is_stale());
+        assert!(!injector.bundle_is_stale());
+        // Candidates: regression only on candidate 0.
+        assert!(injector.update_regresses());
+        assert!(!injector.update_regresses());
+        // Re-profile aborts consult the schedule without consuming
+        // randomness.
+        assert!(injector.reprofile_abort_after(2));
+        assert!(!injector.reprofile_abort_after(0));
+        // The per-frame stream is untouched by rollout schedules.
+        for frame in 0..6 {
+            assert!(!injector.next_frame().any(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn rollout_rates_draw_proportionally() {
+        let mut injector = FaultPlan::new(Seed(17))
+            .with_stale_bundle_rate(0.2)
+            .with_regressed_update_rate(0.15)
+            .injector();
+        assert!(!injector.plan().is_zero_fault());
+        let n = 2000;
+        let stale = (0..n).filter(|_| injector.bundle_is_stale()).count();
+        let rate = stale as f32 / n as f32;
+        assert!((rate - 0.2).abs() < 0.04, "observed {rate}");
+        let regressed = (0..n).filter(|_| injector.update_regresses()).count();
+        let rate = regressed as f32 / n as f32;
+        assert!((rate - 0.15).abs() < 0.04, "observed {rate}");
     }
 
     #[test]

@@ -8,7 +8,10 @@ mod switching;
 mod telemetry;
 
 pub use deployment::{OnlineEngine, StepOutcome};
-pub use drift::{DriftDetector, DriftState, SceneDistanceScorer};
+pub use drift::{
+    normalized_entropy, BaselineConfusion, DriftDetector, DriftEvent, DriftSignal, DriftState,
+    SceneDistanceScorer,
+};
 pub use faults::{
     CheckpointFault, FaultCounts, FaultEvent, FaultInjector, FaultKind, FaultPlan, FrameFaults,
     HealthReport, HealthState, LoadFault,

@@ -12,7 +12,7 @@ use anole_nn::Precision;
 use anole_obs::FixedHistogram;
 use serde::{Deserialize, Serialize};
 
-use crate::omi::{HealthState, StepOutcome};
+use crate::omi::{DriftState, HealthState, StepOutcome};
 
 /// One telemetry record: a [`StepOutcome`] plus optional ground-truth score.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,6 +49,11 @@ pub struct TelemetryRecord {
     /// serving existed.
     #[serde(default)]
     pub precision: Precision,
+    /// Drift judgement in force while this frame was served (as reported to
+    /// [`Telemetry::note_drift`]; `Nominal` when no detector is wired in).
+    /// Deserializes to `Nominal` from logs written before drift detection.
+    #[serde(default)]
+    pub drift_state: DriftState,
     /// Per-frame F1 against ground truth, when truth was supplied.
     pub f1: Option<f32>,
 }
@@ -67,6 +72,8 @@ pub struct TelemetryRecord {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Telemetry {
     records: Vec<TelemetryRecord>,
+    #[serde(default)]
+    current_drift: DriftState,
 }
 
 impl Telemetry {
@@ -110,8 +117,23 @@ impl Telemetry {
             faults: outcome.faults,
             span_id: anole_obs::last_root_span_id(),
             precision: outcome.precision,
+            drift_state: self.current_drift,
             f1,
         });
+    }
+
+    /// Notes the detector's current judgement; subsequent [`Telemetry::record`]
+    /// calls stamp it on their rows until the next note. Feed it from a
+    /// [`DriftDetector`](crate::omi::DriftDetector) alongside the engine loop.
+    pub fn note_drift(&mut self, state: DriftState) {
+        self.current_drift = state;
+        anole_obs::gauge_set!(
+            "omi.engine.drift.state",
+            match state {
+                DriftState::Nominal => 0.0,
+                DriftState::Drifting => 1.0,
+            }
+        );
     }
 
     /// Frames recorded while the engine was not `Healthy`.
@@ -135,12 +157,13 @@ impl Telemetry {
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
 
-        const HEADER: &str = "frame,requested,used,cache_hit,models_executed,latency_ms,\
-                              suitability,health,fallback_depth,faults,span_id,precision,f1\n";
-        // Generous per-row estimate: eleven numeric/enum fields plus
+        const HEADER: &str =
+            "frame,requested,used,cache_hit,models_executed,latency_ms,suitability,health,\
+             fallback_depth,faults,span_id,precision,drift_state,f1\n";
+        // Generous per-row estimate: twelve numeric/enum fields plus
         // separators stay well under this for realistic runs, so growth is
         // rare.
-        const ROW_ESTIMATE: usize = 112;
+        const ROW_ESTIMATE: usize = 120;
         let mut out = String::with_capacity(HEADER.len() + self.records.len() * ROW_ESTIMATE);
         out.push_str(HEADER);
         for r in &self.records {
@@ -150,7 +173,7 @@ impl Telemetry {
             // Infallible for String; keep the row loop panic-free.
             let _ = write!(
                 out,
-                "{},{},{},{},{},{:?},{:?},{},{},{},{},{},",
+                "{},{},{},{},{},{:?},{:?},{},{},{},{},{},{},",
                 r.frame,
                 r.requested,
                 r.used,
@@ -163,6 +186,7 @@ impl Telemetry {
                 r.faults,
                 r.span_id,
                 r.precision,
+                r.drift_state,
             );
             if let Some(f1) = r.f1 {
                 let _ = write!(out, "{f1:?}");
@@ -197,6 +221,16 @@ impl Telemetry {
         } else {
             scored.iter().sum::<f32>() / scored.len() as f32
         };
+        // Rising edges of the drift state: distinct drift episodes, not
+        // frames spent drifting.
+        let mut drift_events = 0usize;
+        let mut prev = DriftState::Nominal;
+        for r in &self.records {
+            if prev == DriftState::Nominal && r.drift_state == DriftState::Drifting {
+                drift_events += 1;
+            }
+            prev = r.drift_state;
+        }
         TelemetrySummary {
             frames: self.records.len(),
             mean_latency_ms,
@@ -207,6 +241,7 @@ impl Telemetry {
             mean_fallback_depth,
             mean_f1,
             i8_frame_fraction: i8_frames as f32 / n,
+            drift_events,
         }
     }
 }
@@ -235,6 +270,10 @@ pub struct TelemetrySummary {
     /// summaries written before quantized serving existed.
     #[serde(default)]
     pub i8_frame_fraction: f32,
+    /// Distinct drift episodes (Nominal→Drifting edges) across the log.
+    /// Deserializes to 0 from summaries written before drift detection.
+    #[serde(default)]
+    pub drift_events: usize,
 }
 
 #[cfg(test)]
@@ -262,12 +301,13 @@ mod tests {
         assert_eq!(telemetry.len(), 25);
         let csv = telemetry.to_csv();
         assert_eq!(csv.lines().count(), 26);
-        assert!(csv.lines().nth(1).unwrap().split(',').count() == 13);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 14);
         assert!(csv.lines().nth(1).unwrap().contains("fp32"));
         // A fault-free run stays healthy throughout.
         assert_eq!(telemetry.degraded_frames(), 0);
         assert_eq!(telemetry.fault_total(), 0);
         assert!(csv.lines().nth(1).unwrap().contains("healthy"));
+        assert!(csv.lines().nth(1).unwrap().contains(",nominal,"));
 
         let summary = telemetry.summary();
         assert_eq!(summary.frames, 25);
@@ -277,6 +317,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&summary.hit_rate));
         assert!((0.0..=1.0).contains(&summary.mean_f1));
         assert!(summary.mean_fallback_depth >= 0.0);
+        assert_eq!(summary.drift_events, 0);
         // Frame indices are sequential.
         for (i, r) in telemetry.records().iter().enumerate() {
             assert_eq!(r.frame, i);
@@ -337,6 +378,45 @@ mod tests {
         assert_eq!(cols[5].parse::<f32>().unwrap(), outcome.latency_ms);
         assert_eq!(cols[6].parse::<f32>().unwrap(), outcome.suitability);
         assert_eq!(cols[11], "fp32");
-        assert_eq!(cols[12].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
+        assert_eq!(cols[12], "nominal");
+        assert_eq!(cols[13].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
+    }
+
+    #[test]
+    fn noted_drift_state_stamps_rows_and_counts_episodes() {
+        let outcome = StepOutcome {
+            requested: 0,
+            used: 0,
+            cache_hit: true,
+            detections: vec![true],
+            models_executed: 1,
+            latency_ms: 5.0,
+            suitability: 0.9,
+            health: HealthState::Healthy,
+            fallback_depth: 0,
+            faults: 0,
+            precision: Precision::Fp32,
+        };
+        let mut t = Telemetry::new();
+        t.record(&outcome, None);
+        t.note_drift(DriftState::Drifting);
+        t.record(&outcome, None);
+        t.record(&outcome, None);
+        t.note_drift(DriftState::Nominal);
+        t.record(&outcome, None);
+        t.note_drift(DriftState::Drifting);
+        t.record(&outcome, None);
+
+        let csv = t.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("drift_state,f1"));
+        assert!(csv.lines().nth(1).unwrap().contains(",nominal,"));
+        assert!(csv.lines().nth(2).unwrap().contains(",drifting,"));
+        // Two distinct episodes despite three drifting frames.
+        assert_eq!(t.summary().drift_events, 2);
+
+        // Older serialized logs (without the field) still load, as nominal.
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Telemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 }

@@ -283,7 +283,6 @@ impl AnoleSystem {
         frames: &[anole_data::Frame],
         seed: Seed,
     ) -> Result<usize, AnoleError> {
-        use anole_nn::{Activation, Mlp, ModelProfile, ReferenceModel, Trainer, Workspace};
         use anole_tensor::Matrix;
 
         if frames.len() < 10 {
@@ -293,63 +292,10 @@ impl AnoleSystem {
             });
         }
         let feature_dim = dataset.config().world.feature_dim;
-        let cells = dataset.config().world.grid.cells();
-        let split_at = frames.len() * 4 / 5;
-        let (fit_frames, val_frames) = frames.split_at(split_at.max(1));
-
-        let stack = |frames: &[anole_data::Frame]| {
-            let mut x = Matrix::zeros(frames.len(), feature_dim);
-            let mut y = Matrix::zeros(frames.len(), cells);
-            for (i, f) in frames.iter().enumerate() {
-                x.row_mut(i).copy_from_slice(&f.features);
-                for (j, &t) in f.truth.iter().enumerate() {
-                    if t {
-                        y.set(i, j, 1.0);
-                    }
-                }
-            }
-            (x, y)
-        };
-        let (x_fit, y_fit) = stack(fit_frames);
+        let threshold = self.config.detector.threshold;
 
         // 1. Train the new specialist.
-        let mut net = Mlp::builder(feature_dim)
-            .hidden(self.config.detector.compressed_hidden, Activation::Relu)
-            .output(cells)
-            .build(split_seed(seed, 0));
-        let mut train_cfg = self.config.detector.train;
-        train_cfg.pos_weight = self.config.detector.pos_weight;
-        let mut ws = Workspace::new();
-        Trainer::new(train_cfg).fit_multilabel_ws(&mut net, &x_fit, &y_fit, split_seed(seed, 1), &mut ws)?;
-
-        let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
-        let mut candidate = crate::osp::CompressedModel {
-            id: 0, // assigned by push
-            net,
-            profile,
-            validation_f1: 0.0,
-            origin: crate::osp::ClusterOrigin {
-                k: 0,
-                cluster: 0,
-                scenes: Vec::new(),
-            },
-            training_set: Vec::new(),
-            quantized: None,
-        };
-        let threshold = self.config.detector.threshold;
-        let mut counts = anole_detect::DetectionCounts::default();
-        if !val_frames.is_empty() {
-            // One batched forward over the stacked validation frames; the
-            // matmul kernel accumulates each output element identically for
-            // any batch size, so scores match the per-frame path exactly.
-            let (x_val, _) = stack(val_frames);
-            let probs = candidate.detect_probs(&x_val)?;
-            for (i, frame) in val_frames.iter().enumerate() {
-                let pred = anole_detect::threshold_probs(probs.row(i), threshold);
-                counts.accumulate(&pred, &frame.truth);
-            }
-        }
-        candidate.validation_f1 = counts.f1();
+        let candidate = self.fit_specialist(dataset, frames, seed)?;
         let new_id = self.repository.push(candidate);
         let n_models = self.repository.len();
 
@@ -404,6 +350,349 @@ impl AnoleSystem {
         )?;
         Ok(new_id)
     }
+
+    /// Trains one compressed specialist on `frames` (4/5 fit split, 1/5
+    /// validation), returning the candidate with `id` 0 — the repository
+    /// assigns the real id on push.
+    fn fit_specialist(
+        &self,
+        dataset: &DrivingDataset,
+        frames: &[anole_data::Frame],
+        seed: Seed,
+    ) -> Result<crate::osp::CompressedModel, AnoleError> {
+        use anole_nn::{ModelProfile, ReferenceModel};
+        use anole_tensor::Matrix;
+
+        let feature_dim = dataset.config().world.feature_dim;
+        let cells = dataset.config().world.grid.cells();
+        let split_at = frames.len() * 4 / 5;
+        let (fit_frames, val_frames) = frames.split_at(split_at.max(1));
+
+        let stack = |frames: &[anole_data::Frame]| {
+            let mut x = Matrix::zeros(frames.len(), feature_dim);
+            let mut y = Matrix::zeros(frames.len(), cells);
+            for (i, f) in frames.iter().enumerate() {
+                x.row_mut(i).copy_from_slice(&f.features);
+                for (j, &t) in f.truth.iter().enumerate() {
+                    if t {
+                        y.set(i, j, 1.0);
+                    }
+                }
+            }
+            (x, y)
+        };
+        let (x_fit, y_fit) = stack(fit_frames);
+        let net = self.fit_compressed_net(&x_fit, &y_fit, seed)?;
+        let profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &net);
+        let mut candidate = crate::osp::CompressedModel {
+            id: 0, // assigned by push
+            net,
+            profile,
+            validation_f1: 0.0,
+            origin: crate::osp::ClusterOrigin {
+                k: 0,
+                cluster: 0,
+                scenes: Vec::new(),
+            },
+            training_set: Vec::new(),
+            quantized: None,
+        };
+        let threshold = self.config.detector.threshold;
+        let mut counts = anole_detect::DetectionCounts::default();
+        if !val_frames.is_empty() {
+            // One batched forward over the stacked validation frames; the
+            // matmul kernel accumulates each output element identically for
+            // any batch size, so scores match the per-frame path exactly.
+            let (x_val, _) = stack(val_frames);
+            let probs = candidate.detect_probs(&x_val)?;
+            for (i, frame) in val_frames.iter().enumerate() {
+                let pred = anole_detect::threshold_probs(probs.row(i), threshold);
+                counts.accumulate(&pred, &frame.truth);
+            }
+        }
+        candidate.validation_f1 = counts.f1();
+        Ok(candidate)
+    }
+
+    /// Builds and fits one compressed-detector MLP on stacked material.
+    fn fit_compressed_net(
+        &self,
+        x_fit: &anole_tensor::Matrix,
+        y_fit: &anole_tensor::Matrix,
+        seed: Seed,
+    ) -> Result<anole_nn::Mlp, AnoleError> {
+        use anole_nn::{Activation, Mlp, Trainer, Workspace};
+
+        let mut net = Mlp::builder(x_fit.cols())
+            .hidden(self.config.detector.compressed_hidden, Activation::Relu)
+            .output(y_fit.cols())
+            .build(split_seed(seed, 0));
+        let mut train_cfg = self.config.detector.train;
+        train_cfg.pos_weight = self.config.detector.pos_weight;
+        let mut ws = Workspace::new();
+        Trainer::new(train_cfg).fit_multilabel_ws(&mut net, x_fit, y_fit, split_seed(seed, 1), &mut ws)?;
+        Ok(net)
+    }
+
+    /// Guarded continual re-profiling: the incremental Algorithm 1.
+    ///
+    /// Where [`AnoleSystem::extend_with_frames`] always bolts on one new
+    /// specialist, this re-runs only the *affected* part of offline scene
+    /// profiling against freshly pooled (drifting) footage:
+    ///
+    /// 1. **Assignment** — the footage is scored against every existing
+    ///    specialist (`M_scene` itself is reused, never retrained). Frames a
+    ///    specialist already predicts well are assigned to it; specialists
+    ///    holding a meaningful share of the footage are *stale* (their scene
+    ///    moved under them). Frames no specialist covers are *novel*.
+    /// 2. **Refresh** — each stale specialist is retrained from its original
+    ///    training set plus its assigned footage; untouched specialists keep
+    ///    their weights bit-for-bit. A refreshed model drops its quantized
+    ///    twin (re-run [`AnoleSystem::quantize_models`] to re-gate it).
+    /// 3. **Expansion** — if at least 10 novel frames pooled, one new
+    ///    specialist is trained on them (as in repository expansion).
+    /// 4. **Decision refresh** — the decision head is retrained (frozen
+    ///    scene backbone) over suitability targets recomputed against the
+    ///    refreshed repository.
+    ///
+    /// Every step is checkpointed through `recovery` (when supplied) with
+    /// the PR-3 envelope machinery, and each boundary is a
+    /// [`FaultKind::ReprofileAbort`](crate::omi::FaultKind::ReprofileAbort)
+    /// abort point: a killed re-profile, re-invoked on a fresh clone of the
+    /// pre-profile system with the same store, resumes from its checkpoints
+    /// and produces a system bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnoleError::InsufficientData`] if fewer than 10 frames are
+    ///   supplied.
+    /// * [`AnoleError::Aborted`] at an injected re-profile kill.
+    /// * Training and checkpoint errors from the substrates.
+    pub fn reprofile_with_frames(
+        &mut self,
+        dataset: &DrivingDataset,
+        frames: &[anole_data::Frame],
+        seed: Seed,
+        mut recovery: Option<&mut TrainRecovery>,
+    ) -> Result<ReprofileReport, AnoleError> {
+        use anole_nn::{ModelProfile, ReferenceModel};
+        use anole_tensor::Matrix;
+
+        let _span = anole_obs::span!("osp.reprofile");
+        anole_obs::counter_add!("omi.engine.drift.reprofiles", 1);
+        if frames.len() < 10 {
+            return Err(AnoleError::InsufficientData {
+                stage: "continual re-profile",
+                detail: format!("{} frames (need at least 10)", frames.len()),
+            });
+        }
+        let threshold = self.config.detector.threshold;
+        let accept = self.config.sampling.accept_f1;
+        let val = &dataset.split().val;
+
+        // Step 0: assignment. Deterministic (no RNG), so the checkpoint
+        // only buys resume speed — a recomputed assignment is identical.
+        let assignment = match recovery
+            .as_mut()
+            .and_then(|r| r.load_reprofile::<ReprofileAssignment>(0))
+        {
+            Some(a) => a,
+            None => {
+                let n = self.repository.len();
+                let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); n];
+                let mut novel = Vec::new();
+                for (i, frame) in frames.iter().enumerate() {
+                    let mut covered = false;
+                    for model in self.repository.models() {
+                        let f1 = crate::osp::frame_f1_of(model, frame, threshold)?;
+                        if f1 > accept {
+                            assigned[model.id].push(i);
+                            covered = true;
+                        }
+                    }
+                    if !covered {
+                        novel.push(i);
+                    }
+                }
+                // A specialist is stale only when a meaningful share of the
+                // footage lands on it; grazing hits don't trigger retrains.
+                let min_assigned = (frames.len() / 5).max(8);
+                let affected: Vec<usize> =
+                    (0..n).filter(|&m| assigned[m].len() >= min_assigned).collect();
+                let assigned: Vec<Vec<usize>> =
+                    affected.iter().map(|&m| std::mem::take(&mut assigned[m])).collect();
+                let a = ReprofileAssignment { affected, assigned, novel };
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_reprofile(0, &a)?;
+                    rec.reprofile_abort_point(0, "reprofile assignment")?;
+                }
+                a
+            }
+        };
+
+        // Steps 1..=N: refresh each stale specialist in id order.
+        let mut refreshed = Vec::with_capacity(assignment.affected.len());
+        for (pos, (&id, assigned)) in
+            assignment.affected.iter().zip(&assignment.assigned).enumerate()
+        {
+            let step = 1 + pos;
+            let retrained = match recovery
+                .as_mut()
+                .and_then(|r| r.load_reprofile::<crate::osp::CompressedModel>(step))
+            {
+                Some(m) => m,
+                None => {
+                    let old = self.repository.model(id);
+                    let feature_dim = dataset.config().world.feature_dim;
+                    let cells = dataset.config().world.grid.cells();
+                    let rows = old.training_set.len() + assigned.len();
+                    let mut x = Matrix::zeros(rows, feature_dim);
+                    let mut y = Matrix::zeros(rows, cells);
+                    let mut fill = |row: usize, features: &[f32], truth: &[bool]| {
+                        x.row_mut(row).copy_from_slice(features);
+                        for (j, &t) in truth.iter().enumerate() {
+                            if t {
+                                y.set(row, j, 1.0);
+                            }
+                        }
+                    };
+                    for (row, &r) in old.training_set.iter().enumerate() {
+                        let f = dataset.frame(r);
+                        fill(row, &f.features, &f.truth);
+                    }
+                    for (k, &fi) in assigned.iter().enumerate() {
+                        let f = &frames[fi];
+                        fill(old.training_set.len() + k, &f.features, &f.truth);
+                    }
+                    let net =
+                        self.fit_compressed_net(&x, &y, split_seed(seed, 100 + id as u64))?;
+                    let mut m = old.clone();
+                    m.net = net;
+                    m.profile = ModelProfile::of_mlp(ReferenceModel::Yolov3Tiny, &m.net);
+                    m.quantized = None;
+                    m.validation_f1 = m.evaluate_f1(dataset, val, threshold)?;
+                    if let Some(rec) = recovery.as_mut() {
+                        rec.save_reprofile(step, &m)?;
+                        rec.reprofile_abort_point(step, "reprofile specialist")?;
+                    }
+                    m
+                }
+            };
+            self.repository.models_mut()[id] = retrained;
+            refreshed.push(id);
+        }
+
+        // Step N+1: one new specialist for the novel footage, if enough
+        // pooled. The checkpointed candidate carries id 0; push assigns the
+        // same id on an uninterrupted run and on a resume.
+        let new_step = 1 + assignment.affected.len();
+        let mut new_model = None;
+        if assignment.novel.len() >= 10 {
+            let candidate = match recovery
+                .as_mut()
+                .and_then(|r| r.load_reprofile::<crate::osp::CompressedModel>(new_step))
+            {
+                Some(m) => m,
+                None => {
+                    let novel_frames: Vec<anole_data::Frame> =
+                        assignment.novel.iter().map(|&i| frames[i].clone()).collect();
+                    let m = self.fit_specialist(dataset, &novel_frames, split_seed(seed, 200))?;
+                    if let Some(rec) = recovery.as_mut() {
+                        rec.save_reprofile(new_step, &m)?;
+                        rec.reprofile_abort_point(new_step, "reprofile expansion")?;
+                    }
+                    m
+                }
+            };
+            new_model = Some(self.repository.push(candidate));
+        }
+
+        // Final step: retrain the decision head against the refreshed
+        // repository. Suitability targets are recomputed from scratch — the
+        // stale specialists' scores moved, so the stored memberships no
+        // longer describe them.
+        let decision_step = new_step + 1;
+        let n_models = self.repository.len();
+        let decision = match recovery
+            .as_mut()
+            .and_then(|r| r.load_reprofile::<DecisionModel>(decision_step))
+        {
+            Some(d) => d,
+            None => {
+                let feature_dim = dataset.config().world.feature_dim;
+                let sampler = AdaptiveSampler::new(self.config.sampling, threshold);
+                let refs: Vec<anole_data::FrameRef> =
+                    self.suitability_sets.samples.iter().map(|&(r, _)| r).collect();
+                let x_old = dataset.features_matrix(&refs);
+                let rows = refs.len() + frames.len();
+                let mut x = Matrix::zeros(rows, feature_dim);
+                let mut targets = Matrix::zeros(rows, n_models);
+                for (i, &r) in refs.iter().enumerate() {
+                    x.row_mut(i).copy_from_slice(x_old.row(i));
+                    let mut v = vec![0.0f32; n_models];
+                    for model in self.repository.models() {
+                        let f1 = sampler.frame_f1(model, dataset, r)?;
+                        if f1 > accept {
+                            v[model.id] = f1 * f1;
+                        }
+                    }
+                    write_normalized(&mut targets, i, &v, self.suitability_sets.samples[i].1);
+                }
+                for (k, frame) in frames.iter().enumerate() {
+                    let row = refs.len() + k;
+                    let mut v = vec![0.0f32; n_models];
+                    let mut best = 0usize;
+                    let mut best_f1 = 0.0f32;
+                    for model in self.repository.models() {
+                        let f1 = crate::osp::frame_f1_of(model, frame, threshold)?;
+                        if f1 > accept {
+                            v[model.id] = f1 * f1;
+                        }
+                        if f1 > best_f1 {
+                            best_f1 = f1;
+                            best = model.id;
+                        }
+                    }
+                    if let Some(new_id) = new_model {
+                        if assignment.novel.contains(&k) {
+                            // Owner boost toward the new specialist,
+                            // mirroring expansion.
+                            let peak = v.iter().cloned().fold(0.0f32, f32::max).max(1.0);
+                            v[new_id] += 2.0 * peak;
+                            best = new_id;
+                        }
+                    }
+                    x.row_mut(row).copy_from_slice(&frame.features);
+                    write_normalized(&mut targets, row, &v, best);
+                }
+                let d = DecisionModel::train_from_features(
+                    &self.scene_model,
+                    &x,
+                    &targets,
+                    &self.config.decision,
+                    split_seed(seed, 300),
+                )?;
+                if let Some(rec) = recovery.as_mut() {
+                    rec.save_reprofile(decision_step, &d)?;
+                    rec.reprofile_abort_point(decision_step, "reprofile decision")?;
+                }
+                d
+            }
+        };
+        self.decision = decision;
+        if let Some(rec) = recovery.as_mut() {
+            rec.finish();
+        }
+        anole_obs::gauge_set!("omi.engine.drift.stale_models", refreshed.len() as f64);
+
+        Ok(ReprofileReport {
+            assigned_frames: assignment.assigned.iter().map(Vec::len).sum(),
+            novel_frames: assignment.novel.len(),
+            refreshed,
+            new_model,
+            total_steps: decision_step + 1,
+        })
+    }
 }
 
 /// Per-model verdict of the quantization sweep: validation F1 at both
@@ -448,6 +737,42 @@ impl QuantizationReport {
     /// Largest F1 the gate allowed any accepted specialist to lose.
     pub fn worst_accepted_delta(&self) -> f32 {
         self.accepted.iter().map(ModelQuantOutcome::f1_delta).fold(0.0, f32::max)
+    }
+}
+
+/// Checkpointed step-0 artifact of a re-profile: which specialists the
+/// footage landed on and which frames nobody covered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ReprofileAssignment {
+    /// Ids of specialists holding enough footage to be retrained.
+    affected: Vec<usize>,
+    /// Frame indices (into the footage slice) assigned to each affected
+    /// specialist, in `affected` order.
+    assigned: Vec<Vec<usize>>,
+    /// Frame indices no existing specialist covered.
+    novel: Vec<usize>,
+}
+
+/// What [`AnoleSystem::reprofile_with_frames`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReprofileReport {
+    /// Ids of the specialists retrained in place (stale scenes).
+    pub refreshed: Vec<usize>,
+    /// Id of the specialist trained on novel footage, if enough pooled.
+    pub new_model: Option<usize>,
+    /// Footage frames assigned to an existing specialist (with multiplicity
+    /// — a frame several specialists cover counts once per specialist).
+    pub assigned_frames: usize,
+    /// Footage frames no existing specialist covered.
+    pub novel_frames: usize,
+    /// Checkpointed step count, including the decision refresh.
+    pub total_steps: usize,
+}
+
+impl ReprofileReport {
+    /// Whether the re-profile changed any model at all.
+    pub fn changed_anything(&self) -> bool {
+        !self.refreshed.is_empty() || self.new_model.is_some()
     }
 }
 
@@ -646,6 +971,162 @@ mod tests {
         // the sweep enabled is exactly the fp32 pipeline plus the sweep.
         assert_eq!(auto.repository(), manual.repository());
         assert_eq!(auto.decision(), manual.decision());
+    }
+
+    fn reprofile_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("anole-reprofile-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn reprofile_rejects_too_little_footage() {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(201));
+        let mut system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(202)).unwrap();
+        let frame = dataset.frame(dataset.split().test[0]).clone();
+        let err = system
+            .reprofile_with_frames(&dataset, &[frame], Seed(203), None)
+            .unwrap_err();
+        assert!(matches!(err, AnoleError::InsufficientData { .. }));
+    }
+
+    #[test]
+    fn reprofile_learns_novel_scenes_deterministically() {
+        use anole_data::{ClipId, DatasetSource, Location, SceneAttributes, TimeOfDay, Weather};
+
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(205));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(206)).unwrap();
+        let before_count = system.repository().len();
+
+        let exotic = SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        assert!(dataset.clips().iter().all(|c| c.attributes != exotic));
+        let footage = dataset.world().generate_clip(
+            ClipId(7100),
+            DatasetSource::Shd,
+            exotic,
+            120,
+            1.0,
+            Seed(207),
+        );
+
+        let mut a = system.clone();
+        let report_a = a
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(208), None)
+            .unwrap();
+        let mut b = system.clone();
+        let report_b = b
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(208), None)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(report_a, report_b);
+
+        // No existing specialist covers the exotic scene, so the footage
+        // pools as novel and produces exactly one new specialist.
+        assert_eq!(report_a.new_model, Some(before_count));
+        assert!(report_a.novel_frames >= 10);
+        assert_eq!(a.repository().len(), before_count + 1);
+        assert_eq!(a.decision().model_count(), before_count + 1);
+        assert!(a.repository().model(before_count).validation_f1 >= 0.0);
+        assert!(report_a.changed_anything());
+        assert_eq!(
+            report_a.total_steps,
+            // assignment + per-model refreshes + new specialist + decision
+            1 + report_a.refreshed.len() + 2
+        );
+    }
+
+    #[test]
+    fn reprofile_refreshes_covered_specialists_in_place() {
+        use anole_data::{ClipId, DatasetSource};
+
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(211));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(212)).unwrap();
+        let before = system.repository().clone();
+
+        // Fresh footage from a scene the dataset already profiles: frames
+        // land on the specialists holding that scene instead of pooling as
+        // a new model.
+        let known = dataset.clips()[0].attributes;
+        let footage = dataset.world().generate_clip(
+            ClipId(7200),
+            DatasetSource::Shd,
+            known,
+            150,
+            1.0,
+            Seed(213),
+        );
+        let mut reprofiled = system.clone();
+        let report = reprofiled
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(214), None)
+            .unwrap();
+
+        assert!(report.assigned_frames > 0, "in-distribution footage must be covered");
+        assert!(!report.refreshed.is_empty(), "the covering specialist must go stale");
+        for &id in &report.refreshed {
+            let m = reprofiled.repository().model(id);
+            assert_ne!(m.net, before.model(id).net, "refreshed model {id} kept old weights");
+            assert!(m.quantized.is_none(), "refresh must drop the stale int8 twin");
+            assert_eq!(m.id, id);
+            assert_eq!(m.origin, before.model(id).origin);
+        }
+        // Untouched specialists keep their weights bit-for-bit.
+        for m in reprofiled.repository().models() {
+            if !report.refreshed.contains(&m.id) && Some(m.id) != report.new_model {
+                assert_eq!(m, before.model(m.id), "untouched model {} changed", m.id);
+            }
+        }
+        assert_eq!(reprofiled.decision().model_count(), reprofiled.repository().len());
+    }
+
+    #[test]
+    fn killed_reprofile_resumes_bit_identically() {
+        use crate::checkpoint::CheckpointStore;
+        use crate::omi::{FaultKind, FaultPlan};
+        use anole_data::{ClipId, DatasetSource, Location, SceneAttributes, TimeOfDay, Weather};
+
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(221));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(222)).unwrap();
+        let exotic = SceneAttributes::new(Weather::Snowy, Location::TollBooth, TimeOfDay::Night);
+        let footage = dataset.world().generate_clip(
+            ClipId(7300),
+            DatasetSource::Shd,
+            exotic,
+            120,
+            1.0,
+            Seed(223),
+        );
+
+        let mut uninterrupted = system.clone();
+        let clean_report = uninterrupted
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(224), None)
+            .unwrap();
+
+        // Kill the re-profile right after the new-specialist step lands.
+        let dir = reprofile_dir("resume");
+        let store = CheckpointStore::open(&dir, 77).unwrap();
+        let mut recovery = TrainRecovery::new(store).with_injector(
+            FaultPlan::new(Seed(225)).at(1, FaultKind::ReprofileAbort).injector(),
+        );
+        let mut killed = system.clone();
+        let err = killed
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(224), Some(&mut recovery))
+            .unwrap_err();
+        assert!(matches!(err, AnoleError::Aborted { .. }));
+
+        // Resume on a fresh clone of the pre-profile system with the same
+        // store: checkpointed steps load, only the rest retrains, and the
+        // result is bit-identical to the uninterrupted run.
+        let store = CheckpointStore::open(&dir, 77).unwrap();
+        let mut recovery = TrainRecovery::new(store);
+        let mut resumed = system.clone();
+        let resumed_report = resumed
+            .reprofile_with_frames(&dataset, &footage.frames, Seed(224), Some(&mut recovery))
+            .unwrap();
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(resumed_report, clean_report);
+        assert!(recovery.report.resumed_reprofile_steps >= 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod attributes;
 mod clip;
 mod codec;
 mod dataset;
+mod drift;
 mod splice;
 mod stats;
 mod world;
@@ -43,6 +44,7 @@ mod world;
 pub use attributes::{Location, SceneAttributes, TimeOfDay, Weather, SEMANTIC_SCENE_COUNT};
 pub use clip::{ClipId, Frame, FrameMeta, FrameRef, VideoClip};
 pub use codec::{decode_clips, encode_clips, DecodeClipError};
+pub use drift::{generate_drifted_clip, DriftPhase, DriftSchedule};
 pub use dataset::{DatasetConfig, DatasetIoError, DatasetSource, DatasetSplit, DrivingDataset, SourceProfile};
 pub use splice::{synthesize_fast_changing, SplicedClip, SpliceConfig};
 pub use stats::{dataset_diversity, DiversityReport};

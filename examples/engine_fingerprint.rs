@@ -9,7 +9,7 @@
 //! ```
 
 use anole::core::gateway::{Gateway, GatewayConfig, SessionSpec};
-use anole::core::omi::FaultPlan;
+use anole::core::omi::{DriftDetector, FaultPlan};
 use anole::core::{AnoleConfig, AnoleSystem};
 use anole::data::{DatasetConfig, DrivingDataset};
 use anole::device::DeviceKind;
@@ -78,16 +78,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let frames = (0..8)
             .map(|k| dataset.frame(split.test[(i * 5 + k) % split.test.len()]).clone())
             .collect();
-        gateway.admit(SessionSpec::new(frames, split_seed(Seed(5), i as u64)))?;
+        // Half the fleet carries a drift detector: observation is passive, so
+        // the fingerprint must not move when detectors are attached, and the
+        // drift fields themselves must hash identically with obs on or off.
+        let mut spec = SessionSpec::new(frames, split_seed(Seed(5), i as u64));
+        if i % 2 == 0 {
+            spec = spec.with_drift_detector(DriftDetector::new(4, 0.05).with_hysteresis(2, 2));
+        }
+        gateway.admit(spec)?;
     }
     let report = gateway.run();
     println!(
-        "gateway sessions={} processed={} shed={} windows={} batched={}",
+        "gateway sessions={} processed={} shed={} windows={} batched={} drift_events={}",
         report.sessions.len(),
         report.frames_processed,
         report.frames_shed,
         report.windows,
-        report.batched_frames
+        report.batched_frames,
+        report.fleet_drift_events()
     );
     println!("gateway_hash {:016x}", fnv1a(serde_json::to_string(&report)?.as_bytes()));
     Ok(())
