@@ -7,11 +7,21 @@
 //! sessions/sec and frames/sec alongside the gateway's own virtual-time
 //! step-latency quantiles (p50/p95/p99) and its shedding/batching counters.
 //!
+//! A second section drives a scene-change-heavy schedule (each session
+//! cycles between three distant frame anchors) against a deliberately
+//! undersized slot cache, once with predictive prefetch off and once on, and
+//! reports fleet cold loads, cache hit rates, and the prefetch counters —
+//! the cold-load-reduction experiment of docs/performance.md.
+//!
 //! Usage:
 //!
 //! ```text
-//! gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S]
+//! gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S] [--soak]
 //! ```
+//!
+//! `--soak` appends a 100 000-session tier to the scale list; with the
+//! ready-queue index the run loop stays O(live sessions) per window, so the
+//! tier finishes in minutes instead of hours.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -26,6 +36,22 @@ fn session_frames(dataset: &DrivingDataset, session: usize, n: usize) -> Vec<Fra
     let split = dataset.split();
     (0..n)
         .map(|k| dataset.frame(split.test[(session * 13 + k) % split.test.len()]).clone())
+        .collect()
+}
+
+/// A scene-change-heavy schedule: the session cycles between three anchor
+/// frames spaced a third of the test split apart, so the requested model
+/// changes nearly every frame but the *sequence* of changes is perfectly
+/// periodic — the regime where a first-order transition model shines.
+fn cyclic_frames(dataset: &DrivingDataset, session: usize, n: usize) -> Vec<Frame> {
+    let split = dataset.split();
+    let len = split.test.len();
+    let stride = (len / 3).max(1);
+    (0..n)
+        .map(|k| {
+            let idx = (session * 7 + (k % 3) * stride) % len;
+            dataset.frame(split.test[idx]).clone()
+        })
         .collect()
 }
 
@@ -99,11 +125,75 @@ fn tier_row(
     })
 }
 
+/// One arm of the prefetch cold-load comparison: a small fleet on the
+/// cyclic schedule with a two-slot cache. Returns the JSON row.
+fn prefetch_arm(
+    dataset: &DrivingDataset,
+    sessions: usize,
+    frames_each: usize,
+    seed: u64,
+    prefetch_on: bool,
+) -> serde_json::Value {
+    let mut cfg = AnoleConfig::fast();
+    cfg.cache.capacity = 2;
+    cfg.prefetch.enabled = prefetch_on;
+    cfg.prefetch.min_probability = 0.05;
+    cfg.prefetch.admission_filter = false;
+    // Training never consults the prefetch block, so both arms hold the
+    // same trained weights — only the serving path differs.
+    let system = AnoleSystem::train(dataset, &cfg, Seed(9402)).expect("training");
+    let gateway_cfg = GatewayConfig {
+        max_sessions: sessions,
+        deadline_ms: 200.0,
+        slow_factor: 6.0,
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(&system, gateway_cfg).expect("gateway config");
+    for i in 0..sessions {
+        gateway
+            .admit(SessionSpec::new(
+                cyclic_frames(dataset, i, frames_each),
+                split_seed(Seed(seed), 80_000 + i as u64),
+            ))
+            .expect("admit");
+    }
+    let start = Instant::now();
+    let report = gateway.run();
+    let wall_s = start.elapsed().as_secs_f64();
+    let cache = gateway.fleet_cache_stats();
+    let prefetch = gateway.fleet_prefetch_stats();
+    eprintln!(
+        "[gateway_snapshot] prefetch={prefetch_on}: {} cold loads, {} issued, {} hits, \
+         p95 step {:.1} ms",
+        gateway.fleet_load_attempts(),
+        prefetch.issued,
+        prefetch.hits,
+        report.step_latency_p95_ms,
+    );
+    serde_json::json!({
+        "sessions": sessions,
+        "frames_per_session": frames_each,
+        "prefetch": prefetch_on,
+        "cold_loads": gateway.fleet_load_attempts(),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+        "prefetch_issued": prefetch.issued,
+        "prefetch_hits": prefetch.hits,
+        "prefetch_wasted": prefetch.wasted,
+        "prefetch_late": prefetch.late,
+        "step_latency_p95_ms": report.step_latency_p95_ms,
+        "step_latency_p99_ms": report.step_latency_p99_ms,
+        "frames_processed": report.frames_processed,
+        "wall_seconds": wall_s,
+    })
+}
+
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_gateway.json");
     let mut scales: Vec<usize> = vec![1000, 10_000];
     let mut frames_each = 5usize;
     let mut seed = 0u64;
+    let mut soak = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -141,8 +231,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--soak" => soak = true,
             "--help" | "-h" => {
-                println!("gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S]");
+                println!(
+                    "gateway_snapshot [--out PATH] [--scales N,N,...] [--frames N] [--seed S] [--soak]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -150,6 +243,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if soak {
+        scales.push(100_000);
     }
 
     let dataset = DrivingDataset::generate(&anole_data::DatasetConfig::small(), Seed(9401));
@@ -176,11 +273,30 @@ fn main() -> ExitCode {
         }
     }
 
+    // Cold-load comparison: prefetch off vs on, same fleet, same schedule.
+    let prefetch_sessions = 200.min(scales.iter().copied().max().unwrap_or(200));
+    let off = prefetch_arm(&dataset, prefetch_sessions, 30, seed, false);
+    let on = prefetch_arm(&dataset, prefetch_sessions, 30, seed, true);
+    let off_loads = off["cold_loads"].as_u64().unwrap_or(0);
+    let on_loads = on["cold_loads"].as_u64().unwrap_or(0);
+    let reduction = if off_loads > 0 {
+        1.0 - on_loads as f64 / off_loads as f64
+    } else {
+        0.0
+    };
+    eprintln!("[gateway_snapshot] prefetch cold-load reduction: {:.1}%", reduction * 100.0);
+
     let out = serde_json::json!({
-        "schema": "anole-gateway-bench/1",
+        "schema": "anole-gateway-bench/2",
         "device": "JetsonTx2Nx",
         "seed": seed,
         "tiers": tiers,
+        "prefetch_compare": {
+            "schedule": "cyclic-3-anchor scene changes, cache capacity 2",
+            "off": off,
+            "on": on,
+            "cold_load_reduction": reduction,
+        },
     });
     let pretty = serde_json::to_string_pretty(&out).expect("serialize");
     if let Err(e) = std::fs::write(&out_path, pretty + "\n") {

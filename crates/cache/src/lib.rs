@@ -21,8 +21,12 @@
 //! assert!(cache.contains(&"a"));
 //! ```
 
+pub mod prefetch;
+mod sharded;
 mod slot_cache;
 mod stats;
 
+pub use prefetch::TransitionModel;
+pub use sharded::{FrequencySketch, ShardedSlotCache};
 pub use slot_cache::{EvictionPolicy, SlotCache};
 pub use stats::CacheStats;

@@ -1,0 +1,271 @@
+//! Predictive prefetch support: a first-order Markov model over model IDs.
+//!
+//! The paper's CMD stage is purely reactive — every scene change pays a cold
+//! model load on the critical path (Fig. 4a). [`TransitionModel`] learns
+//! which model tends to follow which from the decision model's top-ranked ID
+//! per frame, so the deployment layer can load the likely-next model during
+//! idle frame budget instead of stalling on the next miss.
+//!
+//! The model is deterministic by construction: predictions are the argmax of
+//! Laplace-smoothed transition counts with ties broken toward the lowest
+//! model ID, so two replicas fed the same ID stream predict identically. It
+//! serializes with serde so a model learned from offline clip telemetry can
+//! ship inside a deployment bundle and warm-start the on-device copy.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order Markov scene-transition model over `states` model IDs.
+///
+/// Counts are Laplace-smoothed when converted to probabilities, updates are
+/// O(1) per observation, and the struct is plain data (serde-serializable)
+/// so it can ride in a bundle artifact.
+///
+/// # Examples
+///
+/// ```
+/// use anole_cache::prefetch::TransitionModel;
+///
+/// let mut tm = TransitionModel::new(3);
+/// // A clip that alternates between model 0 and model 2.
+/// for &id in &[0, 2, 0, 2, 0, 2] {
+///     tm.observe(id);
+/// }
+/// assert_eq!(tm.predict_next(0), Some(2));
+/// assert_eq!(tm.predict_next(2), Some(0));
+/// assert_eq!(tm.predict_next(1), None); // never seen leaving state 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionModel {
+    states: usize,
+    /// Laplace smoothing constant added to every transition count when
+    /// computing probabilities.
+    smoothing: f64,
+    /// Row-major `states × states` transition counts.
+    counts: Vec<u64>,
+    row_totals: Vec<u64>,
+    /// Previous observed ID, if any — the context for the next update.
+    last: Option<usize>,
+    observations: u64,
+}
+
+impl TransitionModel {
+    /// Creates a model over `states` IDs with Laplace smoothing of 1.
+    pub fn new(states: usize) -> Self {
+        Self::with_smoothing(states, 1.0)
+    }
+
+    /// Creates a model with an explicit Laplace smoothing constant.
+    /// Non-finite or negative values are clamped to 0.
+    pub fn with_smoothing(states: usize, smoothing: f64) -> Self {
+        let smoothing = if smoothing.is_finite() && smoothing > 0.0 {
+            smoothing
+        } else {
+            0.0
+        };
+        Self {
+            states,
+            smoothing,
+            counts: vec![0; states * states],
+            row_totals: vec![0; states],
+            last: None,
+            observations: 0,
+        }
+    }
+
+    /// Number of states (model IDs) the model covers.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Total number of transitions observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Records that `id` was the top-ranked model this frame. The first
+    /// observation (or the first after [`TransitionModel::reset_context`])
+    /// only establishes context; each later one counts one transition.
+    /// Out-of-range IDs are ignored. O(1).
+    pub fn observe(&mut self, id: usize) {
+        if id >= self.states {
+            return;
+        }
+        if let Some(prev) = self.last {
+            self.counts[prev * self.states + id] += 1;
+            self.row_totals[prev] += 1;
+            self.observations += 1;
+        }
+        self.last = Some(id);
+    }
+
+    /// Forgets the previous observation, so the next [`observe`] call starts
+    /// a fresh chain. Call between independent clips when warm-starting from
+    /// offline telemetry — the last frame of one clip does not precede the
+    /// first frame of the next.
+    ///
+    /// [`observe`]: TransitionModel::observe
+    pub fn reset_context(&mut self) {
+        self.last = None;
+    }
+
+    /// Observes a whole clip's ID sequence, then resets context.
+    pub fn observe_clip(&mut self, ids: &[usize]) {
+        self.reset_context();
+        for &id in ids {
+            self.observe(id);
+        }
+        self.reset_context();
+    }
+
+    /// The most likely next ID after `current`, or `None` when `current` is
+    /// out of range or has no observed outgoing transitions (smoothing alone
+    /// carries no signal). Ties break toward the lowest ID, so predictions
+    /// are deterministic.
+    pub fn predict_next(&self, current: usize) -> Option<usize> {
+        if current >= self.states || self.row_totals[current] == 0 {
+            return None;
+        }
+        let row = &self.counts[current * self.states..(current + 1) * self.states];
+        let (best, _) = row
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))?;
+        Some(best)
+    }
+
+    /// Laplace-smoothed probability of transitioning `from → to`. Returns 0
+    /// for out-of-range IDs; with no observations and positive smoothing the
+    /// row is uniform.
+    pub fn probability(&self, from: usize, to: usize) -> f64 {
+        if from >= self.states || to >= self.states {
+            return 0.0;
+        }
+        let total = self.row_totals[from] as f64 + self.smoothing * self.states as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.counts[from * self.states + to] as f64 + self.smoothing) / total
+    }
+
+    /// [`predict_next`] gated on its smoothed probability: `None` unless the
+    /// best transition's probability reaches `min_probability`.
+    ///
+    /// [`predict_next`]: TransitionModel::predict_next
+    pub fn predict_confident(&self, current: usize, min_probability: f64) -> Option<usize> {
+        let next = self.predict_next(current)?;
+        (self.probability(current, next) >= min_probability).then_some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_model_predicts_nothing() {
+        let tm = TransitionModel::new(4);
+        for id in 0..4 {
+            assert_eq!(tm.predict_next(id), None);
+        }
+        assert_eq!(tm.predict_next(99), None);
+        assert_eq!(tm.observations(), 0);
+    }
+
+    #[test]
+    fn learns_a_dominant_transition() {
+        let mut tm = TransitionModel::new(3);
+        for _ in 0..5 {
+            tm.observe(0);
+            tm.observe(1);
+        }
+        tm.observe(0);
+        tm.observe(2); // one stray 0 → 2
+        assert_eq!(tm.predict_next(0), Some(1));
+        assert!(tm.probability(0, 1) > tm.probability(0, 2));
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_id() {
+        let mut tm = TransitionModel::new(3);
+        tm.observe_clip(&[0, 2]);
+        tm.observe_clip(&[0, 1]);
+        // 0 → 1 and 0 → 2 both seen once.
+        assert_eq!(tm.predict_next(0), Some(1));
+    }
+
+    #[test]
+    fn reset_context_breaks_the_chain() {
+        let mut tm = TransitionModel::new(3);
+        tm.observe(0);
+        tm.reset_context();
+        tm.observe(1);
+        // No transition was counted: 0 → 1 never happened within a chain.
+        assert_eq!(tm.observations(), 0);
+        assert_eq!(tm.predict_next(0), None);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        let mut tm = TransitionModel::new(2);
+        tm.observe(0);
+        tm.observe(7); // dropped, context stays at 0
+        tm.observe(1);
+        assert_eq!(tm.observations(), 1);
+        assert_eq!(tm.predict_next(0), Some(1));
+    }
+
+    #[test]
+    fn probabilities_are_laplace_smoothed() {
+        let mut tm = TransitionModel::new(2);
+        tm.observe_clip(&[0, 1]);
+        // Row 0: counts [0, 1], smoothing 1 → probs [1/3, 2/3].
+        assert!((tm.probability(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((tm.probability(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        let row_sum = tm.probability(0, 0) + tm.probability(0, 1);
+        assert!((row_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_gate_filters_weak_predictions() {
+        let mut tm = TransitionModel::new(4);
+        tm.observe_clip(&[0, 1]);
+        // p(0 → 1) = 2/5 with 4 states: confident at 0.3, not at 0.5.
+        assert_eq!(tm.predict_confident(0, 0.3), Some(1));
+        assert_eq!(tm.predict_confident(0, 0.5), None);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mut tm = TransitionModel::new(5);
+        tm.observe_clip(&[0, 1, 2, 1, 0, 3, 4, 3]);
+        let json = serde_json::to_string(&tm).unwrap();
+        let back: TransitionModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(tm, back);
+        for id in 0..5 {
+            assert_eq!(tm.predict_next(id), back.predict_next(id));
+        }
+    }
+
+    #[test]
+    fn same_stream_yields_identical_models() {
+        let stream = [0usize, 1, 2, 2, 1, 0, 1, 2, 0, 0, 1];
+        let mut a = TransitionModel::new(3);
+        let mut b = TransitionModel::new(3);
+        for &id in &stream {
+            a.observe(id);
+            b.observe(id);
+        }
+        assert_eq!(a, b);
+        for id in 0..3 {
+            assert_eq!(a.predict_next(id), b.predict_next(id));
+        }
+    }
+
+    #[test]
+    fn zero_state_model_is_inert() {
+        let mut tm = TransitionModel::new(0);
+        tm.observe(0);
+        assert_eq!(tm.predict_next(0), None);
+        assert_eq!(tm.probability(0, 0), 0.0);
+    }
+}

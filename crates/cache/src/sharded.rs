@@ -1,0 +1,516 @@
+//! A sharded slot cache with an optional shared admission filter.
+//!
+//! [`ShardedSlotCache`] splits one logical cache into N power-of-two
+//! [`SlotCache`] shards keyed by a deterministic FNV-1a hash of the key, so
+//! concurrent engines (or one engine under a prefetcher that inserts
+//! speculatively) contend on a fraction of the resident set instead of all
+//! of it. A 1-shard cache degenerates to exactly today's [`SlotCache`] —
+//! every operation forwards verbatim — which is property-tested in
+//! `tests/prop_sharded.rs`.
+//!
+//! The optional admission filter is a TinyLFU-style counting sketch shared
+//! across shards: an insert into a full shard is rejected when the
+//! candidate's estimated access frequency is below the would-be victim's,
+//! so one-hit-wonder prefetches cannot evict proven residents.
+
+use std::hash::{Hash, Hasher};
+
+use crate::{CacheStats, EvictionPolicy, SlotCache};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over the bytes fed by a key's `Hash` impl. Deterministic
+/// across processes (unlike `DefaultHasher`'s unspecified initial state
+/// guarantee), so shard layouts are stable run to run.
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes `key` with the given salt folded into the FNV basis. Distinct
+/// salts give distinct (still deterministic) shard layouts, so a fleet of
+/// engines salted by session seed does not send every copy of one hot model
+/// to the same shard index.
+fn salted_hash<K: Hash>(salt: u64, key: &K) -> u64 {
+    let mut h = FnvHasher(FNV_OFFSET ^ salt.wrapping_mul(FNV_PRIME));
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A TinyLFU-style frequency sketch: a 4-row count-min sketch of `u8`
+/// saturating counters with periodic halving ("aging"), so estimates track
+/// recent popularity rather than all-time counts. Deterministic — indexes
+/// derive from the key hash and fixed row seeds.
+#[derive(Debug, Clone)]
+pub struct FrequencySketch {
+    /// `DEPTH` rows of `width` counters, flattened row-major.
+    counters: Vec<u8>,
+    mask: u64,
+    ops: u64,
+    sample: u64,
+}
+
+const DEPTH: usize = 4;
+const ROW_SEEDS: [u64; DEPTH] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+];
+
+impl FrequencySketch {
+    /// Creates a sketch with `width` counters per row (rounded up to a
+    /// power of two, minimum 16). Aging halves every counter once
+    /// `10 × width` increments accumulate.
+    pub fn new(width: usize) -> Self {
+        let width = width.max(16).next_power_of_two();
+        Self {
+            counters: vec![0; DEPTH * width],
+            mask: width as u64 - 1,
+            ops: 0,
+            sample: 10 * width as u64,
+        }
+    }
+
+    fn index(&self, hash: u64, row: usize) -> usize {
+        let mixed = (hash ^ ROW_SEEDS[row]).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let width = self.mask as usize + 1;
+        row * width + ((mixed >> 32) & self.mask) as usize
+    }
+
+    /// Records one access of the key hashing to `hash`.
+    pub fn increment(&mut self, hash: u64) {
+        for row in 0..DEPTH {
+            let i = self.index(hash, row);
+            self.counters[i] = self.counters[i].saturating_add(1);
+        }
+        self.ops += 1;
+        if self.ops >= self.sample {
+            self.age();
+        }
+    }
+
+    /// Estimated access count (count-min: minimum across rows, an upper
+    /// bound on the true count since the last few agings).
+    pub fn estimate(&self, hash: u64) -> u8 {
+        (0..DEPTH)
+            .map(|row| self.counters[self.index(hash, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn age(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+        self.ops >>= 1;
+    }
+}
+
+/// N power-of-two [`SlotCache`] shards behind the [`SlotCache`] API, with
+/// slots and byte budget split evenly across shards and an optional shared
+/// admission filter.
+///
+/// With one shard (the default deployment configuration) every operation
+/// forwards to the single inner [`SlotCache`] unchanged, so behaviour —
+/// hits, evictions, statistics — is bit-identical to the unsharded cache.
+///
+/// # Examples
+///
+/// ```
+/// use anole_cache::{EvictionPolicy, ShardedSlotCache};
+///
+/// let mut cache: ShardedSlotCache<usize> =
+///     ShardedSlotCache::new(4, 8, EvictionPolicy::Lfu);
+/// assert_eq!(cache.shard_count(), 4);
+/// assert_eq!(cache.capacity(), 8);
+/// cache.insert_weighted(3, 100);
+/// assert!(cache.contains(&3));
+/// assert!(cache.touch(&3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedSlotCache<K> {
+    shards: Vec<SlotCache<K>>,
+    mask: u64,
+    salt: u64,
+    filter: Option<FrequencySketch>,
+    admission_rejects: u64,
+}
+
+impl<K: Eq + Hash + Clone> ShardedSlotCache<K> {
+    /// Creates a cache of `shards` shards (rounded up to a power of two,
+    /// minimum 1) sharing `capacity` total slots, split as evenly as
+    /// possible with the remainder going to the lowest-index shards.
+    pub fn new(shards: usize, capacity: usize, policy: EvictionPolicy) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let caches = (0..shards)
+            .map(|i| SlotCache::new(Self::split(capacity, shards, i), policy))
+            .collect();
+        Self {
+            shards: caches,
+            mask: shards as u64 - 1,
+            salt: 0,
+            filter: None,
+            admission_rejects: 0,
+        }
+    }
+
+    /// Creates a sharded cache bounded by both total slots and a total
+    /// resident-byte budget, each split evenly across shards.
+    pub fn with_byte_budget(
+        shards: usize,
+        capacity: usize,
+        policy: EvictionPolicy,
+        byte_budget: u64,
+    ) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let caches = (0..shards)
+            .map(|i| {
+                SlotCache::with_byte_budget(
+                    Self::split(capacity, shards, i),
+                    policy,
+                    Self::split_u64(byte_budget, shards, i),
+                )
+            })
+            .collect();
+        Self {
+            shards: caches,
+            mask: shards as u64 - 1,
+            salt: 0,
+            filter: None,
+            admission_rejects: 0,
+        }
+    }
+
+    /// Shard `i`'s share of `total` split across `shards`.
+    fn split(total: usize, shards: usize, i: usize) -> usize {
+        total / shards + usize::from(i < total % shards)
+    }
+
+    fn split_u64(total: u64, shards: usize, i: usize) -> u64 {
+        let shards = shards as u64;
+        total / shards + u64::from((i as u64) < total % shards)
+    }
+
+    /// Sets the hash salt, remapping which shard each key lands in. Give
+    /// each engine in a fleet a distinct salt (e.g. its session seed) so
+    /// concurrent sessions hit disjoint shards for the same hot model IDs.
+    /// No effect on a 1-shard cache.
+    pub fn with_hash_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Enables the shared admission filter with `width` counters per sketch
+    /// row. See [`FrequencySketch`].
+    pub fn with_admission_filter(mut self, width: usize) -> Self {
+        self.filter = Some(FrequencySketch::new(width));
+        self
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to.
+    pub fn shard_of(&self, key: &K) -> usize {
+        (salted_hash(self.salt, key) & self.mask) as usize
+    }
+
+    /// Total slot count across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(SlotCache::capacity).sum()
+    }
+
+    /// Total resident-byte ceiling across shards, if byte accounting is on.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.shards.iter().map(SlotCache::byte_budget).sum()
+    }
+
+    /// Bytes currently charged across all shards.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards.iter().map(SlotCache::resident_bytes).sum()
+    }
+
+    /// The eviction policy (identical across shards).
+    pub fn policy(&self) -> EvictionPolicy {
+        self.shards[0].policy()
+    }
+
+    /// Number of resident keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SlotCache::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(SlotCache::is_empty)
+    }
+
+    /// Whether `key` is resident in its shard. Does not touch accounting.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    /// Statistics aggregated across shards. `peak_resident_bytes` is the
+    /// sum of per-shard peaks — an upper bound on the true simultaneous
+    /// peak (exact for one shard).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats());
+        }
+        total
+    }
+
+    /// Inserts rejected by the admission filter so far.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
+    }
+
+    /// Iterates over resident keys, shard by shard, in unspecified order
+    /// within each shard.
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.shards.iter().flat_map(SlotCache::iter)
+    }
+
+    /// Looks up `key` in its shard, recording a hit or miss there.
+    pub fn touch(&mut self, key: &K) -> bool {
+        let hash = salted_hash(self.salt, key);
+        if let Some(filter) = &mut self.filter {
+            filter.increment(hash);
+        }
+        self.shards[(hash & self.mask) as usize].touch(key)
+    }
+
+    /// Inserts `key` charging 0 bytes. Returns the first evicted key.
+    pub fn insert(&mut self, key: K) -> Option<K> {
+        self.insert_weighted(key, 0).into_iter().next()
+    }
+
+    /// Inserts `key` into its shard charging `bytes`, evicting within that
+    /// shard per policy. Returns the evicted keys in eviction order.
+    ///
+    /// With the admission filter enabled, a non-resident key that would
+    /// force an eviction is admitted only if its sketch frequency is at
+    /// least the would-be victim's; otherwise the insert is dropped (the
+    /// returned list is empty and nothing is evicted).
+    pub fn insert_weighted(&mut self, key: K, bytes: u64) -> Vec<K> {
+        let hash = salted_hash(self.salt, &key);
+        let idx = (hash & self.mask) as usize;
+        if let Some(filter) = &mut self.filter {
+            filter.increment(hash);
+            let shard = &self.shards[idx];
+            if !shard.contains(&key) && shard.would_evict(bytes) {
+                if let Some(victim) = shard.peek_victim() {
+                    let victim_hash = salted_hash(self.salt, &victim);
+                    let filter = self.filter.as_ref().expect("filter checked above");
+                    if filter.estimate(hash) < filter.estimate(victim_hash) {
+                        self.admission_rejects += 1;
+                        anole_obs::counter_add!("cache.admission_rejects", 1);
+                        return Vec::new();
+                    }
+                }
+            }
+        }
+        self.shards[idx].insert_weighted(key, bytes)
+    }
+
+    /// Bumps `key`'s frequency and recency in its shard without hit/miss
+    /// accounting (see [`SlotCache::refresh`]).
+    pub fn refresh(&mut self, key: &K) -> bool {
+        let hash = salted_hash(self.salt, key);
+        if let Some(filter) = &mut self.filter {
+            filter.increment(hash);
+        }
+        self.shards[(hash & self.mask) as usize].refresh(key)
+    }
+
+    /// Removes `key` from its shard if resident.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let idx = self.shard_of(key);
+        self.shards[idx].remove(key)
+    }
+
+    /// Resizes the cache to `capacity` total slots, re-split evenly across
+    /// shards, evicting per policy in each shard. Returns evicted keys in
+    /// shard order (eviction order within a shard).
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<K> {
+        let shards = self.shards.len();
+        let mut evicted = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            evicted.extend(shard.set_capacity(Self::split(capacity, shards, i)));
+        }
+        evicted
+    }
+
+    /// Removes every resident key from every shard (statistics are kept).
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shard_forwards_to_a_single_slot_cache() {
+        let mut sharded: ShardedSlotCache<&str> = ShardedSlotCache::new(1, 2, EvictionPolicy::Lfu);
+        let mut plain: SlotCache<&str> = SlotCache::new(2, EvictionPolicy::Lfu);
+        sharded.insert("a");
+        plain.insert("a");
+        sharded.insert("b");
+        plain.insert("b");
+        sharded.touch(&"a");
+        plain.touch(&"a");
+        assert_eq!(sharded.insert("c"), plain.insert("c"));
+        assert_eq!(sharded.stats(), plain.stats());
+        assert_eq!(sharded.len(), plain.len());
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        let c: ShardedSlotCache<usize> = ShardedSlotCache::new(3, 8, EvictionPolicy::Lfu);
+        assert_eq!(c.shard_count(), 4);
+        let c: ShardedSlotCache<usize> = ShardedSlotCache::new(0, 8, EvictionPolicy::Lfu);
+        assert_eq!(c.shard_count(), 1);
+    }
+
+    #[test]
+    fn capacity_splits_evenly_with_remainder_to_low_shards() {
+        let c: ShardedSlotCache<usize> = ShardedSlotCache::new(4, 10, EvictionPolicy::Lfu);
+        assert_eq!(c.capacity(), 10);
+        let c: ShardedSlotCache<usize> = ShardedSlotCache::with_byte_budget(
+            2,
+            4,
+            EvictionPolicy::Lfu,
+            101,
+        );
+        assert_eq!(c.byte_budget(), Some(101));
+    }
+
+    #[test]
+    fn keys_route_to_stable_shards() {
+        let c: ShardedSlotCache<usize> = ShardedSlotCache::new(4, 16, EvictionPolicy::Lfu);
+        let d: ShardedSlotCache<usize> = ShardedSlotCache::new(4, 16, EvictionPolicy::Lfu);
+        for key in 0..64 {
+            assert_eq!(c.shard_of(&key), d.shard_of(&key));
+            assert!(c.shard_of(&key) < 4);
+        }
+    }
+
+    #[test]
+    fn salts_remap_shard_layouts() {
+        let a: ShardedSlotCache<usize> =
+            ShardedSlotCache::new(8, 64, EvictionPolicy::Lfu).with_hash_salt(1);
+        let b: ShardedSlotCache<usize> =
+            ShardedSlotCache::new(8, 64, EvictionPolicy::Lfu).with_hash_salt(2);
+        let moved = (0..256).filter(|k| a.shard_of(k) != b.shard_of(k)).count();
+        assert!(moved > 0, "distinct salts must change some shard mappings");
+    }
+
+    #[test]
+    fn inserts_land_in_the_key_shard_and_evict_locally() {
+        let mut c: ShardedSlotCache<usize> = ShardedSlotCache::new(4, 4, EvictionPolicy::Lru);
+        // One slot per shard: inserting two keys of the same shard evicts
+        // the first; keys of different shards coexist.
+        let keys: Vec<usize> = (0..64).collect();
+        let same: Vec<usize> = keys
+            .iter()
+            .copied()
+            .filter(|k| c.shard_of(k) == c.shard_of(&keys[0]))
+            .take(2)
+            .collect();
+        assert_eq!(same.len(), 2);
+        c.insert(same[0]);
+        let evicted = c.insert(same[1]);
+        assert_eq!(evicted, Some(same[0]));
+        let other = keys.iter().copied().find(|k| c.shard_of(k) != c.shard_of(&same[1]));
+        if let Some(other) = other {
+            assert!(c.insert(other).is_none());
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn admission_filter_rejects_cold_keys_and_protects_residents() {
+        let mut c: ShardedSlotCache<usize> =
+            ShardedSlotCache::new(1, 2, EvictionPolicy::Lfu).with_admission_filter(64);
+        // Make 1 and 2 proven residents.
+        c.insert(1);
+        c.insert(2);
+        for _ in 0..8 {
+            c.touch(&1);
+            c.touch(&2);
+        }
+        // A cold key cannot displace them...
+        let evicted = c.insert(99);
+        assert!(evicted.is_none());
+        assert!(!c.contains(&99));
+        assert!(c.contains(&1) && c.contains(&2));
+        assert_eq!(c.admission_rejects(), 1);
+        // ...but a key that becomes hot (via repeated lookups feeding the
+        // sketch) eventually out-scores a resident and is admitted.
+        for _ in 0..32 {
+            c.touch(&99); // misses, but feeds the sketch
+        }
+        c.insert(99);
+        assert!(c.contains(&99));
+    }
+
+    #[test]
+    fn set_capacity_resplits_across_shards() {
+        let mut c: ShardedSlotCache<usize> = ShardedSlotCache::new(2, 8, EvictionPolicy::Lfu);
+        for k in 0..32 {
+            c.insert(k);
+        }
+        assert!(c.len() <= 8);
+        let before = c.len();
+        let evicted = c.set_capacity(2);
+        assert_eq!(c.capacity(), 2);
+        assert!(c.len() <= 2);
+        assert_eq!(evicted.len(), before - c.len());
+        // Growing back evicts nothing.
+        assert!(c.set_capacity(8).is_empty());
+    }
+
+    #[test]
+    fn sketch_estimates_track_and_age() {
+        let mut sketch = FrequencySketch::new(64);
+        let (a, b) = (salted_hash(0, &1usize), salted_hash(0, &2usize));
+        for _ in 0..10 {
+            sketch.increment(a);
+        }
+        sketch.increment(b);
+        assert!(sketch.estimate(a) > sketch.estimate(b));
+        assert!(sketch.estimate(a) >= 10);
+        // Saturates rather than wrapping.
+        for _ in 0..300 {
+            sketch.increment(a);
+        }
+        assert!(sketch.estimate(a) <= u8::MAX);
+    }
+
+    #[test]
+    fn zero_capacity_sharded_cache_rejects_inserts() {
+        let mut c: ShardedSlotCache<usize> = ShardedSlotCache::new(4, 0, EvictionPolicy::Lfu);
+        assert!(c.insert(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+}

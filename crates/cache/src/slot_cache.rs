@@ -135,14 +135,33 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         self.entries.keys()
     }
 
+    /// Bumps `key`'s lifetime frequency (which persists across evictions)
+    /// and returns the new count.
+    fn bump_lifetime(&mut self, key: &K) -> u64 {
+        let count = self.lifetime_frequency.entry(key.clone()).or_insert(0);
+        *count += 1;
+        *count
+    }
+
+    /// Marks a use of a resident `key`: bumps its in-cache frequency and
+    /// recency plus its lifetime frequency. Returns whether the key was
+    /// resident (a non-resident key is left untouched).
+    fn record_use(&mut self, key: &K) -> bool {
+        if let Some(meta) = self.entries.get_mut(key) {
+            meta.frequency += 1;
+            meta.last_used = self.clock;
+            self.bump_lifetime(key);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Looks up `key`, recording a hit or miss and updating recency /
     /// frequency on a hit. Returns whether the key was resident.
     pub fn touch(&mut self, key: &K) -> bool {
         self.clock += 1;
-        if let Some(meta) = self.entries.get_mut(key) {
-            meta.frequency += 1;
-            meta.last_used = self.clock;
-            *self.lifetime_frequency.entry(key.clone()).or_insert(0) += 1;
+        if self.record_use(key) {
             self.stats.record_hit();
             anole_obs::counter_add!("cache.hits", 1);
             true
@@ -175,11 +194,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
         self.clock += 1;
         self.stats.insertions += 1;
         anole_obs::counter_add!("cache.insertions", 1);
-        let lifetime = *self
-            .lifetime_frequency
-            .entry(key.clone())
-            .and_modify(|f| *f += 1)
-            .or_insert(1);
+        let lifetime = self.bump_lifetime(&key);
         let mut evicted = Vec::new();
         if let Some(meta) = self.entries.get_mut(&key) {
             meta.frequency += 1;
@@ -237,14 +252,7 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
     /// requested key.
     pub fn refresh(&mut self, key: &K) -> bool {
         self.clock += 1;
-        if let Some(meta) = self.entries.get_mut(key) {
-            meta.frequency += 1;
-            meta.last_used = self.clock;
-            *self.lifetime_frequency.entry(key.clone()).or_insert(0) += 1;
-            true
-        } else {
-            false
-        }
+        self.record_use(key)
     }
 
     /// Removes `key` if resident, returning whether it was.
@@ -287,6 +295,21 @@ impl<K: Eq + Hash + Clone> SlotCache<K> {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.stats.resident_bytes = 0;
+    }
+
+    /// The key the policy would evict next, without evicting it. `None`
+    /// when the cache is empty.
+    pub fn peek_victim(&self) -> Option<K> {
+        self.pick_victim()
+    }
+
+    /// Whether inserting a new (non-resident) entry charging `bytes` would
+    /// force at least one eviction right now.
+    pub fn would_evict(&self, bytes: u64) -> bool {
+        self.entries.len() >= self.capacity
+            || self
+                .byte_budget
+                .is_some_and(|budget| self.stats.resident_bytes + bytes > budget)
     }
 
     fn pick_victim(&self) -> Option<K> {

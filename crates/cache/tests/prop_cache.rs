@@ -1,7 +1,7 @@
 //! Property-based tests of the slot cache: invariants that must hold for
 //! every policy under arbitrary traces.
 
-use anole_cache::{EvictionPolicy, SlotCache};
+use anole_cache::{EvictionPolicy, ShardedSlotCache, SlotCache};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -105,6 +105,41 @@ proptest! {
             let evicted = cache.insert(k);
             prop_assert_ne!(evicted, Some(0));
             prop_assert!(cache.contains(&0));
+        }
+    }
+
+    /// A one-shard `ShardedSlotCache` (no salt, no admission filter) is
+    /// observably identical to a plain `SlotCache`: same return value for
+    /// every operation in any trace, same residency, same stats.
+    #[test]
+    fn one_shard_sharded_cache_matches_slot_cache(
+        ops in ops_strategy(),
+        capacity in 0usize..6,
+    ) {
+        for policy in policies() {
+            let mut plain = SlotCache::new(capacity, policy);
+            let mut sharded = ShardedSlotCache::new(1, capacity, policy);
+            for op in &ops {
+                match op {
+                    Op::Touch(k) => {
+                        prop_assert_eq!(plain.touch(k), sharded.touch(k));
+                    }
+                    Op::Insert(k) => {
+                        prop_assert_eq!(plain.insert(*k), sharded.insert(*k));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(plain.remove(k), sharded.remove(k));
+                    }
+                }
+                prop_assert_eq!(plain.len(), sharded.len());
+            }
+            let mut resident: Vec<u8> = sharded.iter().copied().collect();
+            resident.sort_unstable();
+            for k in &resident {
+                prop_assert!(plain.contains(k));
+            }
+            prop_assert_eq!(plain.len(), resident.len());
+            prop_assert_eq!(plain.stats(), sharded.stats());
         }
     }
 }

@@ -1,0 +1,215 @@
+//! Hand-rolled property sweeps for [`ShardedSlotCache`]: seeded random op
+//! traces instead of a proptest strategy, so the sweeps stay dependency-free
+//! and deterministic (same failures on every machine, no shrinking step).
+//!
+//! The central contract: a one-shard cache with no salt and no admission
+//! filter is *observably identical* to a plain [`SlotCache`] — every return
+//! value of every operation, the resident set, and the statistics all match
+//! over arbitrary weighted traces. Multi-shard configurations keep the
+//! global invariants (capacity, routing stability, no duplicate residents)
+//! for any shard count and salt.
+
+use anole_cache::{EvictionPolicy, ShardedSlotCache, SlotCache};
+
+/// xorshift64* — deterministic trace generator with no external deps.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const POLICIES: [EvictionPolicy; 3] =
+    [EvictionPolicy::Lfu, EvictionPolicy::Lru, EvictionPolicy::Fifo];
+
+/// One random operation applied to both caches, asserting identical
+/// observable results. Keys are drawn from a small domain so traces collide
+/// constantly; weights exercise the byte-budget path.
+fn step_twins(
+    rng: &mut XorShift,
+    plain: &mut SlotCache<u16>,
+    sharded: &mut ShardedSlotCache<u16>,
+) {
+    let key = rng.below(24) as u16;
+    match rng.below(10) {
+        0..=3 => assert_eq!(plain.touch(&key), sharded.touch(&key), "touch({key})"),
+        4..=6 => {
+            let bytes = rng.below(4);
+            assert_eq!(
+                plain.insert_weighted(key, bytes),
+                sharded.insert_weighted(key, bytes),
+                "insert_weighted({key}, {bytes})"
+            );
+        }
+        7 => assert_eq!(plain.refresh(&key), sharded.refresh(&key), "refresh({key})"),
+        8 => assert_eq!(plain.remove(&key), sharded.remove(&key), "remove({key})"),
+        _ => {
+            let cap = rng.below(7) as usize;
+            assert_eq!(plain.set_capacity(cap), sharded.set_capacity(cap), "set_capacity({cap})");
+        }
+    }
+}
+
+fn assert_twins_equal(plain: &SlotCache<u16>, sharded: &ShardedSlotCache<u16>) {
+    assert_eq!(plain.len(), sharded.len());
+    assert_eq!(plain.stats(), sharded.stats());
+    assert_eq!(plain.resident_bytes(), sharded.resident_bytes());
+    let mut a: Vec<u16> = plain.iter().copied().collect();
+    let mut b: Vec<u16> = sharded.iter().copied().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "resident sets diverged");
+}
+
+#[test]
+fn one_shard_weighted_traces_match_slot_cache_exactly() {
+    for policy in POLICIES {
+        for seed in 0..12u64 {
+            let capacity = (seed % 6) as usize;
+            let mut plain = SlotCache::new(capacity, policy);
+            let mut sharded = ShardedSlotCache::new(1, capacity, policy);
+            let mut rng = XorShift::new(0xA001 + seed * 7919);
+            for _ in 0..400 {
+                step_twins(&mut rng, &mut plain, &mut sharded);
+            }
+            assert_twins_equal(&plain, &sharded);
+        }
+    }
+}
+
+#[test]
+fn one_shard_byte_budget_traces_match_slot_cache_exactly() {
+    for policy in POLICIES {
+        for seed in 0..8u64 {
+            let budget = 2 + seed;
+            let mut plain = SlotCache::with_byte_budget(4, policy, budget);
+            let mut sharded = ShardedSlotCache::with_byte_budget(1, 4, policy, budget);
+            let mut rng = XorShift::new(0xB001 + seed * 104_729);
+            for _ in 0..400 {
+                step_twins(&mut rng, &mut plain, &mut sharded);
+            }
+            assert_twins_equal(&plain, &sharded);
+        }
+    }
+}
+
+/// Multi-shard invariants over random traces: the global slot capacity is
+/// never exceeded, no key is resident twice, `contains` agrees with `iter`,
+/// and every resident key actually lives in the shard `shard_of` names.
+#[test]
+fn multi_shard_traces_keep_global_invariants() {
+    for &shards in &[1usize, 2, 4, 8] {
+        for &salt in &[0u64, 17, 0xDEAD_BEEF] {
+            let mut cache: ShardedSlotCache<u16> =
+                ShardedSlotCache::new(shards, 12, EvictionPolicy::Lfu).with_hash_salt(salt);
+            let mut rng = XorShift::new(0xC001 ^ (shards as u64) << 8 ^ salt);
+            let mut inserts = 0u64;
+            for _ in 0..600 {
+                let key = rng.below(40) as u16;
+                match rng.below(8) {
+                    0..=3 => {
+                        cache.touch(&key);
+                    }
+                    4..=6 => {
+                        cache.insert_weighted(key, rng.below(3));
+                        inserts += 1;
+                    }
+                    _ => {
+                        cache.remove(&key);
+                    }
+                }
+                assert!(cache.len() <= cache.capacity());
+            }
+            let resident: Vec<u16> = cache.iter().copied().collect();
+            let mut sorted = resident.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), resident.len(), "a key is resident in two shards");
+            for key in 0..40u16 {
+                assert_eq!(cache.contains(&key), resident.contains(&key));
+                assert!(cache.shard_of(&key) < cache.shard_count());
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.insertions, inserts);
+            assert!(stats.evictions <= stats.insertions);
+        }
+    }
+}
+
+/// Shard routing is a pure function of (salt, key): two caches with the
+/// same salt agree everywhere, and a trace never moves a key between
+/// shards.
+#[test]
+fn shard_routing_is_stable_under_traffic() {
+    let mut cache: ShardedSlotCache<u16> =
+        ShardedSlotCache::new(4, 16, EvictionPolicy::Lru).with_hash_salt(99);
+    let oracle: ShardedSlotCache<u16> =
+        ShardedSlotCache::new(4, 16, EvictionPolicy::Lru).with_hash_salt(99);
+    let before: Vec<usize> = (0..64u16).map(|k| oracle.shard_of(&k)).collect();
+    let mut rng = XorShift::new(0xD001);
+    for _ in 0..500 {
+        let key = rng.below(64) as u16;
+        match rng.below(3) {
+            0 => {
+                cache.touch(&key);
+            }
+            1 => {
+                cache.insert_weighted(key, 1);
+            }
+            _ => {
+                cache.remove(&key);
+            }
+        }
+    }
+    for key in 0..64u16 {
+        assert_eq!(cache.shard_of(&key), before[key as usize]);
+    }
+}
+
+/// With the admission filter on, every `insert_weighted` call either
+/// reaches its shard (counted in `stats().insertions`) or is rejected
+/// (counted in `admission_rejects()`) — no call vanishes, and rejections
+/// never evict anyone.
+#[test]
+fn admission_filter_accounts_for_every_insert() {
+    for seed in 0..8u64 {
+        let mut cache: ShardedSlotCache<u16> =
+            ShardedSlotCache::new(2, 4, EvictionPolicy::Lfu).with_admission_filter(64);
+        let mut rng = XorShift::new(0xE001 + seed);
+        let mut insert_calls = 0u64;
+        for _ in 0..500 {
+            let key = rng.below(32) as u16;
+            if rng.below(2) == 0 {
+                cache.touch(&key);
+            } else {
+                let evicted = cache.insert_weighted(key, 0);
+                insert_calls += 1;
+                if !cache.contains(&key) {
+                    // Rejected: the filter must have dropped it without
+                    // collateral damage.
+                    assert!(evicted.is_empty());
+                }
+            }
+            assert!(cache.len() <= cache.capacity());
+        }
+        assert_eq!(
+            cache.stats().insertions + cache.admission_rejects(),
+            insert_calls,
+            "seed {seed}: inserts neither admitted nor rejected"
+        );
+    }
+}

@@ -209,6 +209,58 @@ impl Default for QuantConfig {
     }
 }
 
+/// Predictive model prefetch + cache sharding (CMD extension) parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Whether [`OnlineEngine::step`](crate::omi::OnlineEngine::step) may
+    /// issue idle-budget background loads of the predicted-next model. Off
+    /// by default: the reactive LFU path stays byte-identical to earlier
+    /// releases. Prefetch is strictly passive either way — the decision
+    /// stream (requested model + suitability) is bit-identical with it on
+    /// or off; only cache/latency metrics change.
+    pub enabled: bool,
+    /// Shard count for the engine's model cache, rounded up to a power of
+    /// two. `1` (the default) degenerates to the unsharded
+    /// [`SlotCache`](anole_cache::SlotCache) bit-for-bit; larger values
+    /// split slots and byte budget evenly across shards keyed by model-ID
+    /// hash (salted per engine, so fleet sessions hit disjoint shards).
+    pub shards: usize,
+    /// Per-frame latency budget (ms) used for the idle check when the
+    /// engine has no explicit real-time budget: a prefetch is issued only
+    /// when `budget − frame latency` exceeds the device's modelled load
+    /// time. An explicit engine budget takes precedence.
+    pub budget_ms: f32,
+    /// Minimum Laplace-smoothed transition probability before the predicted
+    /// next model is worth prefetching.
+    pub min_probability: f64,
+    /// Whether the cache uses the shared frequency-sketch admission filter
+    /// (only constructed when `enabled`), so one-hit-wonder prefetches
+    /// cannot evict proven residents.
+    pub admission_filter: bool,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            shards: 1,
+            budget_ms: 33.0,
+            min_probability: 0.25,
+            admission_filter: true,
+        }
+    }
+}
+
+impl PrefetchConfig {
+    /// Whether this is exactly the default configuration. Used to skip
+    /// serializing the field so default-config systems serialize
+    /// byte-identically to releases that predate prefetch (the engine
+    /// fingerprint hashes that JSON).
+    fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// On-device drift-detection parameters (the calibrated
 /// [`DriftDetector`](crate::omi::DriftDetector)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -292,6 +344,12 @@ pub struct AnoleConfig {
     /// saved before continual re-profiling existed.
     #[serde(default)]
     pub rollout: RolloutConfig,
+    /// Predictive-prefetch + cache-sharding parameters. Deserializes to the
+    /// disabled default from configs saved before prefetch existed, and is
+    /// omitted from serialized configs while at the default so those
+    /// configs stay byte-identical to pre-prefetch releases.
+    #[serde(default, skip_serializing_if = "PrefetchConfig::is_default")]
+    pub prefetch: PrefetchConfig,
 }
 
 
@@ -325,6 +383,11 @@ mod tests {
         // Quantization is opt-in: the default pipeline stays pure fp32.
         assert!(!cfg.quant.enabled);
         assert!(cfg.quant.epsilon_f1 > 0.0);
+        // Prefetch is opt-in and the default cache is unsharded.
+        assert!(!cfg.prefetch.enabled);
+        assert_eq!(cfg.prefetch.shards, 1);
+        assert!(cfg.prefetch.budget_ms > 0.0);
+        assert!(cfg.prefetch.min_probability > 0.0 && cfg.prefetch.min_probability < 1.0);
     }
 
     #[test]
@@ -337,8 +400,26 @@ mod tests {
         value["cache"].as_object_mut().unwrap().remove("byte_budget");
         value.as_object_mut().unwrap().remove("drift");
         value.as_object_mut().unwrap().remove("rollout");
+        value.as_object_mut().unwrap().remove("prefetch");
         let cfg: AnoleConfig = serde_json::from_value(value).unwrap();
         assert_eq!(cfg, AnoleConfig::default());
+    }
+
+    #[test]
+    fn default_prefetch_is_omitted_from_serialized_configs() {
+        // The engine fingerprint hashes serialized systems, so a config at
+        // the prefetch default must serialize byte-identically to releases
+        // that predate the field.
+        let json = serde_json::to_string(&AnoleConfig::default()).unwrap();
+        assert!(!json.contains("prefetch"));
+        // A non-default prefetch section round-trips.
+        let mut cfg = AnoleConfig::default();
+        cfg.prefetch.enabled = true;
+        cfg.prefetch.shards = 4;
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("prefetch"));
+        let back: AnoleConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::path::{Path, PathBuf};
 
+use anole_cache::TransitionModel;
 use anole_data::DrivingDataset;
 use anole_device::{UnstableLink, UnstableLinkConfig};
 use anole_nn::ReferenceModel;
@@ -140,6 +141,75 @@ pub fn save_bundle(system: &AnoleSystem, dir: &Path) -> Result<Manifest, AnoleEr
     let manifest_json = serde_json::to_string_pretty(&manifest).map_err(deploy_err)?;
     std::fs::write(dir.join("manifest.json"), manifest_json).map_err(deploy_err)?;
     Ok(manifest)
+}
+
+/// File name of the optional scene-transition sidecar artifact.
+pub const TRANSITION_FILE: &str = "transition.json";
+
+/// Checksummed wrapper around a serialized [`TransitionModel`]. The model is
+/// stored as its raw JSON string so the FNV-1a verification on load covers
+/// exactly the bytes that were written.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TransitionArtifact {
+    checksum: u64,
+    model: String,
+}
+
+/// Writes a scene-[`TransitionModel`] next to a bundle so the next
+/// deployment warm-starts its prefetcher instead of re-learning transitions
+/// from scratch.
+///
+/// The artifact is a *sidecar*: it is deliberately not listed in the
+/// manifest, so bundles written before prefetch existed — and bundles whose
+/// fleet never uploads a model — stay byte-identical and load unchanged.
+///
+/// # Errors
+///
+/// Surfaces filesystem and serialization failures as
+/// [`AnoleError::Deploy`].
+pub fn save_transition_model(model: &TransitionModel, dir: &Path) -> Result<(), AnoleError> {
+    std::fs::create_dir_all(dir).map_err(deploy_err)?;
+    let body = serde_json::to_string(model).map_err(deploy_err)?;
+    let artifact = TransitionArtifact {
+        checksum: fnv1a(body.as_bytes()),
+        model: body,
+    };
+    let json = serde_json::to_string(&artifact).map_err(deploy_err)?;
+    std::fs::write(dir.join(TRANSITION_FILE), json).map_err(deploy_err)
+}
+
+/// Loads the transition-model sidecar from a bundle directory, if present.
+///
+/// Returns `Ok(None)` when the bundle has no sidecar (every pre-prefetch
+/// bundle). `expected_states` guards against warm-starting an engine with a
+/// model learned over a differently-sized repository.
+///
+/// # Errors
+///
+/// Fails when the sidecar exists but is corrupt (checksum mismatch),
+/// malformed, or sized for a different repository.
+pub fn load_transition_model(
+    dir: &Path,
+    expected_states: usize,
+) -> Result<Option<TransitionModel>, AnoleError> {
+    let path = dir.join(TRANSITION_FILE);
+    let json = match std::fs::read_to_string(&path) {
+        Ok(json) => json,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(deploy_err(e)),
+    };
+    let artifact: TransitionArtifact = serde_json::from_str(&json).map_err(deploy_err)?;
+    if fnv1a(artifact.model.as_bytes()) != artifact.checksum {
+        return Err(deploy_err(format!("checksum mismatch in {TRANSITION_FILE}")));
+    }
+    let model: TransitionModel = serde_json::from_str(&artifact.model).map_err(deploy_err)?;
+    if model.states() != expected_states {
+        return Err(deploy_err(format!(
+            "transition model covers {} models, repository holds {expected_states}",
+            model.states()
+        )));
+    }
+    Ok(Some(model))
 }
 
 /// Reads the manifest of a bundle directory.
@@ -895,5 +965,48 @@ mod tests {
         assert_eq!(report.downloads, 4);
         std::fs::remove_dir_all(&last_good).unwrap();
         std::fs::remove_dir_all(&candidate_dir).unwrap();
+    }
+
+    #[test]
+    fn transition_sidecar_round_trips_and_is_optional() {
+        let dir = temp_dir("transition");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A bundle without the sidecar loads as None — pre-prefetch bundles
+        // keep working unchanged.
+        assert_eq!(load_transition_model(&dir, 4).unwrap(), None);
+
+        let mut model = TransitionModel::new(4);
+        for id in [0, 1, 2, 1, 2, 3, 0] {
+            model.observe(id);
+        }
+        save_transition_model(&model, &dir).unwrap();
+        let loaded = load_transition_model(&dir, 4).unwrap().unwrap();
+        assert_eq!(loaded, model);
+        // The sidecar never appears in the manifest, so existing bundle
+        // layouts are untouched.
+        assert!(!dir.join("manifest.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transition_sidecar_rejects_corruption_and_size_mismatch() {
+        let dir = temp_dir("transition-corrupt");
+        let mut model = TransitionModel::new(3);
+        model.observe(0);
+        model.observe(2);
+        save_transition_model(&model, &dir).unwrap();
+
+        // Wrong repository size is refused before any engine sees it.
+        let err = load_transition_model(&dir, 7).unwrap_err();
+        assert!(err.to_string().contains("transition model covers 3"));
+
+        // A flipped byte inside the artifact fails the checksum.
+        let path = dir.join(TRANSITION_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(load_transition_model(&dir, 3).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -50,9 +50,11 @@ use anole_tensor::{Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
 use crate::omi::{
-    DriftDetector, DriftState, FaultInjector, FaultKind, FaultPlan, OnlineEngine, StepOutcome,
+    DriftDetector, DriftState, FaultInjector, FaultKind, FaultPlan, OnlineEngine, PrefetchStats,
+    StepOutcome,
 };
 use crate::{AnoleError, AnoleSystem};
+use anole_cache::CacheStats;
 
 /// Queue-depth histogram buckets (frames waiting per session).
 const QUEUE_DEPTH_BOUNDS: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
@@ -533,6 +535,17 @@ pub struct Gateway<'a> {
     system: &'a AnoleSystem,
     config: GatewayConfig,
     sessions: Vec<Session<'a>>,
+    /// Ready-queue index: ids of admitted, non-terminal sessions in
+    /// admission order. Scheduler loops walk this instead of scanning the
+    /// whole roster, so a window over a mostly-terminal 100k-session run
+    /// costs O(live) rather than O(admitted). Ids whose session went
+    /// terminal mid-window linger until the end-of-window compaction (every
+    /// consumer re-checks `is_terminal`); `active_count` is exact at all
+    /// times.
+    active_ids: Vec<usize>,
+    /// Exact count of admitted, non-terminal sessions (maintained on every
+    /// state transition; never scans).
+    active_count: usize,
     injector: Option<FaultInjector>,
     rejected: usize,
     breaker: BreakerState,
@@ -574,6 +587,8 @@ impl<'a> Gateway<'a> {
             system,
             config,
             sessions: Vec::new(),
+            active_ids: Vec::new(),
+            active_count: 0,
             injector: None,
             rejected: 0,
             breaker: BreakerState::Closed,
@@ -617,9 +632,55 @@ impl<'a> Gateway<'a> {
         &self.config
     }
 
-    /// Sessions admitted and not yet terminal.
+    /// Sessions admitted and not yet terminal. O(1): maintained on every
+    /// session state transition, never recomputed by scanning the roster.
     pub fn active_sessions(&self) -> usize {
-        self.sessions.iter().filter(|s| !s.state.is_terminal()).count()
+        self.active_count
+    }
+
+    /// Fleet-wide prefetcher counters summed over every admitted session's
+    /// engine (terminal sessions included). Exposed as an accessor — not a
+    /// report field — so the serialized [`GatewayReport`] stays byte-stable
+    /// with runs recorded before predictive prefetch existed.
+    pub fn fleet_prefetch_stats(&self) -> PrefetchStats {
+        let mut total = PrefetchStats::default();
+        for s in &self.sessions {
+            let p = s.engine.prefetch_stats();
+            total.issued += p.issued;
+            total.hits += p.hits;
+            total.wasted += p.wasted;
+            total.late += p.late;
+        }
+        total
+    }
+
+    /// Fleet-wide cache statistics summed over every admitted session's
+    /// engine. Like [`Gateway::fleet_prefetch_stats`], an accessor rather
+    /// than a report field.
+    pub fn fleet_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.sessions {
+            total.merge(&s.engine.cache_stats());
+        }
+        total
+    }
+
+    /// Fleet-wide model-load attempts (each one a cold load priced into
+    /// background time) summed over every admitted session's engine.
+    pub fn fleet_load_attempts(&self) -> usize {
+        self.sessions.iter().map(|s| s.engine.load_attempt_count()).sum()
+    }
+
+    /// Fleet-wide fallback-depth histogram (frames served at each tier)
+    /// summed over every admitted session's engine.
+    pub fn fleet_fallback_depths(&self) -> [usize; 4] {
+        let mut total = [0usize; 4];
+        for s in &self.sessions {
+            for (t, d) in total.iter_mut().zip(s.engine.health_report().fallback_depths) {
+                *t += d;
+            }
+        }
+        total
     }
 
     /// Typed errors from quarantined sessions, drained in the order the
@@ -691,6 +752,8 @@ impl<'a> Gateway<'a> {
         }
         let last_load_failures = engine.load_failure_count();
         let id = self.sessions.len();
+        self.active_ids.push(id);
+        self.active_count += 1;
         self.sessions.push(Session {
             id,
             state: SessionState::Admitted,
@@ -744,16 +807,19 @@ impl<'a> Gateway<'a> {
         let max_windows = self.effective_max_windows();
         let model_count = self.system.repository().len();
 
-        while self.sessions.iter().any(|s| !s.state.is_terminal()) {
+        while self.active_count > 0 {
             if self.windows >= max_windows {
-                for s in &mut self.sessions {
+                for &idx in &self.active_ids {
+                    let s = &mut self.sessions[idx];
                     if !s.state.is_terminal() {
                         s.drop_outstanding();
                         s.state = SessionState::Shed;
+                        self.active_count -= 1;
                         self.watchdog_shed += 1;
                         anole_obs::counter_add!("gateway.sessions.watchdog_shed", 1);
                     }
                 }
+                self.active_ids.clear();
                 break;
             }
             self.windows += 1;
@@ -770,8 +836,9 @@ impl<'a> Gateway<'a> {
                 continue;
             }
 
-            // ---- Production: enqueue due frames, session-id order. ----
-            for idx in 0..self.sessions.len() {
+            // ---- Production: enqueue due frames, session-id order (the
+            // ready-queue index holds live ids in admission order). ----
+            for &idx in &self.active_ids {
                 let s = &mut self.sessions[idx];
                 if s.state.is_terminal() {
                     continue;
@@ -816,7 +883,7 @@ impl<'a> Gateway<'a> {
 
             // ---- Shedding + dispatch selection, session-id order. ----
             let mut candidates: Vec<Candidate> = Vec::new();
-            for idx in 0..self.sessions.len() {
+            for &idx in &self.active_ids {
                 let s = &mut self.sessions[idx];
                 if s.state.is_terminal() {
                     continue;
@@ -839,6 +906,7 @@ impl<'a> Gateway<'a> {
                             // rather than let it starve the window forever.
                             s.drop_outstanding();
                             s.state = SessionState::Shed;
+                            self.active_count -= 1;
                             anole_obs::counter_add!("gateway.sessions.shed", 1);
                             break;
                         }
@@ -951,6 +1019,7 @@ impl<'a> Gateway<'a> {
                         s.dropped_frames += 1;
                         s.drop_outstanding();
                         s.state = SessionState::Quarantined;
+                        self.active_count -= 1;
                         anole_obs::counter_add!("gateway.sessions.quarantined", 1);
                     }
                     Ok(Err(error)) => {
@@ -959,6 +1028,7 @@ impl<'a> Gateway<'a> {
                         s.dropped_frames += 1;
                         s.drop_outstanding();
                         s.state = SessionState::Quarantined;
+                        self.active_count -= 1;
                         self.session_errors.push((sid, error));
                         anole_obs::counter_add!("gateway.sessions.quarantined", 1);
                     }
@@ -988,13 +1058,15 @@ impl<'a> Gateway<'a> {
             }
 
             // ---- Terminal transitions. ----
-            for s in &mut self.sessions {
+            for &idx in &self.active_ids {
+                let s = &mut self.sessions[idx];
                 if s.state.is_terminal() {
                     continue;
                 }
                 if s.next_frame >= s.frames.len() {
                     if s.queue.is_empty() {
                         s.state = SessionState::Completed;
+                        self.active_count -= 1;
                         anole_obs::counter_add!("gateway.sessions.completed", 1);
                     } else {
                         s.state = SessionState::Draining;
@@ -1003,6 +1075,12 @@ impl<'a> Gateway<'a> {
             }
 
             self.tick_breaker(now);
+            // Compact the ready-queue index: drop ids that went terminal
+            // this window, preserving admission order for the survivors.
+            if self.active_ids.len() > self.active_count {
+                let sessions = &self.sessions;
+                self.active_ids.retain(|&idx| !sessions[idx].state.is_terminal());
+            }
             self.now_ms += cfg.window_ms;
         }
 
@@ -1025,7 +1103,8 @@ impl<'a> Gateway<'a> {
                     self.breaker_opened_at_ms = now;
                     self.breaker_trips += 1;
                     anole_obs::counter_add!("gateway.breaker.trips", 1);
-                    for s in &mut self.sessions {
+                    for &idx in &self.active_ids {
+                        let s = &mut self.sessions[idx];
                         if !s.state.is_terminal() {
                             s.engine.set_loads_enabled(false);
                         }
@@ -1034,7 +1113,11 @@ impl<'a> Gateway<'a> {
             }
             BreakerState::Open => {
                 if now - self.breaker_opened_at_ms >= self.config.breaker_cooldown_ms {
-                    if let Some(idx) = self.sessions.iter().position(|s| !s.state.is_terminal())
+                    if let Some(idx) = self
+                        .active_ids
+                        .iter()
+                        .copied()
+                        .find(|&idx| !self.sessions[idx].state.is_terminal())
                     {
                         let s = &mut self.sessions[idx];
                         s.engine.set_loads_enabled(true);
@@ -1072,7 +1155,8 @@ impl<'a> Gateway<'a> {
                     self.breaker = BreakerState::Closed;
                     self.breaker_failures = 0;
                     self.probe = None;
-                    for s2 in &mut self.sessions {
+                    for &idx in &self.active_ids {
+                        let s2 = &mut self.sessions[idx];
                         if !s2.state.is_terminal() {
                             s2.engine.set_loads_enabled(true);
                         }

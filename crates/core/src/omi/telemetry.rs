@@ -54,6 +54,15 @@ pub struct TelemetryRecord {
     /// Deserializes to `Nominal` from logs written before drift detection.
     #[serde(default)]
     pub drift_state: DriftState,
+    /// Whether the idle-budget prefetcher issued a background load at the
+    /// end of this frame. Defaults to `false` for logs written before
+    /// predictive prefetch existed.
+    #[serde(default)]
+    pub prefetch_issued: bool,
+    /// Whether this frame's cache hit was served by a prefetched model.
+    /// Defaults to `false` for logs written before predictive prefetch.
+    #[serde(default)]
+    pub prefetch_hit: bool,
     /// Per-frame F1 against ground truth, when truth was supplied.
     pub f1: Option<f32>,
 }
@@ -118,6 +127,8 @@ impl Telemetry {
             span_id: anole_obs::last_root_span_id(),
             precision: outcome.precision,
             drift_state: self.current_drift,
+            prefetch_issued: outcome.prefetch_issued,
+            prefetch_hit: outcome.prefetch_hit,
             f1,
         });
     }
@@ -159,7 +170,8 @@ impl Telemetry {
 
         const HEADER: &str =
             "frame,requested,used,cache_hit,models_executed,latency_ms,suitability,health,\
-             fallback_depth,faults,span_id,precision,drift_state,f1\n";
+             fallback_depth,faults,span_id,precision,drift_state,prefetch_issued,prefetch_hit,\
+             f1\n";
         // Generous per-row estimate: twelve numeric/enum fields plus
         // separators stay well under this for realistic runs, so growth is
         // rare.
@@ -173,7 +185,7 @@ impl Telemetry {
             // Infallible for String; keep the row loop panic-free.
             let _ = write!(
                 out,
-                "{},{},{},{},{},{:?},{:?},{},{},{},{},{},{},",
+                "{},{},{},{},{},{:?},{:?},{},{},{},{},{},{},{},{},",
                 r.frame,
                 r.requested,
                 r.used,
@@ -187,6 +199,8 @@ impl Telemetry {
                 r.span_id,
                 r.precision,
                 r.drift_state,
+                r.prefetch_issued,
+                r.prefetch_hit,
             );
             if let Some(f1) = r.f1 {
                 let _ = write!(out, "{f1:?}");
@@ -215,6 +229,8 @@ impl Telemetry {
         let mean_fallback_depth =
             self.records.iter().map(|r| r.fallback_depth as f32).sum::<f32>() / n;
         let i8_frames = self.records.iter().filter(|r| r.precision == Precision::Int8).count();
+        let prefetch_issued = self.records.iter().filter(|r| r.prefetch_issued).count();
+        let prefetch_hits = self.records.iter().filter(|r| r.prefetch_hit).count();
         let scored: Vec<f32> = self.records.iter().filter_map(|r| r.f1).collect();
         let mean_f1 = if scored.is_empty() {
             0.0
@@ -242,6 +258,8 @@ impl Telemetry {
             mean_f1,
             i8_frame_fraction: i8_frames as f32 / n,
             drift_events,
+            prefetch_issued,
+            prefetch_hits,
         }
     }
 }
@@ -274,6 +292,14 @@ pub struct TelemetrySummary {
     /// Deserializes to 0 from summaries written before drift detection.
     #[serde(default)]
     pub drift_events: usize,
+    /// Frames on which the prefetcher issued a background load.
+    /// Deserializes to 0 from summaries written before predictive prefetch.
+    #[serde(default)]
+    pub prefetch_issued: usize,
+    /// Frames served by a model the prefetcher had loaded ahead of time.
+    /// Deserializes to 0 from summaries written before predictive prefetch.
+    #[serde(default)]
+    pub prefetch_hits: usize,
 }
 
 #[cfg(test)]
@@ -301,7 +327,7 @@ mod tests {
         assert_eq!(telemetry.len(), 25);
         let csv = telemetry.to_csv();
         assert_eq!(csv.lines().count(), 26);
-        assert!(csv.lines().nth(1).unwrap().split(',').count() == 14);
+        assert!(csv.lines().nth(1).unwrap().split(',').count() == 16);
         assert!(csv.lines().nth(1).unwrap().contains("fp32"));
         // A fault-free run stays healthy throughout.
         assert_eq!(telemetry.degraded_frames(), 0);
@@ -338,6 +364,8 @@ mod tests {
             fallback_depth: 1,
             faults: 2,
             precision: Precision::Int8,
+            prefetch_issued: false,
+            prefetch_hit: false,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, None);
@@ -370,6 +398,8 @@ mod tests {
             fallback_depth: 0,
             faults: 0,
             precision: Precision::Fp32,
+            prefetch_issued: true,
+            prefetch_hit: true,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, Some(&[true]));
@@ -379,7 +409,11 @@ mod tests {
         assert_eq!(cols[6].parse::<f32>().unwrap(), outcome.suitability);
         assert_eq!(cols[11], "fp32");
         assert_eq!(cols[12], "nominal");
-        assert_eq!(cols[13].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
+        assert_eq!(cols[13], "true");
+        assert_eq!(cols[14], "true");
+        assert_eq!(cols[15].parse::<f32>().unwrap(), t.records()[0].f1.unwrap());
+        assert_eq!(t.summary().prefetch_issued, 1);
+        assert_eq!(t.summary().prefetch_hits, 1);
     }
 
     #[test]
@@ -396,6 +430,8 @@ mod tests {
             fallback_depth: 0,
             faults: 0,
             precision: Precision::Fp32,
+            prefetch_issued: false,
+            prefetch_hit: false,
         };
         let mut t = Telemetry::new();
         t.record(&outcome, None);
@@ -408,7 +444,11 @@ mod tests {
         t.record(&outcome, None);
 
         let csv = t.to_csv();
-        assert!(csv.lines().next().unwrap().ends_with("drift_state,f1"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("drift_state,prefetch_issued,prefetch_hit,f1"));
         assert!(csv.lines().nth(1).unwrap().contains(",nominal,"));
         assert!(csv.lines().nth(2).unwrap().contains(",drifting,"));
         // Two distinct episodes despite three drifting frames.

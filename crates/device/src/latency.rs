@@ -112,6 +112,26 @@ impl LatencyModel {
         self.spec.framework_init_ms
     }
 
+    /// Idle headroom left in a frame whose deadline is `budget_ms` after
+    /// `elapsed_ms` of foreground work — floored at zero once the budget is
+    /// blown.
+    pub fn idle_headroom_ms(&self, budget_ms: f32, elapsed_ms: f32) -> f32 {
+        (budget_ms - elapsed_ms).max(0.0)
+    }
+
+    /// Whether a background load of `model` fits strictly inside the idle
+    /// headroom of the current frame. Predictive prefetchers use this to
+    /// guarantee a speculative load can never push the frame past its
+    /// deadline.
+    pub fn background_load_fits(
+        &self,
+        model: ReferenceModel,
+        budget_ms: f32,
+        elapsed_ms: f32,
+    ) -> bool {
+        self.load_ms(model) < self.idle_headroom_ms(budget_ms, elapsed_ms)
+    }
+
     /// Cost of the `attempt`-th (0-based) load attempt under
     /// retry-with-backoff: the weight I/O plus an exponentially growing
     /// back-off pause before each retry, so a load that fails `n` times
@@ -252,5 +272,18 @@ mod tests {
     #[should_panic(expected = "throughput scale must be positive")]
     fn rejects_zero_throughput() {
         let _ = LatencyModel::for_device(DeviceKind::Laptop).with_throughput_scale(0.0);
+    }
+
+    #[test]
+    fn headroom_floors_at_zero_and_gates_background_loads() {
+        let m = LatencyModel::for_device(DeviceKind::JetsonTx2Nx);
+        assert_eq!(m.idle_headroom_ms(33.0, 10.0), 23.0);
+        assert_eq!(m.idle_headroom_ms(33.0, 50.0), 0.0);
+        let load = m.load_ms(ReferenceModel::Yolov3Tiny);
+        // A frame with more slack than the load time admits the prefetch …
+        assert!(m.background_load_fits(ReferenceModel::Yolov3Tiny, load + 1.0, 0.0));
+        // … an exhausted or exactly-full frame does not.
+        assert!(!m.background_load_fits(ReferenceModel::Yolov3Tiny, load, 0.0));
+        assert!(!m.background_load_fits(ReferenceModel::Yolov3Tiny, 33.0, 33.0));
     }
 }

@@ -1,0 +1,129 @@
+//! End-to-end contracts for predictive model prefetch, driven through the
+//! `anole` facade crate (so CI can sweep `ANOLE_THREADS` across the full
+//! dependency stack).
+//!
+//! Three contracts:
+//! 1. With prefetch *disabled* (the default), every other prefetch knob is
+//!    inert: the full serialized `StepOutcome` stream is byte-identical to
+//!    a pre-prefetch engine's.
+//! 2. With prefetch *enabled*, the prediction stream — requested model and
+//!    smoothed suitability — stays bit-identical: prefetch hides latency,
+//!    it never changes routing.
+//! 3. On a perfectly periodic scene cycle with an undersized cache, the
+//!    prefetcher actually converts cold loads into background loads.
+
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset, Frame};
+use anole::device::DeviceKind;
+use anole::tensor::Seed;
+
+fn world(seed: u64, tune: impl Fn(&mut AnoleConfig)) -> (DrivingDataset, AnoleSystem) {
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(seed));
+    let mut config = AnoleConfig::fast();
+    tune(&mut config);
+    let system = AnoleSystem::train(&dataset, &config, Seed(seed + 1)).expect("training");
+    (dataset, system)
+}
+
+fn test_frames(dataset: &DrivingDataset, n: usize) -> Vec<Frame> {
+    let split = dataset.split();
+    (0..n)
+        .map(|k| dataset.frame(split.test[k % split.test.len()]).clone())
+        .collect()
+}
+
+#[test]
+fn disabled_prefetch_knobs_are_inert_end_to_end() {
+    let (dataset, baseline) = world(211, |_| {});
+    let (_, tuned) = world(211, |cfg| {
+        // Everything but `enabled` (and `shards`, which re-shapes the cache
+        // itself) cranked away from default — all of it must be dead code
+        // while enabled is false.
+        cfg.prefetch.min_probability = 0.9;
+        cfg.prefetch.budget_ms = 1.0;
+        cfg.prefetch.admission_filter = false;
+    });
+    let mut a = baseline.online_engine(DeviceKind::JetsonTx2Nx, Seed(213));
+    let mut b = tuned.online_engine(DeviceKind::JetsonTx2Nx, Seed(213));
+    for frame in test_frames(&dataset, 40) {
+        let oa = a.step(&frame.features).unwrap();
+        let ob = b.step(&frame.features).unwrap();
+        assert_eq!(
+            serde_json::to_string(&oa).unwrap(),
+            serde_json::to_string(&ob).unwrap(),
+            "disabled prefetch changed a step outcome"
+        );
+    }
+    assert_eq!(a.prefetch_stats(), b.prefetch_stats());
+    assert_eq!(a.prefetch_stats().issued, 0);
+    assert_eq!(a.cache_stats(), b.cache_stats());
+    assert_eq!(a.load_attempt_count(), b.load_attempt_count());
+}
+
+#[test]
+fn enabled_prefetch_keeps_the_prediction_stream_bit_identical() {
+    for seed in [311u64, 313] {
+        let (dataset, off) = world(seed, |_| {});
+        let (_, on) = world(seed, |cfg| {
+            cfg.prefetch.enabled = true;
+            cfg.prefetch.min_probability = 0.0;
+            cfg.prefetch.budget_ms = 10_000.0;
+        });
+        let mut off_engine = off.online_engine(DeviceKind::JetsonTx2Nx, Seed(seed + 7));
+        let mut on_engine = on.online_engine(DeviceKind::JetsonTx2Nx, Seed(seed + 7));
+        for (i, frame) in test_frames(&dataset, 60).iter().enumerate() {
+            let a = off_engine.step(&frame.features).unwrap();
+            let b = on_engine.step(&frame.features).unwrap();
+            assert_eq!(a.requested, b.requested, "seed {seed} frame {i}: routing diverged");
+            assert_eq!(
+                a.suitability.to_bits(),
+                b.suitability.to_bits(),
+                "seed {seed} frame {i}: suitability diverged"
+            );
+        }
+        let stats = on_engine.prefetch_stats();
+        assert!(
+            stats.hits + stats.wasted <= stats.issued,
+            "prefetch accounting inconsistent: {stats:?}"
+        );
+        assert_eq!(off_engine.prefetch_stats().issued, 0);
+    }
+}
+
+#[test]
+fn periodic_scene_cycle_prefetches_away_cold_loads() {
+    let tune = |cfg: &mut AnoleConfig| {
+        cfg.cache.capacity = 2;
+        cfg.decision.suitability_smoothing = 0.0;
+    };
+    let (dataset, off) = world(411, tune);
+    let (_, on) = world(411, |cfg| {
+        tune(cfg);
+        cfg.prefetch.enabled = true;
+        cfg.prefetch.min_probability = 0.0;
+        cfg.prefetch.budget_ms = 10_000.0;
+        cfg.prefetch.admission_filter = false;
+    });
+    let n_models = off.repository().len();
+    if n_models < 3 {
+        return; // the fast config can collapse to fewer models; nothing to cycle
+    }
+    let mut off_engine = off.online_engine(DeviceKind::JetsonTx2Nx, Seed(417));
+    let mut on_engine = on.online_engine(DeviceKind::JetsonTx2Nx, Seed(417));
+    let frame = test_frames(&dataset, 1).remove(0);
+    for k in 0..90usize {
+        let mut scores = vec![0.0f32; n_models];
+        scores[k % 3] = 1.0;
+        off_engine.step_with_scores(&frame.features, &scores).unwrap();
+        on_engine.step_with_scores(&frame.features, &scores).unwrap();
+    }
+    let stats = on_engine.prefetch_stats();
+    assert!(stats.issued > 0, "prefetcher never fired on a periodic cycle");
+    assert!(stats.hits > 0, "prefetched models were never used");
+    assert!(
+        on_engine.load_attempt_count() < off_engine.load_attempt_count(),
+        "prefetch did not reduce cold loads: {} vs {}",
+        on_engine.load_attempt_count(),
+        off_engine.load_attempt_count()
+    );
+}
