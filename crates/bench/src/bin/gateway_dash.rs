@@ -1,0 +1,233 @@
+//! `gateway_dash` — renders a chaos-fleet serving run as a text dashboard:
+//! per-metric sparklines over the gateway's SLO time-series rings, windowed
+//! rates and latency quantiles, the burn-rate alert log, and the flight
+//! recorders of every quarantined session.
+//!
+//! The dashboard reads only the gateway's own deterministic run counters
+//! (via [`Gateway::slo_series`]), so its output is byte-identical across
+//! runs and works in obs-off builds — it needs no exporter endpoint and no
+//! `obs` feature.
+//!
+//! Usage:
+//!
+//! ```text
+//! gateway_dash [--sessions N] [--frames N] [--seed S] [--span N] [--export json|range]
+//! ```
+//!
+//! `--span` sets how many trailing windows the rate/quantile columns
+//! aggregate (default 16). `--export` replaces the dashboard with the raw
+//! [`SeriesRecorder`] JSON or its Prometheus `query_range`-style matrix.
+
+use std::process::ExitCode;
+
+use anole_core::gateway::{Gateway, GatewayConfig, GatewayReport, SessionSpec};
+use anole_core::omi::FaultPlan;
+use anole_core::{AnoleConfig, AnoleSystem};
+use anole_data::{DatasetConfig, DrivingDataset, Frame};
+use anole_obs::{AlertSeverity, SeriesRecorder, SloSpec};
+use anole_tensor::{split_seed, Seed};
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders per-window values as a unicode sparkline, oldest first.
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                SPARK[0]
+            } else {
+                let idx = (v / max * (SPARK.len() - 1) as f64).round() as usize;
+                SPARK[idx.min(SPARK.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn session_frames(dataset: &DrivingDataset, session: usize, n: usize) -> Vec<Frame> {
+    let split = dataset.split();
+    (0..n)
+        .map(|k| dataset.frame(split.test[(session * 13 + k) % split.test.len()]).clone())
+        .collect()
+}
+
+fn run_fleet<'a>(
+    system: &'a AnoleSystem,
+    dataset: &DrivingDataset,
+    sessions: usize,
+    frames_each: usize,
+    seed: u64,
+) -> (GatewayReport, Gateway<'a>) {
+    let config = GatewayConfig {
+        max_sessions: sessions,
+        deadline_ms: 120.0,
+        slow_factor: 8.0,
+        flight_recorder_frames: 8,
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(system, config)
+        .expect("gateway config")
+        .with_fault_plan(
+            FaultPlan::new(Seed(seed))
+                .with_queue_overflow_rate(0.05)
+                .with_slow_consumer_rate(0.4)
+                .with_session_stall_rate(0.05),
+        )
+        .with_slos(vec![
+            SloSpec::error_ratio(
+                "gateway-shed-ratio",
+                "gateway.frames.shed",
+                "gateway.frames.total",
+                0.01,
+            )
+            .with_slow_windows(8),
+            SloSpec::quantile("gateway-step-latency", "gateway.step.latency_ms", 0.99, 120.0)
+                .with_slow_windows(8),
+        ])
+        .with_slo_escalation();
+    for i in 0..sessions {
+        gateway
+            .admit(SessionSpec::new(
+                session_frames(dataset, i, frames_each),
+                split_seed(Seed(seed), 60_000 + i as u64),
+            ))
+            .expect("admit");
+    }
+    let report = gateway.run();
+    (report, gateway)
+}
+
+fn render_dashboard(report: &GatewayReport, series: &SeriesRecorder, tier: u32, span: usize) {
+    println!("┌─ anole fleet dashboard ─ last {} of {} windows", series.windows(), report.windows);
+    println!(
+        "│ sessions={} processed={} shed={} dropped={} quarantined={} shed_tier={}",
+        report.sessions.len(),
+        report.frames_processed,
+        report.frames_shed,
+        report.frames_dropped,
+        report.quarantined.len(),
+        tier,
+    );
+    println!("├─ counters (per-window deltas, oldest→newest; rate over last {span} windows)");
+    for name in series.metric_names() {
+        if let Some(deltas) = series.counter_deltas(name) {
+            let values: Vec<f64> = deltas.iter().map(|&d| d as f64).collect();
+            println!(
+                "│ {name:<30} {} rate={:.2}/win delta={}",
+                sparkline(&values),
+                series.rate(name, span),
+                series.delta(name, span),
+            );
+        }
+    }
+    println!("├─ gauges (last value)");
+    for name in series.metric_names() {
+        if let Some(v) = series.gauge_last(name) {
+            println!("│ {name:<30} {v:.1}");
+        }
+    }
+    println!("├─ latency/depth quantiles over last {span} windows");
+    for name in ["gateway.step.latency_ms", "gateway.queue.depth"] {
+        if let Some(merged) = series.merged_over(name, span) {
+            println!(
+                "│ {name:<30} p50={:.1} p99={:.1} n={}",
+                series.quantile_over(name, span, 0.5),
+                series.quantile_over(name, span, 0.99),
+                merged.count(),
+            );
+        }
+    }
+    println!("├─ burn-rate alerts ({} total)", report.slo_violations.len());
+    for alert in &report.slo_violations {
+        let badge = match alert.severity {
+            AlertSeverity::Page => "PAGE",
+            AlertSeverity::Warn => "warn",
+        };
+        println!("│ [{badge}] w{:>4} {:<22} {}", alert.window, alert.slo, alert.detail);
+    }
+    println!("├─ quarantined-session flight recorders");
+    for q in &report.quarantined {
+        println!("│ session {} ({:?}):", q.session, q.reason);
+        match &q.flight {
+            Some(flight) => {
+                for line in flight.render().lines() {
+                    println!("│   {line}");
+                }
+            }
+            None => println!("│   (recorder unarmed)"),
+        }
+    }
+    println!("└─");
+}
+
+fn main() -> ExitCode {
+    let mut sessions = 24usize;
+    let mut frames_each = 10usize;
+    let mut seed = 13u64;
+    let mut span = 16usize;
+    let mut export: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sessions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => sessions = n,
+                _ => {
+                    eprintln!("error: --sessions needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--frames" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => frames_each = n,
+                _ => {
+                    eprintln!("error: --frames needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("error: --seed needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--span" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => span = n,
+                _ => {
+                    eprintln!("error: --span needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--export" => match iter.next() {
+                Some(mode) if mode == "json" || mode == "range" => export = Some(mode),
+                _ => {
+                    eprintln!("error: --export needs `json` or `range`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "gateway_dash [--sessions N] [--frames N] [--seed S] [--span N] \
+                     [--export json|range]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(9601));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(9602)).expect("training");
+    let (report, gateway) = run_fleet(&system, &dataset, sessions, frames_each, seed);
+    let series = gateway.slo_series().expect("SLO runtime armed");
+
+    match export.as_deref() {
+        Some("json") => println!("{}", series.to_json()),
+        Some("range") => println!("{}", series.to_prometheus_range()),
+        _ => render_dashboard(&report, series, gateway.slo_shed_tier(), span),
+    }
+    ExitCode::SUCCESS
+}

@@ -6,7 +6,12 @@
 //! exports the full metrics registry: counters/gauges for every OSP stage
 //! (scene model, TCM, ASS, TDM), the trainer, the slot cache, the fault
 //! machinery, and the engine's latency/fallback histograms, together with
-//! the hierarchical span trace.
+//! the hierarchical span trace. The serving loop also drives a
+//! [`SeriesRecorder`] window capture every `WINDOW_FRAMES` frames and feeds
+//! an [`SloEngine`], so the artifact includes windowed rates/quantiles and
+//! any burn-rate alerts, plus a flight-recorder overhead row (wall-clock
+//! ns/frame with per-session recorders on vs off) backing the "strictly
+//! passive" claim with a number.
 //!
 //! Usage:
 //!
@@ -15,12 +20,44 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use anole_core::omi::Telemetry;
 use anole_core::{AnoleConfig, AnoleSystem};
 use anole_data::{DatasetConfig, DrivingDataset};
 use anole_device::DeviceKind;
+use anole_obs::{SeriesRecorder, SloEngine, SloSpec};
 use anole_tensor::Seed;
+
+/// Serving frames per captured time-series window.
+const WINDOW_FRAMES: usize = 20;
+
+/// Ring capacity (windows) of the bench recorder.
+const SERIES_WINDOWS: usize = 32;
+
+/// Flight-recorder ring size for the overhead measurement.
+const FLIGHT_FRAMES: usize = 64;
+
+/// Wall-clock nanoseconds per frame for one engine pass over `frames`
+/// held-out frames, with the per-session flight recorder armed or not.
+fn ns_per_frame(
+    system: &AnoleSystem,
+    dataset: &DrivingDataset,
+    frames: usize,
+    recorder: bool,
+) -> f64 {
+    let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(4));
+    if recorder {
+        engine = engine.with_flight_recorder(FLIGHT_FRAMES);
+    }
+    engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
+    let split = dataset.split();
+    let start = Instant::now();
+    for &r in split.test.iter().cycle().take(frames.max(1)) {
+        engine.step(&dataset.frame(r).features).expect("step");
+    }
+    start.elapsed().as_nanos() as f64 / frames.max(1) as f64
+}
 
 fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_obs.json");
@@ -69,16 +106,30 @@ fn main() -> ExitCode {
     let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(2)).expect("training");
 
     // OMI: run the engine over held-out frames so the cache, fallback, and
-    // latency metrics are live.
+    // latency metrics are live. Every WINDOW_FRAMES frames one time-series
+    // window is captured from the registry and the SLO engine re-evaluated.
     let mut engine = system.online_engine(DeviceKind::JetsonTx2Nx, Seed(3));
     engine.warm(&(0..system.repository().len()).collect::<Vec<_>>());
     let split = dataset.split();
     let mut telemetry = Telemetry::new();
-    for &r in split.test.iter().cycle().take(frames) {
+    let mut series = SeriesRecorder::new(SERIES_WINDOWS);
+    let mut slo = SloEngine::new(vec![
+        SloSpec::quantile("engine-step-latency", "omi.step.latency_ms", 0.99, 250.0)
+            .with_slow_windows(8),
+        SloSpec::error_ratio("engine-load-retries", "omi.load.retries", "omi.load.attempts", 0.25)
+            .with_slow_windows(8),
+    ]);
+    for (i, &r) in split.test.iter().cycle().take(frames).enumerate() {
         let frame = dataset.frame(r);
         let outcome = engine.step(&frame.features).expect("step");
         telemetry.record(&outcome, Some(&frame.truth));
+        if (i + 1) % WINDOW_FRAMES == 0 {
+            anole_obs::capture_series(&mut series);
+            slo.evaluate(&series);
+        }
     }
+    anole_obs::capture_series(&mut series);
+    slo.evaluate(&series);
 
     let snapshot = anole_obs::snapshot();
     let metric_names = snapshot.metric_names();
@@ -88,12 +139,45 @@ fn main() -> ExitCode {
         snapshot.spans.len(),
         snapshot.dropped_span_events
     );
+    // Flight-recorder overhead: the ring copy in `finish_step` is the whole
+    // cost; both arms serve identical frames through fresh warmed engines.
+    let off_ns = ns_per_frame(&system, &dataset, frames, false);
+    let on_ns = ns_per_frame(&system, &dataset, frames, true);
+    eprintln!(
+        "[metrics_snapshot] flight recorder: {off_ns:.0} ns/frame off, {on_ns:.0} ns/frame on \
+         ({:+.0} ns)",
+        on_ns - off_ns
+    );
+
     let summary = telemetry.summary();
     let report = serde_json::json!({
-        "schema": "anole-obs-snapshot/1",
+        "schema": "anole-obs-snapshot/2",
         "frames": frames,
         "metric_names": metric_names,
         "engine_summary": summary,
+        "timeseries": {
+            "window_frames": WINDOW_FRAMES,
+            "windows_retained": series.windows(),
+            "windows_total": series.total_windows(),
+            "metric_series": series.metric_names().len(),
+            "step_frames_delta": series.delta("omi.step.frames", SERIES_WINDOWS),
+            "step_frames_per_window": series.rate("omi.step.frames", SERIES_WINDOWS),
+            "step_latency_p50_ms": series.quantile_over("omi.step.latency_ms", SERIES_WINDOWS, 0.5),
+            "step_latency_p99_ms": series.quantile_over("omi.step.latency_ms", SERIES_WINDOWS, 0.99),
+        },
+        "slo": {
+            "specs": slo.specs(),
+            "alerts": slo.alerts(),
+            "pages": slo.pages(),
+            "warns": slo.warns(),
+        },
+        "flight_recorder_overhead": {
+            "recorder_capacity": FLIGHT_FRAMES,
+            "frames_timed": frames,
+            "off_ns_per_frame": off_ns,
+            "on_ns_per_frame": on_ns,
+            "delta_ns_per_frame": on_ns - off_ns,
+        },
         "snapshot": snapshot,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("serialize");

@@ -261,6 +261,82 @@ impl PrefetchConfig {
     }
 }
 
+/// Serving SLO parameters: the declarative objectives the fleet gateway
+/// and the continual-learning canary gate evaluate with multi-window
+/// burn-rate alerting ([`SloEngine`](anole_obs::SloEngine)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Whether SLO evaluation is armed: the lifecycle builds specs from
+    /// this section for canary gating and fleet serving. Off by default —
+    /// disabled configs serialize byte-identically to releases that
+    /// predate SLOs.
+    pub enabled: bool,
+    /// Error budget for the shed-ratio objective
+    /// (`gateway.frames.shed / gateway.frames.total`).
+    pub shed_budget: f64,
+    /// Quantile of the latency objective (e.g. `0.99` for p99).
+    pub latency_q: f64,
+    /// Latency limit (virtual ms) the quantile must stay under.
+    pub latency_limit_ms: f64,
+    /// Single-window burn multiple that fires a page.
+    pub fast_burn: f64,
+    /// Long-window burn multiple that fires a warn.
+    pub slow_burn: f64,
+    /// Long-window span in scheduling windows.
+    pub slow_windows: usize,
+    /// Frames per canary device the re-profiling rollout serves through an
+    /// SLO-armed gateway before promotion; a page during that run rolls the
+    /// candidate back.
+    pub canary_frames: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            shed_budget: 0.05,
+            latency_q: 0.99,
+            latency_limit_ms: 150.0,
+            fast_burn: anole_obs::DEFAULT_FAST_BURN,
+            slow_burn: anole_obs::DEFAULT_SLOW_BURN,
+            slow_windows: anole_obs::DEFAULT_SLOW_WINDOWS,
+            canary_frames: 32,
+        }
+    }
+}
+
+impl SloConfig {
+    /// Whether this is exactly the default configuration (see
+    /// [`PrefetchConfig::is_default`]).
+    fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The standard spec pair every SLO-armed gateway evaluates: the
+    /// shed-ratio objective and the step-latency quantile objective, both
+    /// resolved against the gateway's synthetic per-run series.
+    pub fn specs(&self) -> Vec<anole_obs::SloSpec> {
+        vec![
+            anole_obs::SloSpec::error_ratio(
+                "gateway-shed-ratio",
+                "gateway.frames.shed",
+                "gateway.frames.total",
+                self.shed_budget,
+            )
+            .with_burn_rates(self.fast_burn, self.slow_burn)
+            .with_slow_windows(self.slow_windows),
+            anole_obs::SloSpec::quantile(
+                "gateway-step-latency",
+                "gateway.step.latency_ms",
+                self.latency_q,
+                self.latency_limit_ms,
+            )
+            .with_burn_rates(self.fast_burn, self.slow_burn)
+            .with_slow_windows(self.slow_windows),
+        ]
+    }
+}
+
 /// On-device drift-detection parameters (the calibrated
 /// [`DriftDetector`](crate::omi::DriftDetector)).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -350,6 +426,12 @@ pub struct AnoleConfig {
     /// configs stay byte-identical to pre-prefetch releases.
     #[serde(default, skip_serializing_if = "PrefetchConfig::is_default")]
     pub prefetch: PrefetchConfig,
+    /// Serving-SLO parameters. Deserializes to the disabled default from
+    /// configs saved before SLOs existed, and is omitted from serialized
+    /// configs while at the default so those configs stay byte-identical
+    /// to pre-SLO releases.
+    #[serde(default, skip_serializing_if = "SloConfig::is_default")]
+    pub slo: SloConfig,
 }
 
 
@@ -401,8 +483,28 @@ mod tests {
         value.as_object_mut().unwrap().remove("drift");
         value.as_object_mut().unwrap().remove("rollout");
         value.as_object_mut().unwrap().remove("prefetch");
+        value.as_object_mut().unwrap().remove("slo");
         let cfg: AnoleConfig = serde_json::from_value(value).unwrap();
         assert_eq!(cfg, AnoleConfig::default());
+    }
+
+    #[test]
+    fn default_slo_is_omitted_from_serialized_configs() {
+        let json = serde_json::to_string(&AnoleConfig::default()).unwrap();
+        assert!(!json.contains("slo"));
+        // A non-default SLO section round-trips, and its specs carry the
+        // configured budgets.
+        let mut cfg = AnoleConfig::default();
+        cfg.slo.enabled = true;
+        cfg.slo.shed_budget = 0.01;
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("slo"));
+        let back: AnoleConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        let specs = cfg.slo.specs();
+        assert_eq!(specs.len(), 2);
+        assert!((specs[0].budget() - 0.01).abs() < 1e-12);
+        assert!((specs[1].budget() - (1.0 - cfg.slo.latency_q)).abs() < 1e-12);
     }
 
     #[test]

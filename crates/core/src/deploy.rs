@@ -488,6 +488,19 @@ pub struct RolloutReport {
     pub downloads: usize,
     /// Wall-clock milliseconds spent downloading across the fleet.
     pub download_ms: f64,
+    /// Page-severity SLO alerts fired during the lifecycle's SLO canary
+    /// serving run (see `lifecycle::reprofile_and_rollout`); any page
+    /// demotes a measured promotion to a rollback. Zero — and absent from
+    /// serialized reports — when SLO gating is disabled.
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub slo_canary_pages: usize,
+}
+
+/// `skip_serializing_if` helper keeping pre-SLO rollout reports
+/// byte-identical.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn usize_is_zero(v: &usize) -> bool {
+    *v == 0
 }
 
 /// Delivers `manifest` to one device, retrying stale arrivals. Each attempt
@@ -588,6 +601,7 @@ pub fn staged_rollout(
         sessions_on_candidate: 0,
         downloads: 0,
         download_ms: 0.0,
+        slo_canary_pages: 0,
     };
 
     // Canary phase: deliver the candidate to the cohort for shadow

@@ -45,13 +45,16 @@ use anole_data::Frame;
 use anole_detect::DetectionCounts;
 use anole_device::DeviceKind;
 use anole_nn::Workspace;
-use anole_obs::FixedHistogram;
+use anole_obs::{
+    AlertSeverity, CounterSample, FixedHistogram, GaugeSample, HistogramSample, MetricsSnapshot,
+    SeriesRecorder, SloAlert, SloEngine, SloSpec,
+};
 use anole_tensor::{Matrix, Seed};
 use serde::{Deserialize, Serialize};
 
 use crate::omi::{
-    DriftDetector, DriftState, FaultInjector, FaultKind, FaultPlan, OnlineEngine, PrefetchStats,
-    StepOutcome,
+    DriftDetector, DriftState, FaultInjector, FaultKind, FaultPlan, FlightRecord, OnlineEngine,
+    PrefetchStats, StepOutcome,
 };
 use crate::{AnoleError, AnoleSystem};
 use anole_cache::CacheStats;
@@ -107,6 +110,13 @@ pub struct GatewayConfig {
     /// when it is reached (the zero-lost-sessions backstop). `0` picks
     /// `max(4096, 64 × longest session)` automatically.
     pub max_windows: usize,
+    /// Per-session flight-recorder depth: every admitted engine keeps a
+    /// bounded ring of its last N wide events (one compact
+    /// [`FlightFrame`](crate::omi::FlightFrame) per frame), dumped into the
+    /// session's report when it goes `Quarantined`/`Shed` or its drift
+    /// detector latches. `0` (the default) disables recording and keeps
+    /// serialized reports byte-identical to pre-recorder runs.
+    pub flight_recorder_frames: usize,
     /// Device model every session's engine simulates.
     pub device: DeviceKind,
 }
@@ -126,6 +136,7 @@ impl Default for GatewayConfig {
             slow_factor: 4.0,
             stall_windows: 3,
             max_windows: 0,
+            flight_recorder_frames: 0,
             device: DeviceKind::JetsonTx2Nx,
         }
     }
@@ -289,6 +300,12 @@ pub struct QuarantineRecord {
     pub first_fault: Option<FaultKind>,
     /// Human-readable detail (panic note or error display).
     pub detail: String,
+    /// Flight-recorder dump: the last frames this session served before it
+    /// died, captured when the gateway armed per-session recorders
+    /// ([`GatewayConfig::flight_recorder_frames`] > 0). `None` — and absent
+    /// from serialized records — otherwise.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flight: Option<FlightRecord>,
 }
 
 /// Circuit-breaker state over model loads.
@@ -336,6 +353,12 @@ pub struct SessionReport {
     /// `Nominal` without a detector.
     #[serde(default)]
     pub drift_state: DriftState,
+    /// Flight-recorder dump for sessions that ended badly (`Quarantined`,
+    /// `Shed`, or drift latched away from `Nominal`), when the gateway
+    /// armed recorders. Healthy sessions and unarmed runs carry `None`,
+    /// which serializes to nothing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub flight: Option<FlightRecord>,
 }
 
 /// Deterministic summary of one gateway run. Contains no wall-clock data:
@@ -400,6 +423,11 @@ pub struct GatewayReport {
     pub step_latency_p99_ms: f64,
     /// Virtual time the run took.
     pub sim_duration_ms: f64,
+    /// Burn-rate alerts fired by the SLO engine over the run, in firing
+    /// order (empty — and absent from serialized reports — unless
+    /// [`Gateway::with_slos`] armed it).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub slo_violations: Vec<SloAlert>,
 }
 
 impl GatewayReport {
@@ -427,6 +455,16 @@ impl GatewayReport {
     /// Drift episodes emitted across every session's detector.
     pub fn fleet_drift_events(&self) -> usize {
         self.sessions.iter().map(|s| s.drift_events).sum()
+    }
+
+    /// Page-severity SLO alerts fired over the run.
+    pub fn slo_pages(&self) -> usize {
+        self.slo_violations.iter().filter(|a| a.severity == AlertSeverity::Page).count()
+    }
+
+    /// Warn-severity SLO alerts fired over the run.
+    pub fn slo_warns(&self) -> usize {
+        self.slo_violations.iter().filter(|a| a.severity == AlertSeverity::Warn).count()
     }
 }
 
@@ -473,7 +511,24 @@ impl Session<'_> {
         self.next_frame = self.frames.len();
     }
 
+    /// Flight-recorder dump with the session's drift latch stamped in, when
+    /// the engine carries a recorder.
+    fn flight(&self) -> Option<FlightRecord> {
+        self.engine.flight_record().map(|mut rec| {
+            if let Some(d) = &self.drift {
+                rec.drift_state = d.state();
+            }
+            rec
+        })
+    }
+
     fn report(&self) -> SessionReport {
+        let drift_state = self.drift.as_ref().map_or(DriftState::Nominal, DriftDetector::state);
+        // The dump is reserved for post-mortems: only sessions that ended
+        // badly carry one, so healthy reports stay byte-identical whether
+        // or not recorders were armed.
+        let crashed = matches!(self.state, SessionState::Quarantined | SessionState::Shed)
+            || drift_state != DriftState::Nominal;
         SessionReport {
             id: self.id,
             state: self.state,
@@ -487,7 +542,8 @@ impl Session<'_> {
             f1: self.counts.f1(),
             quarantine: self.quarantine,
             drift_events: self.drift.as_ref().map_or(0, |d| d.events().len()),
-            drift_state: self.drift.as_ref().map_or(DriftState::Nominal, DriftDetector::state),
+            drift_state,
+            flight: if crashed { self.flight() } else { None },
         }
     }
 }
@@ -506,6 +562,31 @@ struct Candidate {
     frame: usize,
     arrival_ms: f64,
     slow: bool,
+}
+
+/// Shed tiers the SLO escalation ladder can climb: each tier halves the
+/// effective frame deadline, so tier 3 serves at 1/8th of the configured
+/// budget.
+const MAX_SHED_TIER: u32 = 3;
+
+/// Consecutive clean windows (no active page) before escalation steps one
+/// tier back down.
+const SLO_DEESCALATE_WINDOWS: u32 = 8;
+
+/// SLO evaluation state attached by [`Gateway::with_slos`].
+///
+/// The recorder is fed a *synthetic* snapshot built from the gateway's own
+/// run counters — never the process-global obs registry — so burn-rate
+/// alerts are deterministic, byte-stable across thread counts, and
+/// identical with the `obs` feature on or off.
+struct SloRuntime {
+    series: SeriesRecorder,
+    engine: SloEngine,
+    /// When set ([`Gateway::with_slo_escalation`]), a page tightens the
+    /// effective deadline breaker-style instead of only reporting.
+    escalate: bool,
+    shed_tier: u32,
+    clean_windows: u32,
 }
 
 /// The serving gateway. See the [module docs](self) for the full model.
@@ -569,6 +650,12 @@ pub struct Gateway<'a> {
     now_ms: f64,
     latency_hist: FixedHistogram,
     depth_hist: FixedHistogram,
+    // SLO runtime (`None` unless `with_slos` armed it) plus the cumulative
+    // run counters its synthetic snapshots diff window-over-window.
+    slo: Option<SloRuntime>,
+    frames_processed_run: u64,
+    frames_shed_run: u64,
+    sessions_quarantined_run: u64,
     // Batched-scoring scratch.
     batch: Matrix,
     ws: Workspace,
@@ -610,6 +697,10 @@ impl<'a> Gateway<'a> {
             now_ms: 0.0,
             latency_hist: FixedHistogram::new(anole_obs::LATENCY_MS_BOUNDS),
             depth_hist: FixedHistogram::new(QUEUE_DEPTH_BOUNDS),
+            slo: None,
+            frames_processed_run: 0,
+            frames_shed_run: 0,
+            sessions_quarantined_run: 0,
             batch: Matrix::default(),
             ws: Workspace::new(),
             score_buf: Vec::new(),
@@ -624,6 +715,46 @@ impl<'a> Gateway<'a> {
     /// bit-identical to no plan at all.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.injector = Some(plan.injector());
+        self
+    }
+
+    /// Arms declarative SLOs: after every executed scheduling window the
+    /// gateway captures its own run counters into a bounded
+    /// [`SeriesRecorder`] and evaluates multi-window burn rates
+    /// ([`SloEngine`]). Spec metric names resolve against the synthetic
+    /// per-gateway series: counters `gateway.frames.processed`,
+    /// `gateway.frames.shed`, `gateway.frames.total`,
+    /// `gateway.sessions.quarantined`; histograms `gateway.step.latency_ms`
+    /// and `gateway.queue.depth`. Fired alerts land in
+    /// [`GatewayReport::slo_violations`]. Without
+    /// [`Gateway::with_slo_escalation`] this is strictly passive: serving
+    /// decisions and every pre-existing report field stay bit-identical to
+    /// an unarmed run.
+    pub fn with_slos(mut self, specs: Vec<SloSpec>) -> Self {
+        let horizon = specs
+            .iter()
+            .map(|s| s.slow_windows)
+            .max()
+            .unwrap_or(anole_obs::DEFAULT_SLOW_WINDOWS)
+            .max(64);
+        self.slo = Some(SloRuntime {
+            series: SeriesRecorder::new(horizon),
+            engine: SloEngine::new(specs),
+            escalate: false,
+            shed_tier: 0,
+            clean_windows: 0,
+        });
+        self
+    }
+
+    /// Turns pages into load-shedding pressure: each page climbs one shed
+    /// tier (halving the effective frame deadline, up to 1/8th of the
+    /// configured budget) and 8 clean windows climb back down. No-op unless
+    /// [`Gateway::with_slos`] armed the SLO runtime first.
+    pub fn with_slo_escalation(mut self) -> Self {
+        if let Some(slo) = &mut self.slo {
+            slo.escalate = true;
+        }
         self
     }
 
@@ -681,6 +812,19 @@ impl<'a> Gateway<'a> {
             }
         }
         total
+    }
+
+    /// The SLO runtime's time-series rings: one window per executed
+    /// scheduling window, queryable for rates, deltas, and merged-histogram
+    /// quantiles. `None` unless [`Gateway::with_slos`] armed it.
+    pub fn slo_series(&self) -> Option<&SeriesRecorder> {
+        self.slo.as_ref().map(|slo| &slo.series)
+    }
+
+    /// Current SLO escalation shed tier (0 = serving at the configured
+    /// deadline). Always 0 without [`Gateway::with_slo_escalation`].
+    pub fn slo_shed_tier(&self) -> u32 {
+        self.slo.as_ref().map_or(0, |slo| slo.shed_tier)
     }
 
     /// Typed errors from quarantined sessions, drained in the order the
@@ -741,6 +885,9 @@ impl<'a> Gateway<'a> {
         }
         if let Some(plan) = spec.fault_plan {
             engine = engine.with_fault_injector(plan.injector());
+        }
+        if self.config.flight_recorder_frames > 0 {
+            engine = engine.with_flight_recorder(self.config.flight_recorder_frames);
         }
         if self.breaker != BreakerState::Closed {
             // Admitted into an open breaker: ride the fallback chain until
@@ -824,6 +971,7 @@ impl<'a> Gateway<'a> {
             }
             self.windows += 1;
             let now = self.now_ms;
+            let deadline_ms = self.effective_deadline();
             anole_obs::gauge_set!("gateway.sessions.active", self.active_sessions() as f64);
 
             // An injected scheduler hiccup skips this whole window: nothing
@@ -888,9 +1036,9 @@ impl<'a> Gateway<'a> {
                 if s.state.is_terminal() {
                     continue;
                 }
-                if cfg.deadline_ms.is_finite() {
+                if deadline_ms.is_finite() {
                     while let Some(&(fidx, arrival)) = s.queue.front() {
-                        if now - arrival <= cfg.deadline_ms {
+                        if now - arrival <= deadline_ms {
                             break;
                         }
                         // Over budget: serve from last-good detections via
@@ -900,6 +1048,7 @@ impl<'a> Gateway<'a> {
                         s.counts.accumulate(&out.detections, &s.frames[fidx].truth);
                         s.shed_frames += 1;
                         s.consecutive_shed += 1;
+                        self.frames_shed_run += 1;
                         anole_obs::counter_add!("gateway.frames.shed", 1);
                         if s.consecutive_shed >= cfg.shed_session_after {
                             // The session cannot keep up at all — shed it
@@ -1020,6 +1169,7 @@ impl<'a> Gateway<'a> {
                         s.drop_outstanding();
                         s.state = SessionState::Quarantined;
                         self.active_count -= 1;
+                        self.sessions_quarantined_run += 1;
                         anole_obs::counter_add!("gateway.sessions.quarantined", 1);
                     }
                     Ok(Err(error)) => {
@@ -1029,6 +1179,7 @@ impl<'a> Gateway<'a> {
                         s.drop_outstanding();
                         s.state = SessionState::Quarantined;
                         self.active_count -= 1;
+                        self.sessions_quarantined_run += 1;
                         self.session_errors.push((sid, error));
                         anole_obs::counter_add!("gateway.sessions.quarantined", 1);
                     }
@@ -1039,6 +1190,7 @@ impl<'a> Gateway<'a> {
                         s.busy_until_ms = done_at;
                         s.processed += 1;
                         s.consecutive_shed = 0;
+                        self.frames_processed_run += 1;
                         self.latency_hist.record(done_at - c.arrival_ms);
                         anole_obs::histogram_record!(
                             "gateway.step.latency_ms",
@@ -1075,6 +1227,7 @@ impl<'a> Gateway<'a> {
             }
 
             self.tick_breaker(now);
+            self.tick_slo(now);
             // Compact the ready-queue index: drop ids that went terminal
             // this window, preserving admission order for the survivors.
             if self.active_ids.len() > self.active_count {
@@ -1172,6 +1325,95 @@ impl<'a> Gateway<'a> {
         }
     }
 
+    /// Frame deadline for the current window: the configured budget, halved
+    /// once per SLO escalation shed tier. Identical to `deadline_ms` unless
+    /// escalation is armed and a page has climbed the ladder, so unarmed
+    /// (and passive-SLO) runs keep their exact shedding behaviour.
+    fn effective_deadline(&self) -> f64 {
+        match &self.slo {
+            Some(slo) if slo.escalate && slo.shed_tier > 0 => {
+                self.config.deadline_ms / f64::from(1u32 << slo.shed_tier.min(MAX_SHED_TIER))
+            }
+            _ => self.config.deadline_ms,
+        }
+    }
+
+    /// Synthetic metrics snapshot over the gateway's own run counters —
+    /// the SLO recorder's input. Deliberately *not* the process-global obs
+    /// registry: these values are per-gateway, deterministic, and present
+    /// with the `obs` feature off, so burn-rate alerts never vary with
+    /// what else the process measured.
+    fn slo_snapshot(&self) -> MetricsSnapshot {
+        let processed = self.frames_processed_run;
+        let shed = self.frames_shed_run;
+        MetricsSnapshot {
+            counters: vec![
+                CounterSample { name: "gateway.frames.processed".to_string(), value: processed },
+                CounterSample { name: "gateway.frames.shed".to_string(), value: shed },
+                CounterSample {
+                    name: "gateway.frames.total".to_string(),
+                    value: processed + shed,
+                },
+                CounterSample {
+                    name: "gateway.sessions.quarantined".to_string(),
+                    value: self.sessions_quarantined_run,
+                },
+            ],
+            gauges: vec![GaugeSample {
+                name: "gateway.sessions.active".to_string(),
+                value: self.active_count as f64,
+            }],
+            histograms: vec![
+                HistogramSample {
+                    name: "gateway.queue.depth".to_string(),
+                    histogram: self.depth_hist.clone(),
+                },
+                HistogramSample {
+                    name: "gateway.step.latency_ms".to_string(),
+                    histogram: self.latency_hist.clone(),
+                },
+            ],
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    /// Captures this window into the SLO time series and evaluates burn
+    /// rates. Hiccup windows skip this (with the rest of the window), so
+    /// one recorder window == one executed scheduling window. With
+    /// escalation armed, each fired page climbs one shed tier and
+    /// [`SLO_DEESCALATE_WINDOWS`] page-free windows climb back down.
+    fn tick_slo(&mut self, now: f64) {
+        let Some(mut slo) = self.slo.take() else {
+            return;
+        };
+        let snap = self.slo_snapshot();
+        slo.series.capture(now as u64, &snap);
+        let fired = slo.engine.evaluate(&slo.series);
+        let pages = fired.iter().filter(|a| a.severity == AlertSeverity::Page).count();
+        let warns = fired.len() - pages;
+        if pages > 0 {
+            anole_obs::counter_add!("gateway.slo.pages", pages as u64);
+        }
+        if warns > 0 {
+            anole_obs::counter_add!("gateway.slo.warns", warns as u64);
+        }
+        if slo.escalate {
+            if pages > 0 {
+                slo.shed_tier = (slo.shed_tier + 1).min(MAX_SHED_TIER);
+                slo.clean_windows = 0;
+                anole_obs::counter_add!("gateway.slo.escalations", 1);
+            } else if slo.shed_tier > 0 && !slo.engine.page_active() {
+                slo.clean_windows += 1;
+                if slo.clean_windows >= SLO_DEESCALATE_WINDOWS {
+                    slo.shed_tier -= 1;
+                    slo.clean_windows = 0;
+                }
+            }
+            anole_obs::gauge_set!("gateway.slo.shed_tier", f64::from(slo.shed_tier));
+        }
+        self.slo = Some(slo);
+    }
+
     /// Builds the deterministic run report from current state.
     fn report(&self) -> GatewayReport {
         let sessions: Vec<SessionReport> = self.sessions.iter().map(Session::report).collect();
@@ -1184,6 +1426,7 @@ impl<'a> Gateway<'a> {
                 reason: s.quarantine.unwrap_or(QuarantineReason::Panicked),
                 first_fault: s.first_fault,
                 detail: s.quarantine_detail.clone(),
+                flight: s.flight(),
             })
             .collect();
         GatewayReport {
@@ -1219,6 +1462,7 @@ impl<'a> Gateway<'a> {
             step_latency_p95_ms: self.latency_hist.quantile(0.95),
             step_latency_p99_ms: self.latency_hist.quantile(0.99),
             sim_duration_ms: self.now_ms,
+            slo_violations: self.slo.as_ref().map_or_else(Vec::new, |s| s.engine.alerts().to_vec()),
             sessions,
         }
     }
@@ -1638,5 +1882,145 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: GatewayReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    /// Shed-heavy config shared by the SLO tests: a consumer slowed 20×
+    /// against a 1 ms deadline sheds a large fraction of frames, blowing a
+    /// 0.1% shed budget by orders of magnitude every window.
+    fn slo_world() -> (GatewayConfig, FaultPlan, Vec<SloSpec>) {
+        let config = GatewayConfig {
+            deadline_ms: 1.0,
+            shed_session_after: usize::MAX,
+            slow_factor: 20.0,
+            ..GatewayConfig::default()
+        };
+        let plan = FaultPlan::new(Seed(77)).with_slow_consumer_rate(1.0);
+        let specs = vec![SloSpec::error_ratio(
+            "gateway-shed-ratio",
+            "gateway.frames.shed",
+            "gateway.frames.total",
+            0.001,
+        )
+        .with_slow_windows(4)];
+        (config, plan, specs)
+    }
+
+    #[test]
+    fn slo_runtime_is_passive_and_alerts_are_byte_stable() {
+        let (dataset, system) = world();
+        let frames = test_frames(&dataset, 30);
+        let run = |specs: Option<Vec<SloSpec>>| {
+            let (config, plan, _) = slo_world();
+            let mut gateway = Gateway::new(&system, config).unwrap().with_fault_plan(plan);
+            if let Some(specs) = specs {
+                gateway = gateway.with_slos(specs);
+            }
+            gateway.admit(SessionSpec::new(frames.clone(), Seed(7))).unwrap();
+            gateway.run()
+        };
+        let plain = run(None);
+        let instrumented = run(Some(slo_world().2));
+
+        // The budget is blown every window, so both the fast page and (once
+        // the long window fills) the slow warn fire.
+        assert!(instrumented.slo_pages() >= 1, "no page: {:?}", instrumented.slo_violations);
+        assert!(instrumented.slo_warns() >= 1, "no warn: {:?}", instrumented.slo_violations);
+        // Without escalation the runtime is strictly passive: everything
+        // except the alert list is bit-identical to the unarmed run, and the
+        // unarmed report serializes without any SLO key at all.
+        let mut stripped = instrumented.clone();
+        stripped.slo_violations.clear();
+        assert_eq!(stripped, plain);
+        assert!(!serde_json::to_string(&plain).unwrap().contains("slo_violations"));
+        // Deterministic: a rerun produces byte-identical alerts.
+        let rerun = run(Some(slo_world().2));
+        assert_eq!(
+            serde_json::to_string(&rerun.slo_violations).unwrap(),
+            serde_json::to_string(&instrumented.slo_violations).unwrap(),
+        );
+    }
+
+    #[test]
+    fn slo_escalation_climbs_shed_tiers_and_tightens_the_deadline() {
+        let (dataset, system) = world();
+        let frames = test_frames(&dataset, 30);
+        let (config, plan, specs) = slo_world();
+        let mut gateway = Gateway::new(&system, config)
+            .unwrap()
+            .with_fault_plan(plan)
+            .with_slos(specs)
+            .with_slo_escalation();
+        gateway.admit(SessionSpec::new(frames, Seed(7))).unwrap();
+        let report = gateway.run();
+        assert_eq!(report.lost_sessions(), 0);
+        assert!(report.slo_pages() >= 1);
+        // Pages kept firing, so the ladder climbed and stayed up.
+        assert!(gateway.slo_shed_tier() > 0, "tier: {}", gateway.slo_shed_tier());
+        // The recorder saw every executed window and its rings answer
+        // windowed queries.
+        let series = gateway.slo_series().unwrap();
+        assert_eq!(series.total_windows(), report.windows as u64);
+        assert!(series.delta("gateway.frames.shed", report.windows) > 0);
+    }
+
+    #[test]
+    fn flight_records_attach_to_crashed_sessions_only() {
+        let (dataset, system) = world();
+        let frames = test_frames(&dataset, 8);
+        let config = GatewayConfig { flight_recorder_frames: 4, ..lossless() };
+        let mut gateway = Gateway::new(&system, config).unwrap();
+        gateway.admit(SessionSpec::new(frames.clone(), Seed(1))).unwrap();
+        // Session 1 serves a scheduled sensor dropout at engine frame 2,
+        // then its handler refuses frame 5: the quarantine dump must still
+        // hold the fault frame.
+        let mut served = 0usize;
+        gateway
+            .admit_with_handler(
+                SessionSpec {
+                    fault_plan: Some(
+                        FaultPlan::new(Seed(2)).at(2, FaultKind::SensorDropout),
+                    ),
+                    ..SessionSpec::new(frames.clone(), Seed(2))
+                },
+                Box::new(move |_, _| {
+                    served += 1;
+                    if served > 5 {
+                        Err(AnoleError::InvalidFrame { detail: "handler refused".into() })
+                    } else {
+                        Ok(())
+                    }
+                }),
+            )
+            .unwrap();
+        let report = gateway.run();
+        assert_eq!(report.quarantined.len(), 1);
+        let flight = report.quarantined[0].flight.as_ref().expect("armed recorder dumps");
+        assert_eq!(flight.capacity, 4);
+        assert!(flight.frames_seen >= 5);
+        assert!(
+            flight.frames.iter().any(|f| f.faults > 0),
+            "fault frame missing from dump: {}",
+            flight.render()
+        );
+        assert_eq!(report.sessions[1].flight, report.quarantined[0].flight);
+        // The healthy session recorded too, but its report omits the dump —
+        // and the serialized report only carries the quarantined one's.
+        assert_eq!(report.sessions[0].flight, None);
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(json.matches("\"flight\"").count(), 2);
+
+        // Unarmed runs never dump, even for quarantined sessions.
+        let mut plain = Gateway::new(&system, lossless()).unwrap();
+        plain
+            .admit(SessionSpec {
+                inject_panic: true,
+                ..SessionSpec::new(frames, Seed(3))
+            })
+            .unwrap();
+        let plain_report = plain.run();
+        assert_eq!(plain_report.quarantined[0].flight, None);
+        assert!(!serde_json::to_string(&plain_report).unwrap().contains("flight"));
+        let _ = plain.take_session_errors();
+        let _ = gateway.take_session_errors();
     }
 }

@@ -66,7 +66,7 @@ pub use checkpoint::{
 };
 pub use config::{
     AnoleConfig, CacheConfig, DecisionConfig, DetectorConfig, DriftConfig, PrefetchConfig,
-    QuantConfig, RepositoryConfig, RolloutConfig, SamplingConfig, SceneModelConfig,
+    QuantConfig, RepositoryConfig, RolloutConfig, SamplingConfig, SceneModelConfig, SloConfig,
 };
 pub use error::AnoleError;
 pub use system::{AnoleSystem, ModelQuantOutcome, QuantizationReport, ReprofileReport};

@@ -16,6 +16,8 @@
 //! Health is tracked on a `Healthy → Degraded → Critical` ladder and
 //! summarized by [`OnlineEngine::health_report`].
 
+use std::collections::VecDeque;
+
 use anole_cache::{CacheStats, ShardedSlotCache, TransitionModel};
 use anole_device::{DeviceKind, LatencyModel};
 use anole_nn::{Precision, ReferenceModel, Workspace};
@@ -23,6 +25,7 @@ use anole_tensor::{rng_from_seed, Matrix, Seed};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use crate::omi::drift::DriftState;
 use crate::omi::faults::{
     FaultCounts, FaultInjector, FrameFaults, HealthReport, HealthState, LoadFault,
 };
@@ -98,6 +101,125 @@ pub struct PrefetchStats {
     pub late: u64,
 }
 
+/// One compact wide-event row of the per-session flight recorder: what one
+/// frame requested, what actually served it, and every signal that decides
+/// its fate (fallback depth, fault draws, health, precision, prefetch
+/// outcome). Sized for the ring: 24 bytes of plain scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlightFrame {
+    /// Engine frame index (0-based) this event describes.
+    pub frame: u32,
+    /// Model `M_decision` ranked first.
+    pub requested: u16,
+    /// Model that actually served the frame.
+    pub used: u16,
+    pub cache_hit: bool,
+    /// Fallback tier that served the frame (0..=3, as in
+    /// [`StepOutcome::fallback_depth`]).
+    pub fallback_depth: u8,
+    /// Compressed models executed (0 on a last-good replay).
+    pub models_executed: u8,
+    /// Faults injected into this frame (saturated at 255).
+    pub faults: u8,
+    /// Health state *after* the frame.
+    pub health: HealthState,
+    /// Weight format of the serving model.
+    pub precision: Precision,
+    pub prefetch_issued: bool,
+    pub prefetch_hit: bool,
+    pub latency_ms: f32,
+    pub suitability: f32,
+}
+
+/// The dumped contents of a session's flight recorder: the last
+/// `capacity` frames (of `frames_seen` total) in arrival order, plus the
+/// session's drift state at dump time. Produced by
+/// [`OnlineEngine::flight_record`]; the serving gateway attaches one to
+/// `SessionReport`/`QuarantineRecord` when a session is quarantined, shed,
+/// or drift-latched, so post-mortems show the frames that killed the
+/// session instead of just counting them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Ring capacity the recorder ran with.
+    pub capacity: usize,
+    /// Total frames the recorder observed (≥ `frames.len()`).
+    pub frames_seen: u64,
+    /// Session drift state at dump time (`Nominal` for engines running
+    /// outside a drift-monitored gateway session).
+    #[serde(default)]
+    pub drift_state: DriftState,
+    /// The retained frames, oldest first.
+    pub frames: Vec<FlightFrame>,
+}
+
+impl FlightRecord {
+    /// Renders the record as an aligned text table, one line per frame,
+    /// for chaos-test failure output and fleet post-mortems.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "# flight: last {} of {} frames (drift: {:?})\n\
+             # frame req->used hit depth exec faults health    precision prefetch latency_ms suit\n",
+            self.frames.len(),
+            self.frames_seen,
+            self.drift_state,
+        );
+        for f in &self.frames {
+            let prefetch = match (f.prefetch_issued, f.prefetch_hit) {
+                (true, true) => "issue+hit",
+                (true, false) => "issued",
+                (false, true) => "hit",
+                (false, false) => "-",
+            };
+            let _ = writeln!(
+                out,
+                "{:>7} {:>4}->{:<4} {:>3} {:>5} {:>4} {:>6} {:<9} {:<9} {:<9} {:>10.3} {:.3}",
+                f.frame,
+                f.requested,
+                f.used,
+                if f.cache_hit { "y" } else { "n" },
+                f.fallback_depth,
+                f.models_executed,
+                f.faults,
+                format!("{:?}", f.health),
+                format!("{:?}", f.precision),
+                prefetch,
+                f.latency_ms,
+                f.suitability,
+            );
+        }
+        out
+    }
+}
+
+/// Bounded ring behind the engine's flight recorder. Strictly passive:
+/// frames are copied in at the end of `finish_step` and nothing is ever
+/// read back on the serving path.
+#[derive(Debug)]
+struct FlightRing {
+    cap: usize,
+    seen: u64,
+    ring: VecDeque<FlightFrame>,
+}
+
+impl FlightRing {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            seen: 0,
+            ring: VecDeque::with_capacity(cap),
+        }
+    }
+
+    fn push(&mut self, frame: FlightFrame) {
+        self.seen += 1;
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(frame);
+    }
+}
+
 /// The on-device Anole engine: MSS (rank models per frame), CMD (LFU cache
 /// with best-cached fallback), and MI (run the chosen compressed model).
 ///
@@ -163,6 +285,10 @@ pub struct OnlineEngine<'a> {
     /// lack of idle budget; a miss on it next frame counts as `late`.
     prefetch_pending: Option<usize>,
     prefetch_stats: PrefetchStats,
+    /// Per-session flight recorder (`None` unless
+    /// [`OnlineEngine::with_flight_recorder`] armed it). Write-only on the
+    /// serving path; read only by [`OnlineEngine::flight_record`].
+    flight: Option<FlightRing>,
 }
 
 impl<'a> OnlineEngine<'a> {
@@ -224,6 +350,7 @@ impl<'a> OnlineEngine<'a> {
             prefetched: vec![false; n_models],
             prefetch_pending: None,
             prefetch_stats: PrefetchStats::default(),
+            flight: None,
         }
     }
 
@@ -244,6 +371,28 @@ impl<'a> OnlineEngine<'a> {
         );
         self.transition = model;
         self
+    }
+
+    /// Arms the per-session flight recorder: the last `capacity` frames'
+    /// wide events are retained in a bounded ring and can be dumped with
+    /// [`OnlineEngine::flight_record`]. Strictly passive — the ring is
+    /// write-only on the serving path, so an armed recorder changes no
+    /// [`StepOutcome`]. A zero capacity leaves the recorder off.
+    pub fn with_flight_recorder(mut self, capacity: usize) -> Self {
+        self.flight = (capacity > 0).then(|| FlightRing::new(capacity));
+        self
+    }
+
+    /// Dumps the flight recorder's current contents (`None` when no
+    /// recorder was armed). The record's `drift_state` is `Nominal`; a
+    /// drift-monitoring caller stamps its own detector state in.
+    pub fn flight_record(&self) -> Option<FlightRecord> {
+        self.flight.as_ref().map(|ring| FlightRecord {
+            capacity: ring.cap,
+            frames_seen: ring.seen,
+            drift_state: DriftState::Nominal,
+            frames: ring.ring.iter().copied().collect(),
+        })
     }
 
     /// Constrains the engine to a per-frame latency budget (§II: "achieve
@@ -735,6 +884,23 @@ impl<'a> OnlineEngine<'a> {
             "omi.engine.quant.resident",
             self.quantized_resident() as f64
         );
+        if let Some(ring) = &mut self.flight {
+            ring.push(FlightFrame {
+                frame: (self.frames_total - 1) as u32,
+                requested: outcome.requested.min(usize::from(u16::MAX)) as u16,
+                used: outcome.used.min(usize::from(u16::MAX)) as u16,
+                cache_hit: outcome.cache_hit,
+                fallback_depth: outcome.fallback_depth.min(3) as u8,
+                models_executed: outcome.models_executed.min(usize::from(u8::MAX)) as u8,
+                faults: outcome.faults.min(u32::from(u8::MAX)) as u8,
+                health: outcome.health,
+                precision: outcome.precision,
+                prefetch_issued: outcome.prefetch_issued,
+                prefetch_hit: outcome.prefetch_hit,
+                latency_ms: outcome.latency_ms,
+                suitability: outcome.suitability,
+            });
+        }
         outcome
     }
 
@@ -1769,5 +1935,68 @@ mod tests {
         }
         assert_eq!(engine.usage_log().len(), 20);
         assert_eq!(engine.cache_stats().lookups(), 20);
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_strictly_passive() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+        let mut plain = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(450));
+        let mut recorded = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(450))
+            .with_flight_recorder(4);
+        assert!(plain.flight_record().is_none());
+        let frames = 12;
+        for r in split.test.iter().take(frames) {
+            let a = plain.step(&dataset.frame(*r).features).unwrap();
+            let b = recorded.step(&dataset.frame(*r).features).unwrap();
+            assert_eq!(a, b, "an armed recorder must not perturb serving");
+        }
+        let record = recorded.flight_record().unwrap();
+        assert_eq!(record.capacity, 4);
+        assert_eq!(record.frames_seen, frames as u64);
+        assert_eq!(record.frames.len(), 4, "ring keeps only the last K frames");
+        let indices: Vec<u32> = record.frames.iter().map(|f| f.frame).collect();
+        assert_eq!(indices, vec![8, 9, 10, 11]);
+        assert_eq!(record.drift_state, DriftState::Nominal);
+        // Serde round-trip (the gateway ships records inside reports).
+        let json = serde_json::to_string(&record).unwrap();
+        let back: FlightRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn flight_recorder_retains_the_fault_frames() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+        let plan = FaultPlan::new(Seed(460))
+            .at(2, FaultKind::SensorDropout)
+            .at(3, FaultKind::SensorDropout);
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(461))
+            .with_fault_injector(plan.injector())
+            .with_flight_recorder(8);
+        for r in split.test.iter().take(6) {
+            engine.step(&dataset.frame(*r).features).unwrap();
+        }
+        let record = engine.flight_record().unwrap();
+        let faulted: Vec<u32> = record
+            .frames
+            .iter()
+            .filter(|f| f.faults > 0)
+            .map(|f| f.frame)
+            .collect();
+        assert_eq!(faulted, vec![2, 3], "the injected frames are in the ring");
+        let text = record.render();
+        assert!(text.starts_with("# flight: last 6 of 6 frames"));
+        assert_eq!(text.lines().count(), 2 + 6, "header + one line per frame");
+    }
+
+    #[test]
+    fn zero_capacity_flight_recorder_stays_off() {
+        let (dataset, system) = system();
+        let split = dataset.split();
+        let mut engine = OnlineEngine::new(&system, DeviceKind::JetsonTx2Nx, Seed(470))
+            .with_flight_recorder(0);
+        engine.step(&dataset.frame(split.test[0]).features).unwrap();
+        assert!(engine.flight_record().is_none());
     }
 }

@@ -7,7 +7,7 @@ mod realtime;
 mod switching;
 mod telemetry;
 
-pub use deployment::{OnlineEngine, PrefetchStats, StepOutcome};
+pub use deployment::{FlightFrame, FlightRecord, OnlineEngine, PrefetchStats, StepOutcome};
 pub use drift::{
     normalized_entropy, BaselineConfusion, DriftDetector, DriftEvent, DriftSignal, DriftState,
     SceneDistanceScorer,

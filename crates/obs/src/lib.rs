@@ -28,29 +28,37 @@
 //! ```
 
 mod clock;
+mod slo;
 mod snapshot;
+mod timeseries;
 
 pub use clock::{Clock, MonotonicClock, TickClock};
+pub use slo::{
+    AlertSeverity, SloAlert, SloEngine, SloObjective, SloSpec, DEFAULT_FAST_BURN,
+    DEFAULT_SLOW_BURN, DEFAULT_SLOW_WINDOWS,
+};
 pub use snapshot::{
     CounterSample, FixedHistogram, GaugeSample, HistogramSample, MetricsSnapshot, SpanSample,
 };
+pub use timeseries::SeriesRecorder;
 
 #[cfg(feature = "enabled")]
 mod registry;
 #[cfg(feature = "enabled")]
 pub use registry::{
-    counter, counter_add, elapsed_ms, enabled, gauge, gauge_set, histogram, histogram_record,
-    last_root_span_id, now, render_trace, reset, set_clock, snapshot, span_enter, to_json,
-    to_prometheus, Counter, CounterSite, Gauge, GaugeSite, Histogram, HistogramSite, SpanGuard,
+    capture_series, counter, counter_add, elapsed_ms, enabled, gauge, gauge_set, histogram,
+    histogram_record, last_root_span_id, now, render_trace, reset, set_clock, snapshot,
+    span_enter, to_json, to_prometheus, Counter, CounterSite, Gauge, GaugeSite, Histogram,
+    HistogramSite, SpanGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
 mod noop;
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
-    counter_add, elapsed_ms, enabled, gauge_set, histogram_record, last_root_span_id, now,
-    render_trace, reset, set_clock, snapshot, span_enter, to_json, to_prometheus, CounterSite,
-    GaugeSite, HistogramSite, SpanGuard,
+    capture_series, counter_add, elapsed_ms, enabled, gauge_set, histogram_record,
+    last_root_span_id, now, render_trace, reset, set_clock, snapshot, span_enter, to_json,
+    to_prometheus, CounterSite, GaugeSite, HistogramSite, SpanGuard,
 };
 
 /// Bucket bounds (ms) for per-frame serving latency histograms.

@@ -59,6 +59,13 @@ pub fn snapshot() -> MetricsSnapshot {
     MetricsSnapshot::default()
 }
 
+/// No-op mirror of the registry's series capture: records an empty window
+/// at tick 0 so recorder-driving loops behave identically (bounded, same
+/// window count) whether or not the feature is on.
+pub fn capture_series(rec: &mut crate::SeriesRecorder) {
+    rec.capture(0, &snapshot());
+}
+
 pub fn to_prometheus() -> String {
     snapshot().to_prometheus()
 }

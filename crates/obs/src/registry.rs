@@ -468,6 +468,16 @@ pub fn snapshot() -> MetricsSnapshot {
     }
 }
 
+/// Capture one time-series window into `rec`: snapshots the registry and
+/// diffs it against the recorder's previous capture, stamping the window
+/// with the installed clock's tick (deterministic under a
+/// [`crate::TickClock`]). Drive this at a fixed cadence — once per
+/// scheduling window or every N frames — then query `rec` for windowed
+/// rates and quantiles.
+pub fn capture_series(rec: &mut crate::SeriesRecorder) {
+    rec.capture(now(), &snapshot());
+}
+
 /// Prometheus text exposition of the current registry state.
 pub fn to_prometheus() -> String {
     snapshot().to_prometheus()
@@ -483,9 +493,16 @@ pub fn render_trace() -> String {
     snapshot().render_trace()
 }
 
-/// Zero every metric, clear the span ring, and restart span ids. Metric
-/// registrations survive (handles are `'static`). Intended for tests; the
-/// current thread's last-root marker is also cleared.
+/// Zero every metric, clear the span ring, and restart span ids.
+///
+/// Contract: reset clears *values only* — it never invalidates handles.
+/// Metric registrations are `'static` (leaked once on first use), so a
+/// [`Counter`]/[`Gauge`]/[`Histogram`] reference obtained before the reset,
+/// and in particular the per-call-site [`CounterSite`]/[`GaugeSite`]/
+/// [`HistogramSite`] caches behind the `counter_add!`-family macros, keep
+/// pointing at the live (now zeroed) metric: bumps through a cached handle
+/// after `reset()` are visible in the next [`snapshot`]. Intended for
+/// tests; the current thread's last-root marker is also cleared.
 pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().expect("counter registry").values() {

@@ -120,6 +120,19 @@ impl FixedHistogram {
         }
     }
 
+    /// Observations in buckets whose upper bound is `<= bound` — i.e. the
+    /// count provably at or below `bound` given the bucket layout. Used by
+    /// the SLO engine to turn a latency limit into an error ratio
+    /// (`1 - count_le(limit) / count`).
+    pub fn count_le(&self, bound: f64) -> u64 {
+        self.bounds
+            .iter()
+            .zip(&self.counts)
+            .take_while(|(b, _)| **b <= bound)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
     /// Quantile estimate: the upper bound of the bucket containing the
     /// rank-`ceil(q * count)` observation (values in the overflow bucket
     /// report the last finite bound). Coarse by construction but
@@ -305,6 +318,21 @@ mod tests {
         assert_eq!(h.quantile(0.5), 1.0);
         assert_eq!(h.quantile(0.95), 2.0);
         assert_eq!(h.quantile(0.99), 10.0);
+    }
+
+    #[test]
+    fn count_le_sums_buckets_at_or_below_the_bound() {
+        let mut h = FixedHistogram::new(&[1.0, 2.0, 5.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(4.0);
+        h.record(9.0); // overflow bucket
+        assert_eq!(h.count_le(1.0), 1);
+        assert_eq!(h.count_le(2.0), 2);
+        assert_eq!(h.count_le(3.0), 2);
+        assert_eq!(h.count_le(5.0), 3);
+        assert_eq!(h.count_le(100.0), 3); // overflow is never provably <= bound
+        assert_eq!(h.count_le(0.5), 0);
     }
 
     #[test]

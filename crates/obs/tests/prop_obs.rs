@@ -2,7 +2,9 @@
 //!
 //! - sharded histogram accumulation is deterministic across thread counts;
 //! - every span enter has a matching exit, with consistent parent/depth;
-//! - the JSON metrics snapshot round-trips through serde exactly.
+//! - the JSON metrics snapshot round-trips through serde exactly;
+//! - the Prometheus text exposition is well-formed for arbitrary contents;
+//! - `reset()` zeros values without invalidating cached metric handles.
 //!
 //! The registry is process-global, so every test serializes on one lock.
 
@@ -116,6 +118,96 @@ proptest! {
         anole_obs::set_clock(Box::new(MonotonicClock::new()));
         anole_obs::reset();
     }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed(
+        counter_vals in prop::collection::vec(0u64..1_000_000, 1..8),
+        gauge_vals in prop::collection::vec(-1.0e9f64..1.0e9, 1..6),
+        hist_vals in prop::collection::vec(0.0f64..5_000.0, 0..80),
+    ) {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        anole_obs::reset();
+        // Dotted and dashed source names exercise the sanitizer.
+        for (i, &v) in counter_vals.iter().enumerate() {
+            anole_obs::counter_add(COUNTER_NAMES[i % COUNTER_NAMES.len()], v);
+        }
+        anole_obs::counter_add("expo.c-total", counter_vals[0]);
+        for (i, &v) in gauge_vals.iter().enumerate() {
+            anole_obs::gauge_set(GAUGE_NAMES[i % GAUGE_NAMES.len()], v);
+        }
+        for &v in &hist_vals {
+            anole_obs::histogram_record("expo.h", anole_obs::LATENCY_MS_BOUNDS, v);
+        }
+        let text = anole_obs::snapshot().to_prometheus();
+        prop_assert!(text.contains("expo_c_total"), "sanitizer must rewrite `.`/`-`:\n{text}");
+
+        // Every line is `# TYPE name kind` or `series value`, names match
+        // the Prometheus grammar, and every sample value parses.
+        let mut bucket_cumulative: Option<(String, u64)> = None;
+        let mut last_inf: Option<(String, u64)> = None;
+        for line in text.lines() {
+            if let Some(decl) = line.strip_prefix("# TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                prop_assert!(valid_prom_name(name), "bad name in {line:?}");
+                let kind = parts.next().unwrap_or("");
+                prop_assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad kind in {line:?}"
+                );
+                prop_assert_eq!(parts.next(), None, "trailing tokens in {}", line);
+                continue;
+            }
+            let (series, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("no value in {line:?}"));
+            let name = series.split('{').next().unwrap_or("");
+            prop_assert!(valid_prom_name(name), "bad name in {line:?}");
+            let value: f64 = value.parse().unwrap_or_else(|e| panic!("bad value {line:?}: {e}"));
+            if let Some(base) = name.strip_suffix("_bucket") {
+                // Bucket labels are `le="..."`; cumulative counts are
+                // monotone within one histogram, ending at `+Inf`.
+                prop_assert!(series.contains("{le=\""), "bucket without le label: {line:?}");
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let count = value as u64;
+                match &mut bucket_cumulative {
+                    Some((prev_base, prev)) if prev_base.as_str() == base => {
+                        prop_assert!(count >= *prev, "bucket went backwards: {line:?}");
+                        *prev = count;
+                    }
+                    _ => bucket_cumulative = Some((base.to_string(), count)),
+                }
+                if series.contains("{le=\"+Inf\"}") {
+                    last_inf = Some((base.to_string(), count));
+                    bucket_cumulative = None;
+                }
+            } else if let Some(base) = name.strip_suffix("_count") {
+                // `_count` equals the +Inf bucket of the same histogram.
+                let (inf_base, inf) =
+                    last_inf.as_ref().unwrap_or_else(|| panic!("_count before buckets: {line:?}"));
+                prop_assert_eq!(inf_base.as_str(), base);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let count = value as u64;
+                prop_assert_eq!(count, *inf, "count != +Inf bucket");
+                if base == "expo_h" {
+                    prop_assert_eq!(count as usize, hist_vals.len());
+                }
+            } else if name == "expo_h_sum" {
+                let expected: f64 = hist_vals.iter().sum();
+                // Sums accumulate in integer microseconds.
+                let tolerance = 1e-6 * (hist_vals.len() + 1) as f64;
+                prop_assert!((value - expected).abs() <= tolerance, "sum off: {line:?}");
+            }
+        }
+        anole_obs::reset();
+    }
+}
+
+/// Prometheus metric-name grammar: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_prom_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 #[test]
@@ -151,5 +243,33 @@ fn last_root_span_id_tracks_completed_roots() {
         let _again = anole_obs::span!("prop.rootspan");
     }
     assert!(anole_obs::last_root_span_id() > first);
+    anole_obs::reset();
+}
+
+#[test]
+fn reset_zeroes_values_but_never_invalidates_cached_handles() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    anole_obs::reset();
+    // Handles cached before the reset: a direct `'static` reference and a
+    // macro call site (one `CounterSite`, hit on both sides of the reset).
+    let direct = anole_obs::counter("prop.reset.direct");
+    let site_bump = || anole_obs::counter_add!("prop.reset.site", 7);
+    direct.add(5);
+    site_bump();
+    site_bump();
+    anole_obs::reset();
+    // Post-reset bumps through the pre-reset handles must land in the next
+    // snapshot: reset clears values only (registrations are leaked once and
+    // live forever), per the `reset()` contract.
+    direct.add(2);
+    site_bump();
+    let snap = anole_obs::snapshot();
+    let value = |name: &str| {
+        snap.counters.iter().find(|c| c.name == name).map(|c| c.value).unwrap_or_else(|| {
+            panic!("{name} missing from post-reset snapshot");
+        })
+    };
+    assert_eq!(value("prop.reset.direct"), 2, "pre-reset total leaked through");
+    assert_eq!(value("prop.reset.site"), 7, "macro site lost its cached handle");
     anole_obs::reset();
 }

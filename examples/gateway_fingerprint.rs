@@ -1,0 +1,104 @@
+//! Deterministic gateway fingerprint for differential testing of the fleet
+//! observability stack: the printed serving fingerprint must be
+//! byte-identical between a plain run and an `--instrumented` run (SLO
+//! burn-rate engine + per-session flight recorders armed), because both are
+//! strictly passive — and, like `engine_fingerprint`, with the `obs`
+//! feature on or off.
+//!
+//! ```text
+//! cargo run --release --example gateway_fingerprint > plain.txt
+//! cargo run --release --example gateway_fingerprint -- --instrumented > inst.txt
+//! diff plain.txt inst.txt
+//! ```
+//!
+//! The hash covers only serving-relevant report fields: the alert list and
+//! flight dumps (present only when instrumented, by design) are stripped
+//! before hashing, so a clean diff proves instrumentation changed *nothing
+//! else*.
+
+use anole::core::gateway::{Gateway, GatewayConfig, SessionSpec};
+use anole::core::omi::FaultPlan;
+use anole::core::{AnoleConfig, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset};
+use anole::obs::SloSpec;
+use anole::tensor::{split_seed, Seed};
+
+/// FNV-1a over a byte stream: dependency-free and stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instrumented = std::env::args().any(|a| a == "--instrumented");
+
+    let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(11));
+    let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(12))?;
+    let split = dataset.split();
+
+    // A chaotic, shed-heavy run so the SLO engine has something to page
+    // about and quarantined sessions have flight rings worth dumping.
+    let config = GatewayConfig {
+        max_sessions: 32,
+        deadline_ms: 120.0,
+        slow_factor: 8.0,
+        flight_recorder_frames: if instrumented { 8 } else { 0 },
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(&system, config)?.with_fault_plan(
+        FaultPlan::new(Seed(13))
+            .with_queue_overflow_rate(0.05)
+            .with_slow_consumer_rate(0.4)
+            .with_session_stall_rate(0.05)
+            .with_scheduler_hiccup_rate(0.1),
+    );
+    if instrumented {
+        gateway = gateway.with_slos(vec![
+            SloSpec::error_ratio(
+                "gateway-shed-ratio",
+                "gateway.frames.shed",
+                "gateway.frames.total",
+                0.01,
+            )
+            .with_slow_windows(8),
+            SloSpec::quantile("gateway-step-latency", "gateway.step.latency_ms", 0.99, 120.0)
+                .with_slow_windows(8),
+        ]);
+    }
+    for i in 0..24usize {
+        let frames = (0..10)
+            .map(|k| dataset.frame(split.test[(i * 7 + k) % split.test.len()]).clone())
+            .collect();
+        let mut spec = SessionSpec::new(frames, split_seed(Seed(14), i as u64));
+        if i == 5 {
+            spec.inject_panic = true;
+        }
+        gateway.admit(spec)?;
+    }
+    let mut report = gateway.run();
+
+    // Strip the instrumentation-only fields before hashing: everything left
+    // is serving behaviour and must not move when SLOs + recorders are on.
+    report.slo_violations.clear();
+    for s in &mut report.sessions {
+        s.flight = None;
+    }
+    for q in &mut report.quarantined {
+        q.flight = None;
+    }
+    println!(
+        "gateway sessions={} processed={} shed={} dropped={} windows={} quarantined={}",
+        report.sessions.len(),
+        report.frames_processed,
+        report.frames_shed,
+        report.frames_dropped,
+        report.windows,
+        report.quarantined.len(),
+    );
+    println!("serving_hash {:016x}", fnv1a(serde_json::to_string(&report)?.as_bytes()));
+    Ok(())
+}

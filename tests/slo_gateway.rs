@@ -1,0 +1,177 @@
+//! End-to-end fleet observability: SLO burn-rate alerting and the
+//! per-session flight recorder under deterministic chaos.
+//!
+//! The gateway runs on virtual time (its scheduling window *is* the SLO
+//! window clock) and feeds the SLO engine from its own run counters, so a
+//! fixed-seed chaos run must produce byte-stable burn-rate alerts; an
+//! injected latency fault must fire the fast-burn page within the first
+//! windows of the run; a quarantined session's flight record must retain
+//! the fault frames; and the whole stack must be strictly passive —
+//! serving output bit-identical with instrumentation on or off.
+
+use std::sync::OnceLock;
+
+use anole::core::gateway::{Gateway, GatewayConfig, GatewayReport, SessionSpec};
+use anole::core::omi::{FaultKind, FaultPlan};
+use anole::core::{AnoleConfig, AnoleError, AnoleSystem};
+use anole::data::{DatasetConfig, DrivingDataset, Frame};
+use anole::obs::{AlertSeverity, SloSpec};
+use anole::tensor::Seed;
+
+/// Training dominates test time; every test shares one system.
+fn world() -> &'static (DrivingDataset, AnoleSystem) {
+    static WORLD: OnceLock<(DrivingDataset, AnoleSystem)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = DrivingDataset::generate(&DatasetConfig::small(), Seed(9501));
+        let system = AnoleSystem::train(&dataset, &AnoleConfig::fast(), Seed(9502)).unwrap();
+        (dataset, system)
+    })
+}
+
+fn frames(dataset: &DrivingDataset, n: usize) -> Vec<Frame> {
+    dataset.split().test.iter().take(n).map(|&i| dataset.frame(i).clone()).collect()
+}
+
+/// Shed-ratio + latency-quantile specs with a tiny error budget.
+fn specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec::error_ratio(
+            "gateway-shed-ratio",
+            "gateway.frames.shed",
+            "gateway.frames.total",
+            0.001,
+        )
+        .with_slow_windows(4),
+        SloSpec::quantile("gateway-step-latency", "gateway.step.latency_ms", 0.99, 200.0)
+            .with_slow_windows(4),
+    ]
+}
+
+/// A chaos run where every frame draws an injected slow-consumer latency
+/// fault against a 1 ms deadline: frames pile up and shed from the first
+/// windows on, blowing the 0.1% shed budget by orders of magnitude.
+fn chaos_run(system: &AnoleSystem, dataset: &DrivingDataset, slos: bool) -> GatewayReport {
+    let config = GatewayConfig {
+        deadline_ms: 1.0,
+        shed_session_after: usize::MAX,
+        slow_factor: 20.0,
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(system, config)
+        .unwrap()
+        .with_fault_plan(FaultPlan::new(Seed(9510)).with_slow_consumer_rate(1.0));
+    if slos {
+        gateway = gateway.with_slos(specs());
+    }
+    for i in 0..3u64 {
+        gateway.admit(SessionSpec::new(frames(dataset, 24), Seed(9520 + i))).unwrap();
+    }
+    gateway.run()
+}
+
+#[test]
+fn fixed_seed_chaos_produces_byte_stable_burn_rate_alerts() {
+    let (dataset, system) = world();
+    let a = chaos_run(system, dataset, true);
+    let b = chaos_run(system, dataset, true);
+    assert!(!a.slo_violations.is_empty(), "chaos run fired no alerts");
+    assert_eq!(
+        serde_json::to_string(&a.slo_violations).unwrap(),
+        serde_json::to_string(&b.slo_violations).unwrap(),
+        "burn-rate alerts must be byte-stable across identical seeded runs"
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn injected_latency_fault_fires_the_fast_burn_page_early() {
+    let (dataset, system) = world();
+    let report = chaos_run(system, dataset, true);
+    let first_page = report
+        .slo_violations
+        .iter()
+        .find(|a| a.severity == AlertSeverity::Page)
+        .expect("a blown budget must page");
+    // The fault is armed from frame 0 and the first over-deadline frame
+    // sheds within the first few scheduling windows, so the single-window
+    // fast-burn condition pages near the start of the run — not at the
+    // tail after the long window fills.
+    assert!(
+        first_page.window <= 10,
+        "fast-burn page too late: window {} of {}",
+        first_page.window,
+        report.windows
+    );
+    assert!(report.windows > first_page.window as usize, "page did not precede run end");
+    // The slow-burn warn needs its 4-window span before it can fire.
+    let first_warn = report.slo_violations.iter().find(|a| a.severity == AlertSeverity::Warn);
+    if let Some(warn) = first_warn {
+        assert!(warn.window >= 4, "warn before the long window filled: {warn:?}");
+    }
+    // Burn rates are reported relative to the budget.
+    assert!(first_page.burn_rate >= 14.4, "{first_page:?}");
+}
+
+#[test]
+fn quarantined_sessions_dump_flight_records_with_the_fault_frames() {
+    let (dataset, system) = world();
+    let config = GatewayConfig {
+        flight_recorder_frames: 8,
+        deadline_ms: f64::INFINITY,
+        shed_session_after: usize::MAX,
+        ..GatewayConfig::default()
+    };
+    let mut gateway = Gateway::new(system, config).unwrap();
+    gateway.admit(SessionSpec::new(frames(dataset, 8), Seed(9531))).unwrap();
+    // Session 1: a scheduled sensor dropout at engine frame 2, then its
+    // handler refuses frame 6 — the quarantine dump must still hold the
+    // fault frame with its degraded-health annotations.
+    let mut served = 0usize;
+    gateway
+        .admit_with_handler(
+            SessionSpec {
+                fault_plan: Some(FaultPlan::new(Seed(9532)).at(2, FaultKind::SensorDropout)),
+                ..SessionSpec::new(frames(dataset, 8), Seed(9533))
+            },
+            Box::new(move |_, _| {
+                served += 1;
+                if served > 6 {
+                    Err(AnoleError::InvalidFrame { detail: "handler refused".into() })
+                } else {
+                    Ok(())
+                }
+            }),
+        )
+        .unwrap();
+    let report = gateway.run();
+    assert_eq!(report.quarantined.len(), 1);
+    let flight = report.quarantined[0].flight.as_ref().expect("armed recorder dumps");
+    let fault_frames: Vec<u32> =
+        flight.frames.iter().filter(|f| f.faults > 0).map(|f| f.frame).collect();
+    assert_eq!(fault_frames, vec![2], "dump lost the fault frame: {}", flight.render());
+    // The wide events carry the serving context around the fault.
+    assert!(flight.frames.iter().any(|f| f.latency_ms > 0.0));
+    assert!(flight.frames_seen >= 7);
+    // The renderer emits one aligned row per retained frame.
+    let text = flight.render();
+    assert_eq!(text.lines().count(), 2 + flight.frames.len(), "{text}");
+    // The healthy session carries no dump.
+    assert_eq!(report.sessions[0].flight, None);
+    let _ = gateway.take_session_errors();
+}
+
+#[test]
+fn instrumentation_is_strictly_passive_and_off_by_default() {
+    let (dataset, system) = world();
+    let plain = chaos_run(system, dataset, false);
+    let instrumented = chaos_run(system, dataset, true);
+    // Serving behaviour is bit-identical; only the alert list differs.
+    let mut stripped = instrumented.clone();
+    stripped.slo_violations.clear();
+    assert_eq!(stripped, plain);
+    // Default-off reports serialize without any observability keys, so
+    // recorded fleets from before this subsystem existed compare clean.
+    let json = serde_json::to_string(&plain).unwrap();
+    assert!(!json.contains("slo_violations"));
+    assert!(!json.contains("flight"));
+}
